@@ -1,0 +1,404 @@
+//! Design-generic cost backend for the case studies.
+//!
+//! Each in-DRAM design exposes, per bulk row-operation: its command
+//! profiles (for energy and charge-pump accounting), its latency, and —
+//! derived from those under a [`PumpBudget`] — the bank-level parallelism
+//! and device throughput the §6.3 studies compare.
+
+use elp2im_baselines::ambit::AmbitConfig;
+use elp2im_baselines::drisa::{DrisaModel, DRISA_BACKGROUND_FACTOR};
+use elp2im_core::compile::{compile, CompileMode, LogicOp, Operands};
+use elp2im_dram::command::CommandProfile;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::geometry::Geometry;
+use elp2im_dram::power::PowerModel;
+use elp2im_dram::timing::Ddr3Timing;
+use elp2im_dram::units::{Ns, Picojoules};
+use std::fmt;
+
+/// A bulk operation as the studies see it: either producing a fresh
+/// destination row (`dst := a OP b`) or accumulating in place
+/// (`dst := dst OP src`). ELP2IM's pseudo-precharge executes in-place
+/// AND/OR as a two-command APP-AP (§3.3) — the paper's headline latency
+/// and activation advantage; the baselines gain nothing from the
+/// distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `dst := a OP b` into a fresh row.
+    Fresh(LogicOp),
+    /// `dst := dst OP src`.
+    InPlace(LogicOp),
+}
+
+impl OpKind {
+    /// The underlying logic operation.
+    pub fn op(self) -> LogicOp {
+        match self {
+            OpKind::Fresh(op) | OpKind::InPlace(op) => op,
+        }
+    }
+}
+
+/// Which design a backend models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignKind {
+    /// ELP2IM with a compilation mode and reserved-row count.
+    Elp2im {
+        /// Execution strategy.
+        mode: CompileMode,
+        /// Reserved dual-contact rows (1 or 2).
+        reserved_rows: usize,
+    },
+    /// Ambit with a reserved-space configuration.
+    Ambit(AmbitConfig),
+    /// DRISA 1T1C-NOR.
+    DrisaNor(DrisaModel),
+}
+
+impl DesignKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignKind::Elp2im { .. } => "ELP2IM",
+            DesignKind::Ambit(_) => "Ambit",
+            DesignKind::DrisaNor(_) => "Drisa_nor",
+        }
+    }
+}
+
+impl fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-design cost backend.
+#[derive(Debug, Clone)]
+pub struct PimBackend {
+    /// The design modeled.
+    pub design: DesignKind,
+    /// DRAM timing.
+    pub timing: Ddr3Timing,
+    /// Power model.
+    pub power: PowerModel,
+    /// Module geometry (banks × subarrays × row bits).
+    pub geometry: Geometry,
+    /// Charge-pump budget ([`PumpBudget::unconstrained`] disables the
+    /// power constraint, as in §6.3.3).
+    pub budget: PumpBudget,
+}
+
+impl PimBackend {
+    /// ELP2IM in the power-friendly high-throughput mode (Bitmap/TableScan
+    /// studies) with the base single reserved row.
+    pub fn elp2im_high_throughput() -> Self {
+        PimBackend::new(DesignKind::Elp2im {
+            mode: CompileMode::HighThroughput,
+            reserved_rows: 1,
+        })
+    }
+
+    /// ELP2IM in the reduced-latency mode with two reserved rows (the CNN
+    /// accelerator configuration of §6.3.3).
+    pub fn elp2im_accelerator() -> Self {
+        let mut b = PimBackend::new(DesignKind::Elp2im {
+            mode: CompileMode::LowLatency,
+            reserved_rows: 2,
+        });
+        b.budget = PumpBudget::unconstrained();
+        b
+    }
+
+    /// Ambit with the full 10-row reserved configuration.
+    pub fn ambit() -> Self {
+        PimBackend::new(DesignKind::Ambit(AmbitConfig::full()))
+    }
+
+    /// Ambit with a specific reserved-space configuration (Fig. 13 sweep).
+    pub fn ambit_with_reserved(rows: usize) -> Self {
+        PimBackend::new(DesignKind::Ambit(AmbitConfig { reserved_rows: rows }))
+    }
+
+    /// DRISA-NOR.
+    pub fn drisa() -> Self {
+        PimBackend::new(DesignKind::DrisaNor(DrisaModel::ddr3_1600()))
+    }
+
+    /// Creates a backend with default DDR3-1600 substrate parameters and
+    /// the JEDEC pump budget.
+    pub fn new(design: DesignKind) -> Self {
+        PimBackend {
+            design,
+            timing: Ddr3Timing::ddr3_1600(),
+            power: PowerModel::micron_ddr3_1600(),
+            geometry: Geometry::ddr3_module(),
+            budget: PumpBudget::jedec_ddr3_1600(),
+        }
+    }
+
+    /// Removes the power constraint (builder style).
+    pub fn without_power_constraint(mut self) -> Self {
+        self.budget = PumpBudget::unconstrained();
+        self
+    }
+
+    /// Command profiles of one bulk row-operation `op`.
+    pub fn op_profiles(&self, op: LogicOp) -> Vec<CommandProfile> {
+        match &self.design {
+            DesignKind::Elp2im { mode, reserved_rows } => {
+                let prog = compile(op, *mode, Operands::standard(), *reserved_rows)
+                    .expect("standard operands always compile");
+                prog.profiles(&self.timing)
+            }
+            DesignKind::Ambit(cfg) => cfg.op_profiles(op, &self.timing),
+            DesignKind::DrisaNor(m) => m.op_profiles(op),
+        }
+    }
+
+    /// Command profiles of one bulk operation of the given kind. ELP2IM
+    /// compiles in-place AND/OR to the two-command APP-AP sequence; all
+    /// other cases fall back to the fresh-destination sequence.
+    pub fn kind_profiles(&self, kind: OpKind) -> Vec<CommandProfile> {
+        if let (OpKind::InPlace(op @ (LogicOp::And | LogicOp::Or)), DesignKind::Elp2im { .. }) =
+            (kind, &self.design)
+        {
+            let rows = Operands { a: 0, b: 2, dst: 2, scratch: Some(3) };
+            let prog = compile(op, CompileMode::InPlace, rows, 0)
+                .expect("in-place AND/OR always compiles");
+            return prog.profiles(&self.timing);
+        }
+        self.op_profiles(kind.op())
+    }
+
+    /// Latency of one bulk operation of the given kind.
+    pub fn kind_latency(&self, kind: OpKind) -> Ns {
+        self.kind_profiles(kind).iter().map(|p| p.duration).sum()
+    }
+
+    /// Latency of one bulk row-operation.
+    pub fn op_latency(&self, op: LogicOp) -> Ns {
+        self.op_profiles(op).iter().map(|p| p.duration).sum()
+    }
+
+    /// Dynamic energy of one bulk row-operation, background included.
+    pub fn op_energy(&self, op: LogicOp) -> Picojoules {
+        let profiles = self.op_profiles(op);
+        let dynamic: Picojoules = profiles.iter().map(|p| self.power.command_energy(p)).sum();
+        let duration: Ns = profiles.iter().map(|p| p.duration).sum();
+        dynamic + self.power.background_energy(duration, self.background_factor())
+    }
+
+    /// Average power (mW) while executing `op` back to back.
+    pub fn op_power_mw(&self, op: LogicOp) -> f64 {
+        self.op_energy(op).power_mw(self.op_latency(op))
+    }
+
+    /// Background-power multiplier of the design.
+    pub fn background_factor(&self) -> f64 {
+        match &self.design {
+            DesignKind::DrisaNor(_) => DRISA_BACKGROUND_FACTOR,
+            _ => 1.0,
+        }
+    }
+
+    /// Steady-state number of banks that can run `op` streams concurrently
+    /// under this backend's pump budget.
+    pub fn parallel_banks(&self, op: LogicOp) -> f64 {
+        self.budget.max_parallel_banks(&self.op_profiles(op), self.geometry.banks)
+    }
+
+    /// Effective parallelism for a workload's operation mix
+    /// (`(kind, count)` pairs), weighted by time spent in each.
+    pub fn parallel_banks_mix(&self, mix: &[(OpKind, u64)]) -> f64 {
+        let mut profiles = Vec::new();
+        for (kind, n) in mix {
+            let per = self.kind_profiles(*kind);
+            // Weight by including the op's profile once per *relative*
+            // share; use the raw counts capped to keep the vector small.
+            let reps = (*n).min(16) as usize;
+            for _ in 0..reps.max(1) {
+                profiles.extend(per.iter().cloned());
+            }
+        }
+        self.budget.max_parallel_banks(&profiles, self.geometry.banks)
+    }
+
+    /// Device time to execute `row_ops` bulk operations of kind `kind`,
+    /// spread across the banks allowed by the power constraint.
+    pub fn device_time(&self, kind: OpKind, row_ops: u64) -> Ns {
+        if row_ops == 0 {
+            return Ns::ZERO;
+        }
+        let profiles = self.kind_profiles(kind);
+        let banks = self.budget.max_parallel_banks(&profiles, self.geometry.banks).max(1e-9);
+        self.kind_latency(kind) * (row_ops as f64 / banks)
+    }
+
+    /// Device time for a mixed operation stream.
+    pub fn device_time_mix(&self, mix: &[(OpKind, u64)]) -> Ns {
+        let banks = self.parallel_banks_mix(mix).max(1e-9);
+        let serial: f64 =
+            mix.iter().map(|(kind, n)| self.kind_latency(*kind).as_f64() * *n as f64).sum();
+        Ns(serial / banks)
+    }
+
+    /// Device energy for a mixed operation stream.
+    pub fn device_energy_mix(&self, mix: &[(OpKind, u64)]) -> Picojoules {
+        mix.iter()
+            .map(|(kind, n)| {
+                let profiles = self.kind_profiles(*kind);
+                let dynamic: Picojoules =
+                    profiles.iter().map(|p| self.power.command_energy(p)).sum();
+                let duration: Ns = profiles.iter().map(|p| p.duration).sum();
+                (dynamic + self.power.background_energy(duration, self.background_factor()))
+                    * (*n as f64)
+            })
+            .sum()
+    }
+
+    /// Bits processed per bulk row-operation (one full row per subarray,
+    /// one subarray active per bank).
+    pub fn row_bits(&self) -> usize {
+        self.geometry.row_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elp2im_is_fastest_on_and() {
+        let e = PimBackend::elp2im_accelerator();
+        let a = PimBackend::ambit();
+        let d = PimBackend::drisa();
+        let t_e = e.op_latency(LogicOp::And).as_f64();
+        let t_a = a.op_latency(LogicOp::And).as_f64();
+        let t_d = d.op_latency(LogicOp::And).as_f64();
+        assert!(t_e < t_a && t_e < t_d, "elp2im {t_e}, ambit {t_a}, drisa {t_d}");
+    }
+
+    /// §6.2: mean per-op speedup of ELP2IM over Ambit ≈ 1.17× with one
+    /// reserved row, ≈ 1.23× with two; over DRISA ≈ 1.1×.
+    #[test]
+    fn fig12_average_speedups() {
+        let ambit = PimBackend::ambit();
+        let drisa = PimBackend::drisa();
+        let elp1 = PimBackend::new(DesignKind::Elp2im {
+            mode: CompileMode::LowLatency,
+            reserved_rows: 1,
+        });
+        let elp2 = PimBackend::new(DesignKind::Elp2im {
+            mode: CompileMode::LowLatency,
+            reserved_rows: 2,
+        });
+        let mean_ratio = |base: &PimBackend, elp: &PimBackend| -> f64 {
+            LogicOp::ALL
+                .iter()
+                .map(|&op| base.op_latency(op).as_f64() / elp.op_latency(op).as_f64())
+                .sum::<f64>()
+                / LogicOp::ALL.len() as f64
+        };
+        let r1 = mean_ratio(&ambit, &elp1);
+        let r2 = mean_ratio(&ambit, &elp2);
+        let rd = mean_ratio(&drisa, &elp1);
+        assert!((1.12..=1.22).contains(&r1), "1-buffer vs Ambit: {r1:.3}");
+        assert!((1.18..=1.28).contains(&r2), "2-buffer vs Ambit: {r2:.3}");
+        assert!((1.02..=1.25).contains(&rd), "vs Drisa: {rd:.3}");
+        assert!(r2 > r1, "second buffer must help");
+    }
+
+    /// §6.3.1: under the power constraint ELP2IM keeps ~2× more banks than
+    /// Ambit.
+    #[test]
+    fn power_constraint_parallelism() {
+        let e = PimBackend::elp2im_high_throughput();
+        let a = PimBackend::ambit();
+        let be = e.parallel_banks(LogicOp::And);
+        let ba = a.parallel_banks(LogicOp::And);
+        assert!((3.5..=5.5).contains(&be), "elp2im banks {be}");
+        assert!(be > 1.8 * ba, "elp2im {be} vs ambit {ba}");
+        // Without the constraint everyone gets all 8 banks.
+        let free = PimBackend::ambit().without_power_constraint();
+        assert_eq!(free.parallel_banks(LogicOp::And), 8.0);
+    }
+
+    /// Fig. 14's inversion: DRISA has *worse latency* than Ambit but
+    /// *better constrained throughput* (single-wordline commands).
+    #[test]
+    fn drisa_beats_ambit_under_power_constraint_only() {
+        let a = PimBackend::ambit();
+        let d = PimBackend::drisa();
+        let op = LogicOp::And;
+        assert!(d.op_latency(op).as_f64() > a.op_latency(op).as_f64());
+        let thr = |b: &PimBackend| b.parallel_banks(op) / b.op_latency(op).as_f64();
+        assert!(thr(&d) > thr(&a), "drisa must out-throughput ambit when constrained");
+    }
+
+    #[test]
+    fn drisa_power_is_highest() {
+        let e = PimBackend::elp2im_accelerator();
+        let a = PimBackend::ambit();
+        let d = PimBackend::drisa();
+        for op in [LogicOp::And, LogicOp::Xor] {
+            assert!(
+                d.op_power_mw(op) > a.op_power_mw(op).max(e.op_power_mw(op)),
+                "{op}: drisa {:.2} ambit {:.2} elp {:.2}",
+                d.op_power_mw(op),
+                a.op_power_mw(op),
+                e.op_power_mw(op)
+            );
+        }
+    }
+
+    #[test]
+    fn device_time_scales_with_ops_and_banks() {
+        let e = PimBackend::elp2im_accelerator();
+        let and = OpKind::Fresh(LogicOp::And);
+        let t1 = e.device_time(and, 100).as_f64();
+        let t2 = e.device_time(and, 200).as_f64();
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert_eq!(e.device_time(and, 0), Ns::ZERO);
+        // Unconstrained: 8 banks ⇒ 100 ops take 100/8 op-latencies.
+        let expect = e.op_latency(LogicOp::And).as_f64() * 100.0 / 8.0;
+        assert!((t1 - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mix_accounting_is_consistent() {
+        let e = PimBackend::elp2im_high_throughput();
+        let mix = [(OpKind::Fresh(LogicOp::And), 10u64), (OpKind::Fresh(LogicOp::Not), 5u64)];
+        let t = e.device_time_mix(&mix).as_f64();
+        assert!(t > 0.0);
+        let energy = e.device_energy_mix(&mix).as_f64();
+        let explicit = e.op_energy(LogicOp::And).as_f64() * 10.0
+            + e.op_energy(LogicOp::Not).as_f64() * 5.0;
+        assert!((energy - explicit).abs() < 1e-6);
+    }
+
+    /// §3.3: ELP2IM's in-place AND is the two-command APP-AP (~116 ns,
+    /// two wordline events); the baselines see no in-place benefit.
+    #[test]
+    fn in_place_and_uses_app_ap() {
+        let e = PimBackend::elp2im_high_throughput();
+        let inplace = e.kind_latency(OpKind::InPlace(LogicOp::And)).as_f64();
+        let fresh = e.kind_latency(OpKind::Fresh(LogicOp::And)).as_f64();
+        assert!((inplace - 115.35).abs() < 1.5, "in-place {inplace}");
+        assert!(fresh > inplace * 1.5);
+        let profiles = e.kind_profiles(OpKind::InPlace(LogicOp::And));
+        assert_eq!(profiles.len(), 2);
+        let wl: u8 = profiles.iter().map(|p| p.total_wordline_events).sum();
+        assert_eq!(wl, 2);
+
+        let a = PimBackend::ambit();
+        assert_eq!(
+            a.kind_latency(OpKind::InPlace(LogicOp::And)),
+            a.kind_latency(OpKind::Fresh(LogicOp::And))
+        );
+        // XOR has no in-place shortcut even on ELP2IM.
+        assert_eq!(
+            e.kind_latency(OpKind::InPlace(LogicOp::Xor)),
+            e.kind_latency(OpKind::Fresh(LogicOp::Xor))
+        );
+    }
+}

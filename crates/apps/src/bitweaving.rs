@@ -1,0 +1,389 @@
+//! BitWeaving/V: vertical bit layout and bit-serial predicate evaluation
+//! (Li & Patel, SIGMOD 2013 — the §6.3.2 substrate).
+//!
+//! Each `w`-bit code is stored column-wise: bit-plane `i` holds bit `i`
+//! (MSB first) of every code. A `value < constant` predicate is evaluated
+//! MSB-to-LSB with running `lt`/`eq` vectors:
+//!
+//! ```text
+//! for i in MSB..=LSB:
+//!   if c_i == 1 { lt |= eq & !a_i ; eq &= a_i }
+//!   else        { eq &= !a_i }
+//! ```
+//!
+//! Both a software reference, a functional on-device executor, and the
+//! operation-mix counter used by the Fig. 14 cost model live here.
+
+use crate::backend::OpKind;
+use elp2im_core::bitvec::BitVec;
+use elp2im_core::compile::LogicOp;
+use elp2im_core::device::{Elp2imDevice, RowHandle};
+use elp2im_core::error::CoreError;
+
+/// A vertically laid out column of `w`-bit codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerticalLayout {
+    width: u32,
+    /// Plane 0 is the MSB.
+    planes: Vec<BitVec>,
+    len: usize,
+}
+
+impl VerticalLayout {
+    /// Lays out `values` (each `< 2^width`) vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0, exceeds 63, or any value does not fit.
+    pub fn from_values(values: &[u64], width: u32) -> Self {
+        assert!(width >= 1 && width <= 63, "width must be 1..=63");
+        assert!(
+            values.iter().all(|&v| v < (1 << width)),
+            "all values must fit in {width} bits"
+        );
+        let planes = (0..width)
+            .map(|i| {
+                let bit = width - 1 - i; // plane 0 = MSB
+                values.iter().map(|&v| (v >> bit) & 1 == 1).collect()
+            })
+            .collect();
+        VerticalLayout { width, planes, len: values.len() }
+    }
+
+    /// Code width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the layout holds no codes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit-planes, MSB first.
+    pub fn planes(&self) -> &[BitVec] {
+        &self.planes
+    }
+
+    /// Reconstructs the original values.
+    pub fn to_values(&self) -> Vec<u64> {
+        (0..self.len)
+            .map(|lane| {
+                self.planes.iter().fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane)))
+            })
+            .collect()
+    }
+
+    /// Software reference: the `value < constant` result vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constant` does not fit in the code width.
+    pub fn less_than_reference(&self, constant: u64) -> BitVec {
+        assert!(constant < (1 << self.width), "constant must fit");
+        let mut lt = BitVec::zeros(self.len);
+        let mut eq = BitVec::ones(self.len);
+        for (i, plane) in self.planes.iter().enumerate() {
+            let c_bit = (constant >> (self.width - 1 - i as u32)) & 1 == 1;
+            if c_bit {
+                lt = lt.or(&eq.and(&plane.not()));
+                eq = eq.and(plane);
+            } else {
+                eq = eq.and(&plane.not());
+            }
+        }
+        lt
+    }
+}
+
+/// A comparison predicate against a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `value < c`
+    Lt,
+    /// `value <= c`
+    Le,
+    /// `value > c`
+    Gt,
+    /// `value >= c`
+    Ge,
+    /// `value == c`
+    Eq,
+    /// `value != c`
+    Ne,
+}
+
+impl Predicate {
+    /// Scalar reference semantics.
+    pub fn eval(self, value: u64, c: u64) -> bool {
+        match self {
+            Predicate::Lt => value < c,
+            Predicate::Le => value <= c,
+            Predicate::Gt => value > c,
+            Predicate::Ge => value >= c,
+            Predicate::Eq => value == c,
+            Predicate::Ne => value != c,
+        }
+    }
+
+    /// All predicates.
+    pub const ALL: [Predicate; 6] =
+        [Predicate::Lt, Predicate::Le, Predicate::Gt, Predicate::Ge, Predicate::Eq, Predicate::Ne];
+}
+
+impl VerticalLayout {
+    /// Software reference for any comparison predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constant` does not fit in the code width.
+    pub fn compare_reference(&self, pred: Predicate, constant: u64) -> BitVec {
+        assert!(constant < (1 << self.width), "constant must fit");
+        (0..self.len)
+            .map(|lane| {
+                let v = self
+                    .planes
+                    .iter()
+                    .fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane)));
+                pred.eval(v, constant)
+            })
+            .collect()
+    }
+}
+
+/// Executes any comparison predicate on an ELP2IM device over stored
+/// bit-plane handles (MSB first). Builds the running `lt`/`eq` vectors and
+/// finishes with the predicate-specific combination (`gt = !(lt | eq)`,
+/// `ge = !lt`, …).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn compare_on_device(
+    dev: &mut Elp2imDevice,
+    planes: &[RowHandle],
+    pred: Predicate,
+    constant: u64,
+    lanes: usize,
+) -> Result<RowHandle, CoreError> {
+    let width = planes.len() as u32;
+    assert!(width > 0 && constant < (1 << width), "constant must fit the plane count");
+    let mut lt = dev.store(&BitVec::zeros(lanes))?;
+    let mut eq = dev.store(&BitVec::ones(lanes))?;
+    for (i, &plane) in planes.iter().enumerate() {
+        let c_bit = (constant >> (width - 1 - i as u32)) & 1 == 1;
+        let not_a = dev.not(plane)?;
+        if c_bit {
+            let t = dev.and(eq, not_a)?;
+            let new_lt = dev.or(lt, t)?;
+            let new_eq = dev.and(eq, plane)?;
+            dev.release(t)?;
+            dev.release(lt)?;
+            dev.release(eq)?;
+            lt = new_lt;
+            eq = new_eq;
+        } else {
+            let new_eq = dev.and(eq, not_a)?;
+            dev.release(eq)?;
+            eq = new_eq;
+        }
+        dev.release(not_a)?;
+    }
+    let result = match pred {
+        Predicate::Lt => {
+            dev.release(eq)?;
+            lt
+        }
+        Predicate::Le => {
+            let r = dev.or(lt, eq)?;
+            dev.release(lt)?;
+            dev.release(eq)?;
+            r
+        }
+        Predicate::Gt => {
+            let le = dev.or(lt, eq)?;
+            let r = dev.not(le)?;
+            dev.release(le)?;
+            dev.release(lt)?;
+            dev.release(eq)?;
+            r
+        }
+        Predicate::Ge => {
+            let r = dev.not(lt)?;
+            dev.release(lt)?;
+            dev.release(eq)?;
+            r
+        }
+        Predicate::Eq => {
+            dev.release(lt)?;
+            eq
+        }
+        Predicate::Ne => {
+            let r = dev.not(eq)?;
+            dev.release(lt)?;
+            dev.release(eq)?;
+            r
+        }
+    };
+    Ok(result)
+}
+
+/// The bulk-operation mix of one `<` predicate over `width`-bit codes with
+/// the given constant, per vector-width chunk: `(kind, count)` pairs.
+///
+/// A `1` bit in the constant costs NOT + AND(fresh temp) + in-place OR
+/// into `lt` + in-place AND into `eq`; a `0` bit costs NOT + in-place AND.
+/// The in-place accumulations are where ELP2IM's APP-AP shines (§3.3).
+pub fn less_than_op_mix(width: u32, constant: u64) -> Vec<(OpKind, u64)> {
+    let ones = (constant & ((1 << width) - 1)).count_ones() as u64;
+    let zeros = width as u64 - ones;
+    vec![
+        (OpKind::Fresh(LogicOp::Not), ones + zeros),
+        (OpKind::Fresh(LogicOp::And), ones),
+        (OpKind::InPlace(LogicOp::And), ones + zeros),
+        (OpKind::InPlace(LogicOp::Or), ones),
+    ]
+}
+
+/// Executes the `<` predicate on an ELP2IM device over stored bit-plane
+/// handles (MSB first). Returns the `lt` result handle.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn less_than_on_device(
+    dev: &mut Elp2imDevice,
+    planes: &[RowHandle],
+    constant: u64,
+    lanes: usize,
+) -> Result<RowHandle, CoreError> {
+    compare_on_device(dev, planes, Predicate::Lt, constant, lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use elp2im_core::device::DeviceConfig;
+
+    #[test]
+    fn layout_roundtrip() {
+        let vals = [5u64, 0, 15, 9, 3];
+        let layout = VerticalLayout::from_values(&vals, 4);
+        assert_eq!(layout.to_values(), vals);
+        assert_eq!(layout.width(), 4);
+        assert_eq!(layout.len(), 5);
+        assert_eq!(layout.planes().len(), 4);
+    }
+
+    #[test]
+    fn reference_matches_scalar_comparison() {
+        let mut rng = workload::rng(3);
+        let vals = workload::random_values(&mut rng, 500, 8);
+        let layout = VerticalLayout::from_values(&vals, 8);
+        for c in [0u64, 1, 100, 200, 255] {
+            let lt = layout.less_than_reference(c);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(lt.get(i), v < c, "value {v} < {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn device_execution_matches_reference() {
+        let mut rng = workload::rng(4);
+        let n = 128;
+        let vals = workload::random_values(&mut rng, n, 6);
+        let layout = VerticalLayout::from_values(&vals, 6);
+        let mut dev = Elp2imDevice::new(DeviceConfig {
+            width: n,
+            data_rows: 64,
+            reserved_rows: 1,
+            ..DeviceConfig::default()
+        });
+        let planes: Vec<RowHandle> =
+            layout.planes().iter().map(|p| dev.store(p).unwrap()).collect();
+        for c in [0u64, 7, 31, 42, 63] {
+            let h = less_than_on_device(&mut dev, &planes, c, n).unwrap();
+            assert_eq!(dev.load(h).unwrap(), layout.less_than_reference(c), "c = {c}");
+            dev.release(h).unwrap();
+        }
+    }
+
+    #[test]
+    fn op_mix_counts() {
+        // width 4, constant 0b1010: two '1' bits, two '0' bits.
+        let mix = less_than_op_mix(4, 0b1010);
+        let find = |k: OpKind| mix.iter().find(|(o, _)| *o == k).unwrap().1;
+        assert_eq!(find(OpKind::Fresh(LogicOp::Not)), 4);
+        assert_eq!(find(OpKind::Fresh(LogicOp::And)), 2);
+        assert_eq!(find(OpKind::InPlace(LogicOp::And)), 4);
+        assert_eq!(find(OpKind::InPlace(LogicOp::Or)), 2);
+    }
+
+    #[test]
+    fn wider_codes_cost_more_ops() {
+        let total = |w: u32| -> u64 {
+            less_than_op_mix(w, (1u64 << w) - 1).iter().map(|(_, n)| n).sum()
+        };
+        assert!(total(16) > total(8));
+        assert!(total(8) > total(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_value_panics() {
+        VerticalLayout::from_values(&[16], 4);
+    }
+
+    #[test]
+    fn all_predicates_match_scalar_on_device() {
+        let mut rng = workload::rng(17);
+        let n = 64;
+        let vals = workload::random_values(&mut rng, n, 5);
+        let layout = VerticalLayout::from_values(&vals, 5);
+        let mut dev = Elp2imDevice::new(DeviceConfig {
+            width: n,
+            data_rows: 64,
+            reserved_rows: 1,
+            ..DeviceConfig::default()
+        });
+        let planes: Vec<RowHandle> =
+            layout.planes().iter().map(|p| dev.store(p).unwrap()).collect();
+        for pred in Predicate::ALL {
+            for c in [0u64, 5, 16, 31] {
+                let h = compare_on_device(&mut dev, &planes, pred, c, n).unwrap();
+                let got = dev.load(h).unwrap();
+                let want = layout.compare_reference(pred, c);
+                assert_eq!(got, want, "{pred:?} vs {c}");
+                for (i, &v) in vals.iter().enumerate() {
+                    assert_eq!(got.get(i), pred.eval(v, c), "{pred:?}: {v} vs {c}");
+                }
+                dev.release(h).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_pairs_are_complements() {
+        let vals = [0u64, 3, 7, 12, 15];
+        let layout = VerticalLayout::from_values(&vals, 4);
+        for c in [0u64, 7, 15] {
+            let lt = layout.compare_reference(Predicate::Lt, c);
+            let ge = layout.compare_reference(Predicate::Ge, c);
+            assert_eq!(lt.not(), ge, "lt/ge complement at {c}");
+            let eq = layout.compare_reference(Predicate::Eq, c);
+            let ne = layout.compare_reference(Predicate::Ne, c);
+            assert_eq!(eq.not(), ne, "eq/ne complement at {c}");
+            let le = layout.compare_reference(Predicate::Le, c);
+            let gt = layout.compare_reference(Predicate::Gt, c);
+            assert_eq!(le.not(), gt, "le/gt complement at {c}");
+            assert_eq!(lt.or(&eq), le, "lt|eq == le at {c}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Parity protection for bitwise PIM — quantifying §6.1.2's observation
+//! that "traditional error correcting code (ECC) is not compatible with
+//! bitwise logic operation".
+//!
+//! A [`ParityGuard`] maintains a column-wise parity row over a set of
+//! guarded rows (parity = XOR of all guarded rows, computed in-DRAM).
+//! Detection of a single flipped bit works — but the *cost* is the point:
+//!
+//! * XOR is linear, so updating parity after `dst := a ^ b` would be free
+//!   in a word-oriented ECC; but AND/OR results are **not** linear
+//!   functions of the codewords, so the parity must be *recomputed from
+//!   scratch* (`n−1` bulk XORs) after any AND/OR-producing operation.
+//! * That recomputation costs more than the protected operation itself —
+//!   the quantitative form of the paper's "further extensive research
+//!   would be needed".
+
+use elp2im_core::compile::LogicOp;
+use elp2im_core::device::{Elp2imDevice, RowHandle};
+use elp2im_core::error::CoreError;
+use elp2im_dram::units::Ns;
+
+/// A parity row guarding a set of device rows.
+#[derive(Debug)]
+pub struct ParityGuard {
+    guarded: Vec<RowHandle>,
+    parity: RowHandle,
+}
+
+impl ParityGuard {
+    /// Builds the parity row over `rows` with in-DRAM XORs.
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn new(dev: &mut Elp2imDevice, rows: &[RowHandle]) -> Result<Self, CoreError> {
+        assert!(!rows.is_empty(), "guard needs at least one row");
+        let parity = Self::xor_chain(dev, rows)?;
+        Ok(ParityGuard { guarded: rows.to_vec(), parity })
+    }
+
+    fn xor_chain(dev: &mut Elp2imDevice, rows: &[RowHandle]) -> Result<RowHandle, CoreError> {
+        let mut acc: Option<RowHandle> = None;
+        for &r in rows {
+            acc = Some(match acc {
+                None => {
+                    // Start with a copy of the first row: r ^ r = 0, then
+                    // 0 ^ r = r (the device exposes no raw RowClone).
+                    let zero = dev.binary(LogicOp::Xor, r, r)?;
+                    let copy = dev.xor(zero, r)?;
+                    dev.release(zero)?;
+                    copy
+                }
+                Some(prev) => {
+                    let next = dev.xor(prev, r)?;
+                    dev.release(prev)?;
+                    next
+                }
+            });
+        }
+        Ok(acc.expect("non-empty rows"))
+    }
+
+    /// The parity row handle.
+    pub fn parity(&self) -> RowHandle {
+        self.parity
+    }
+
+    /// Recomputes parity from scratch and compares with the stored parity
+    /// row; `Ok(true)` means no corruption detected.
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    pub fn check(&self, dev: &mut Elp2imDevice) -> Result<bool, CoreError> {
+        let fresh = Self::xor_chain(dev, &self.guarded)?;
+        let diff = dev.xor(fresh, self.parity)?;
+        let clean = dev.load(diff)?.is_zero();
+        dev.release(fresh)?;
+        dev.release(diff)?;
+        Ok(clean)
+    }
+
+    /// Refreshes the stored parity (after legitimate updates to guarded
+    /// rows). Returns the number of bulk XOR operations spent — the §6.1.2
+    /// incompatibility cost.
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    pub fn refresh(&mut self, dev: &mut Elp2imDevice) -> Result<usize, CoreError> {
+        let fresh = Self::xor_chain(dev, &self.guarded)?;
+        dev.release(self.parity)?;
+        self.parity = fresh;
+        Ok(self.guarded.len().saturating_sub(1))
+    }
+
+    /// The in-DRAM time one parity refresh costs on `dev`'s configuration,
+    /// versus the cost of the single AND it might be protecting.
+    pub fn refresh_overhead_vs_and(dev: &Elp2imDevice, guarded_rows: usize) -> (Ns, Ns) {
+        use elp2im_core::compile::{compile, Operands};
+        let t = elp2im_dram::timing::Ddr3Timing::ddr3_1600();
+        let xor = compile(
+            LogicOp::Xor,
+            dev.config().mode,
+            Operands::standard(),
+            dev.config().reserved_rows,
+        )
+        .expect("xor compiles")
+        .latency(&t);
+        let and = compile(
+            LogicOp::And,
+            dev.config().mode,
+            Operands::standard(),
+            dev.config().reserved_rows,
+        )
+        .expect("and compiles")
+        .latency(&t);
+        (xor * (guarded_rows.saturating_sub(1)) as f64, and)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use elp2im_core::bitvec::BitVec;
+    use elp2im_core::device::DeviceConfig;
+
+    fn setup(n_rows: usize, bits: usize) -> (Elp2imDevice, Vec<RowHandle>) {
+        let mut dev = Elp2imDevice::new(DeviceConfig {
+            width: bits,
+            data_rows: 64,
+            reserved_rows: 2,
+            ..DeviceConfig::default()
+        });
+        let mut rng = workload::rng(23);
+        let rows = (0..n_rows)
+            .map(|_| dev.store(&workload::random_bitvec(&mut rng, bits, 0.5)).unwrap())
+            .collect();
+        (dev, rows)
+    }
+
+    #[test]
+    fn parity_matches_software_xor() {
+        let (mut dev, rows) = setup(5, 64);
+        let guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        let mut want = BitVec::zeros(64);
+        for &r in &rows {
+            want = want.xor(&dev.load(r).unwrap());
+        }
+        assert_eq!(dev.load(guard.parity()).unwrap(), want);
+    }
+
+    #[test]
+    fn clean_rows_pass_the_check() {
+        let (mut dev, rows) = setup(4, 32);
+        let guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        assert!(guard.check(&mut dev).unwrap());
+    }
+
+    #[test]
+    fn single_bit_fault_is_detected() {
+        let (mut dev, rows) = setup(4, 32);
+        let guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        dev.inject_bit_error(rows[2], 17).unwrap();
+        assert!(!guard.check(&mut dev).unwrap(), "fault must be detected");
+    }
+
+    #[test]
+    fn refresh_reconciles_legitimate_updates() {
+        let (mut dev, mut rows) = setup(3, 16);
+        let mut guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        // Legitimately overwrite a guarded row (dst := a & b elsewhere,
+        // then swap the handle into the guarded set).
+        let new_row = dev.and(rows[0], rows[1]).unwrap();
+        rows[2] = new_row;
+        let mut guard2 = ParityGuard { guarded: rows.clone(), parity: guard.parity() };
+        assert!(!guard2.check(&mut dev).unwrap(), "stale parity must fail");
+        let xors = guard2.refresh(&mut dev).unwrap();
+        assert_eq!(xors, 2);
+        assert!(guard2.check(&mut dev).unwrap());
+        guard.parity = guard2.parity; // silence the leak of the old handle
+    }
+
+    /// The §6.1.2 cost statement: protecting one AND with parity costs
+    /// several times the AND itself.
+    #[test]
+    fn parity_refresh_dwarfs_the_protected_operation() {
+        let (dev, _) = setup(8, 16);
+        let (refresh, and) = ParityGuard::refresh_overhead_vs_and(&dev, 8);
+        assert!(
+            refresh.as_f64() > 5.0 * and.as_f64(),
+            "refresh {refresh} vs and {and}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Application case studies of the ELP2IM evaluation (§6.3).
+//!
+//! * [`backend`] — a design-generic cost interface over ELP2IM, Ambit and
+//!   DRISA-NOR: per-operation latency/energy/pump profiles, bank-level
+//!   parallelism under the power constraint, and device throughput.
+//! * [`bitmap`] — the Bitmap-index user-tracking study (Fig. 13).
+//! * [`bitweaving`] — BitWeaving/V vertical layout and bit-serial predicate
+//!   evaluation, both functional (on any bit-vector device) and costed.
+//! * [`tablescan`] — the table-scan study built on BitWeaving (Fig. 14).
+//! * [`arith`] — in-DRAM bit-serial arithmetic: the DrAcc-style adder and
+//!   the NID-style population count, with per-design command mixes.
+//! * [`networks`] — layer tables of the evaluated CNNs (LeNet-5, CIFAR-10,
+//!   AlexNet, VGG-16/19, ResNet-18/34/50).
+//! * [`dracc`] — the DrAcc ternary-weight CNN study (Table 2).
+//! * [`nid`] — the NID binary CNN study (Table 3).
+//! * [`workload`] — reproducible random workload generators.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arith;
+pub mod backend;
+pub mod bitmap;
+pub mod bitweaving;
+pub mod dracc;
+pub mod ecc;
+pub mod networks;
+pub mod nid;
+pub mod query;
+pub mod tablescan;
+pub mod transpose;
+pub mod workload;
+
+pub use backend::{DesignKind, OpKind, PimBackend};
+pub use bitmap::BitmapStudy;
+pub use tablescan::TableScanStudy;

@@ -1,0 +1,253 @@
+//! Layer tables of the CNNs evaluated in §6.3.3.
+//!
+//! Only the quantities that enter the in-DRAM cost models are kept per
+//! layer: the fan-in `L` of each output (`Cin·K·K` for convolutions, the
+//! input width for fully connected layers) and the number of outputs
+//! (`H·W·Cout`). Multiply-accumulate counts follow as `Σ L·outputs` and
+//! match the standard published figures (LeNet-5 ≈ 0.42 M, CIFAR-10-quick
+//! ≈ 12 M, AlexNet ≈ 0.72 G, VGG-16 ≈ 15.5 G, VGG-19 ≈ 19.6 G,
+//! ResNet-18/34/50 ≈ 1.8/3.6/4.1 G).
+
+/// One layer's cost-relevant shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name.
+    pub name: String,
+    /// Fan-in per output (`Cin·K·K` or FC input width).
+    pub fan_in: usize,
+    /// Number of outputs (`H·W·Cout` or FC output width).
+    pub outputs: usize,
+}
+
+impl Layer {
+    /// Convolution layer helper.
+    pub fn conv(name: &str, cin: usize, k: usize, h: usize, w: usize, cout: usize) -> Layer {
+        Layer { name: name.to_string(), fan_in: cin * k * k, outputs: h * w * cout }
+    }
+
+    /// Fully connected layer helper.
+    pub fn fc(name: &str, inputs: usize, outputs: usize) -> Layer {
+        Layer { name: name.to_string(), fan_in: inputs, outputs }
+    }
+
+    /// Multiply-accumulates in this layer.
+    pub fn macs(&self) -> u64 {
+        self.fan_in as u64 * self.outputs as u64
+    }
+}
+
+/// A network as a list of compute layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Network name as printed in Tables 2 and 3.
+    pub name: String,
+    /// Compute layers in order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Total multiply-accumulates per inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Number of compute layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// LeNet-5 (32×32 input).
+pub fn lenet5() -> Network {
+    Network {
+        name: "Lenet5".into(),
+        layers: vec![
+            Layer::conv("conv1", 1, 5, 28, 28, 6),
+            Layer::conv("conv2", 6, 5, 10, 10, 16),
+            Layer::fc("fc1", 400, 120),
+            Layer::fc("fc2", 120, 84),
+            Layer::fc("fc3", 84, 10),
+        ],
+    }
+}
+
+/// The CIFAR-10 "quick" network.
+pub fn cifar10() -> Network {
+    Network {
+        name: "Cifar10".into(),
+        layers: vec![
+            Layer::conv("conv1", 3, 5, 32, 32, 32),
+            Layer::conv("conv2", 32, 5, 16, 16, 32),
+            Layer::conv("conv3", 32, 5, 8, 8, 64),
+            Layer::fc("fc1", 1024, 64),
+            Layer::fc("fc2", 64, 10),
+        ],
+    }
+}
+
+/// AlexNet (ImageNet, grouped conv2/4/5 as in the original).
+pub fn alexnet() -> Network {
+    Network {
+        name: "Alexnet".into(),
+        layers: vec![
+            Layer::conv("conv1", 3, 11, 55, 55, 96),
+            Layer::conv("conv2", 48, 5, 27, 27, 256),
+            Layer::conv("conv3", 256, 3, 13, 13, 384),
+            Layer::conv("conv4", 192, 3, 13, 13, 384),
+            Layer::conv("conv5", 192, 3, 13, 13, 256),
+            Layer::fc("fc6", 9216, 4096),
+            Layer::fc("fc7", 4096, 4096),
+            Layer::fc("fc8", 4096, 1000),
+        ],
+    }
+}
+
+fn vgg_stage(layers: &mut Vec<Layer>, stage: usize, cin: usize, cout: usize, n: usize, hw: usize) {
+    for i in 0..n {
+        let c_in = if i == 0 { cin } else { cout };
+        layers.push(Layer::conv(&format!("conv{stage}_{}", i + 1), c_in, 3, hw, hw, cout));
+    }
+}
+
+/// VGG-16.
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    vgg_stage(&mut layers, 1, 3, 64, 2, 224);
+    vgg_stage(&mut layers, 2, 64, 128, 2, 112);
+    vgg_stage(&mut layers, 3, 128, 256, 3, 56);
+    vgg_stage(&mut layers, 4, 256, 512, 3, 28);
+    vgg_stage(&mut layers, 5, 512, 512, 3, 14);
+    layers.push(Layer::fc("fc6", 25088, 4096));
+    layers.push(Layer::fc("fc7", 4096, 4096));
+    layers.push(Layer::fc("fc8", 4096, 1000));
+    Network { name: "VGG16".into(), layers }
+}
+
+/// VGG-19.
+pub fn vgg19() -> Network {
+    let mut layers = Vec::new();
+    vgg_stage(&mut layers, 1, 3, 64, 2, 224);
+    vgg_stage(&mut layers, 2, 64, 128, 2, 112);
+    vgg_stage(&mut layers, 3, 128, 256, 4, 56);
+    vgg_stage(&mut layers, 4, 256, 512, 4, 28);
+    vgg_stage(&mut layers, 5, 512, 512, 4, 14);
+    layers.push(Layer::fc("fc6", 25088, 4096));
+    layers.push(Layer::fc("fc7", 4096, 4096));
+    layers.push(Layer::fc("fc8", 4096, 1000));
+    Network { name: "VGG19".into(), layers }
+}
+
+fn resnet_basic_stage(
+    layers: &mut Vec<Layer>,
+    stage: usize,
+    cin: usize,
+    cout: usize,
+    blocks: usize,
+    hw: usize,
+) {
+    for b in 0..blocks {
+        let c_in = if b == 0 { cin } else { cout };
+        layers.push(Layer::conv(&format!("s{stage}b{b}c1"), c_in, 3, hw, hw, cout));
+        layers.push(Layer::conv(&format!("s{stage}b{b}c2"), cout, 3, hw, hw, cout));
+        if b == 0 && cin != cout {
+            layers.push(Layer::conv(&format!("s{stage}b{b}ds"), cin, 1, hw, hw, cout));
+        }
+    }
+}
+
+fn resnet_bottleneck_stage(
+    layers: &mut Vec<Layer>,
+    stage: usize,
+    cin: usize,
+    cmid: usize,
+    blocks: usize,
+    hw: usize,
+) {
+    let cout = cmid * 4;
+    for b in 0..blocks {
+        let c_in = if b == 0 { cin } else { cout };
+        layers.push(Layer::conv(&format!("s{stage}b{b}c1"), c_in, 1, hw, hw, cmid));
+        layers.push(Layer::conv(&format!("s{stage}b{b}c2"), cmid, 3, hw, hw, cmid));
+        layers.push(Layer::conv(&format!("s{stage}b{b}c3"), cmid, 1, hw, hw, cout));
+        if b == 0 {
+            layers.push(Layer::conv(&format!("s{stage}b{b}ds"), c_in, 1, hw, hw, cout));
+        }
+    }
+}
+
+/// ResNet-18.
+pub fn resnet18() -> Network {
+    let mut layers = vec![Layer::conv("conv1", 3, 7, 112, 112, 64)];
+    resnet_basic_stage(&mut layers, 1, 64, 64, 2, 56);
+    resnet_basic_stage(&mut layers, 2, 64, 128, 2, 28);
+    resnet_basic_stage(&mut layers, 3, 128, 256, 2, 14);
+    resnet_basic_stage(&mut layers, 4, 256, 512, 2, 7);
+    layers.push(Layer::fc("fc", 512, 1000));
+    Network { name: "Resnet18".into(), layers }
+}
+
+/// ResNet-34.
+pub fn resnet34() -> Network {
+    let mut layers = vec![Layer::conv("conv1", 3, 7, 112, 112, 64)];
+    resnet_basic_stage(&mut layers, 1, 64, 64, 3, 56);
+    resnet_basic_stage(&mut layers, 2, 64, 128, 4, 28);
+    resnet_basic_stage(&mut layers, 3, 128, 256, 6, 14);
+    resnet_basic_stage(&mut layers, 4, 256, 512, 3, 7);
+    layers.push(Layer::fc("fc", 512, 1000));
+    Network { name: "Resnet34".into(), layers }
+}
+
+/// ResNet-50.
+pub fn resnet50() -> Network {
+    let mut layers = vec![Layer::conv("conv1", 3, 7, 112, 112, 64)];
+    resnet_bottleneck_stage(&mut layers, 1, 64, 64, 3, 56);
+    resnet_bottleneck_stage(&mut layers, 2, 256, 128, 4, 28);
+    resnet_bottleneck_stage(&mut layers, 3, 512, 256, 6, 14);
+    resnet_bottleneck_stage(&mut layers, 4, 1024, 512, 3, 7);
+    layers.push(Layer::fc("fc", 2048, 1000));
+    Network { name: "Resnet50".into(), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_range(macs: u64, lo: f64, hi: f64) -> bool {
+        (macs as f64) >= lo && (macs as f64) <= hi
+    }
+
+    #[test]
+    fn mac_counts_match_published_figures() {
+        assert!(in_range(lenet5().macs(), 0.35e6, 0.5e6), "lenet {}", lenet5().macs());
+        assert!(in_range(cifar10().macs(), 10e6, 14e6), "cifar {}", cifar10().macs());
+        assert!(in_range(alexnet().macs(), 0.65e9, 0.80e9), "alexnet {}", alexnet().macs());
+        assert!(in_range(vgg16().macs(), 14.5e9, 16.5e9), "vgg16 {}", vgg16().macs());
+        assert!(in_range(vgg19().macs(), 18.5e9, 20.5e9), "vgg19 {}", vgg19().macs());
+        assert!(in_range(resnet18().macs(), 1.6e9, 2.0e9), "r18 {}", resnet18().macs());
+        assert!(in_range(resnet34().macs(), 3.3e9, 3.9e9), "r34 {}", resnet34().macs());
+        assert!(in_range(resnet50().macs(), 3.6e9, 4.5e9), "r50 {}", resnet50().macs());
+    }
+
+    #[test]
+    fn vgg19_is_deeper_than_vgg16() {
+        assert!(vgg19().layer_count() > vgg16().layer_count());
+        assert!(vgg19().macs() > vgg16().macs());
+    }
+
+    #[test]
+    fn resnet_depth_ordering() {
+        assert!(resnet34().macs() > resnet18().macs());
+        assert!(resnet50().macs() > resnet34().macs());
+        assert!(resnet50().layer_count() > resnet34().layer_count());
+    }
+
+    #[test]
+    fn layer_helpers() {
+        let c = Layer::conv("c", 3, 5, 10, 10, 8);
+        assert_eq!(c.fan_in, 75);
+        assert_eq!(c.outputs, 800);
+        assert_eq!(c.macs(), 60_000);
+        let f = Layer::fc("f", 100, 10);
+        assert_eq!(f.macs(), 1000);
+    }
+}

@@ -1,0 +1,187 @@
+//! The table-scan case study (§6.3.2, Fig. 14).
+//!
+//! Query `Q1: SELECT COUNT(*) FROM R WHERE R.a < C1` over a BitWeaving-
+//! vertical column of `width`-bit codes. The in-DRAM designs evaluate the
+//! predicate with bulk bitwise operations under the power constraint (all
+//! three are treated as capacity-sensitive "light-modified" designs); the
+//! CPU performs the final count. Throughput is normalized to a CPU-only
+//! scan.
+
+use crate::backend::PimBackend;
+use crate::bitweaving::less_than_op_mix;
+use elp2im_baselines::cpu::CpuModel;
+use elp2im_dram::units::Ns;
+
+/// The table-scan study.
+#[derive(Debug, Clone)]
+pub struct TableScanStudy {
+    /// Table rows scanned.
+    pub rows: usize,
+    /// Predicate constant pattern: we use the all-ones constant of each
+    /// width minus one (a mid-selectivity `<` comparison touches every
+    /// bit) unless overridden.
+    pub constant_ones_fraction: f64,
+    /// CPU model.
+    pub cpu: CpuModel,
+}
+
+impl TableScanStudy {
+    /// The paper-scale setup: a 16M-row column.
+    pub fn paper_setup() -> Self {
+        TableScanStudy {
+            rows: 16 * 1024 * 1024,
+            constant_ones_fraction: 0.5,
+            cpu: CpuModel::kaby_lake(),
+        }
+    }
+
+    /// A representative predicate constant for `width`-bit codes.
+    pub fn constant_for(&self, width: u32) -> u64 {
+        // Alternate bit pattern with the configured ones fraction.
+        let ones = ((width as f64) * self.constant_ones_fraction).round() as u32;
+        let mut c = 0u64;
+        for i in 0..ones {
+            c |= 1 << (width - 1 - (i * width / ones.max(1)).min(width - 1));
+        }
+        c & ((1 << width) - 1)
+    }
+
+    /// Bulk row-operation mix for the whole scan at `width` bits.
+    pub fn op_mix(&self, backend: &PimBackend, width: u32) -> Vec<(crate::backend::OpKind, u64)> {
+        let chunks = (self.rows as u64).div_ceil(backend.row_bits() as u64);
+        less_than_op_mix(width, self.constant_for(width))
+            .into_iter()
+            .map(|(op, n)| (op, n * chunks))
+            .collect()
+    }
+
+    /// In-DRAM predicate-evaluation time.
+    pub fn device_time(&self, backend: &PimBackend, width: u32) -> Ns {
+        backend.device_time_mix(&self.op_mix(backend, width))
+    }
+
+    /// CPU count of the result vector.
+    pub fn count_time(&self) -> Ns {
+        self.cpu.popcount_time(self.rows)
+    }
+
+    /// End-to-end time: device predicate + CPU count.
+    pub fn system_time(&self, backend: &PimBackend, width: u32) -> Ns {
+        self.device_time(backend, width) + self.count_time()
+    }
+
+    /// CPU-only baseline: stream the packed column once and compare.
+    pub fn cpu_baseline_time(&self, width: u32) -> Ns {
+        self.cpu.bulk_op_time(1, self.rows * width as usize)
+    }
+
+    /// System throughput improvement over the CPU (Fig. 14(a)).
+    pub fn system_improvement(&self, backend: &PimBackend, width: u32) -> f64 {
+        self.cpu_baseline_time(width) / self.system_time(backend, width)
+    }
+
+    /// Device throughput in codes per nanosecond (Fig. 14(b)).
+    pub fn device_throughput(&self, backend: &PimBackend, width: u32) -> f64 {
+        self.rows as f64 / self.device_time(backend, width).as_f64()
+    }
+
+    /// The data widths Fig. 14 sweeps.
+    pub fn widths() -> [u32; 4] {
+        [4, 8, 12, 16]
+    }
+}
+
+impl Default for TableScanStudy {
+    fn default() -> Self {
+        TableScanStudy::paper_setup()
+    }
+}
+
+/// The three constrained backends of Fig. 14.
+pub fn fig14_backends() -> Vec<(&'static str, PimBackend)> {
+    vec![
+        ("Ambit", PimBackend::ambit()),
+        ("Drisa_nor", PimBackend::drisa()),
+        ("ELP2IM", PimBackend::elp2im_high_throughput()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 14(a): ELP2IM has the highest system throughput at every
+    /// width.
+    #[test]
+    fn elp2im_wins_at_every_width() {
+        let s = TableScanStudy::paper_setup();
+        let e = PimBackend::elp2im_high_throughput();
+        let a = PimBackend::ambit();
+        let d = PimBackend::drisa();
+        for w in TableScanStudy::widths() {
+            let ie = s.system_improvement(&e, w);
+            let ia = s.system_improvement(&a, w);
+            let id = s.system_improvement(&d, w);
+            assert!(ie > ia && ie > id, "width {w}: e {ie:.2}, a {ia:.2}, d {id:.2}");
+            assert!(ie > 1.0, "must beat the CPU at width {w}");
+        }
+    }
+
+    /// Fig. 14(a): ELP2IM's improvement *grows* with data width (the CPU
+    /// count share shrinks).
+    #[test]
+    fn improvement_grows_with_width() {
+        let s = TableScanStudy::paper_setup();
+        let e = PimBackend::elp2im_high_throughput();
+        let mut last = 0.0;
+        for w in TableScanStudy::widths() {
+            let imp = s.system_improvement(&e, w);
+            assert!(imp > last, "width {w}: {imp:.2} !> {last:.2}");
+            last = imp;
+        }
+    }
+
+    /// Fig. 14(b): under the power constraint DRISA out-throughputs Ambit
+    /// despite its higher latency (single-wordline commands).
+    #[test]
+    fn drisa_outperforms_ambit_under_constraint() {
+        let s = TableScanStudy::paper_setup();
+        let a = PimBackend::ambit();
+        let d = PimBackend::drisa();
+        for w in TableScanStudy::widths() {
+            assert!(
+                s.device_throughput(&d, w) > s.device_throughput(&a, w),
+                "width {w}"
+            );
+        }
+    }
+
+    /// Fig. 14(c): reserved-space footprints are 8 (Ambit), 1 (ELP2IM),
+    /// 0 (DRISA).
+    #[test]
+    fn reserved_space_footprints() {
+        use elp2im_baselines::area::{reserved_rows, Design};
+        assert_eq!(reserved_rows(Design::Ambit), 8);
+        assert_eq!(reserved_rows(Design::Elp2im), 1);
+        assert_eq!(reserved_rows(Design::DrisaNor), 0);
+    }
+
+    #[test]
+    fn constants_fit_their_width() {
+        let s = TableScanStudy::paper_setup();
+        for w in TableScanStudy::widths() {
+            let c = s.constant_for(w);
+            assert!(c < (1 << w), "width {w}: constant {c}");
+            assert!(c > 0, "width {w}: constant should touch some bits");
+        }
+    }
+
+    #[test]
+    fn device_time_scales_with_width() {
+        let s = TableScanStudy::paper_setup();
+        let e = PimBackend::elp2im_high_throughput();
+        let t4 = s.device_time(&e, 4).as_f64();
+        let t16 = s.device_time(&e, 16).as_f64();
+        assert!(t16 > t4 * 2.5, "t4 {t4}, t16 {t16}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Bit-matrix transposition — the layout step of BitWeaving and NID.
+//!
+//! Both §6.3.2 ("BitWeaving … permutes each word to store it in a memory
+//! column") and §6.3.3 ("NID firstly permutes each word and stores it
+//! column-wise") depend on turning horizontal machine words into vertical
+//! bit-planes. This module provides the classic in-register 64×64 bit
+//! transpose (Hacker's Delight §7-3) and a [`BitMatrix`] built from it,
+//! used to prepare [`VerticalLayout`](crate::bitweaving::VerticalLayout)s
+//! at bulk-data scale.
+
+use elp2im_core::bitvec::BitVec;
+
+/// In-place transpose of a 64×64 bit matrix stored as 64 `u64` rows
+/// (bit `j` of word `i` ↔ bit `i` of word `j`).
+pub fn transpose64(m: &mut [u64; 64]) {
+    // Hacker's Delight recursive block swap, unrolled by block size.
+    let mut j = 32;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            // Swap the off-diagonal j×j blocks of the 2j×2j block at k.
+            let t = (m[k] ^ (m[k + j] << j)) & !mask;
+            m[k] ^= t;
+            m[k + j] ^= t >> j;
+            // Walk the rows inside this block pair.
+            k = if (k + 1) % j == 0 { k + j + 1 } else { k + 1 };
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Naive reference transpose (used to validate the fast path).
+pub fn transpose64_naive(m: &[u64; 64]) -> [u64; 64] {
+    let mut out = [0u64; 64];
+    for (i, &row) in m.iter().enumerate() {
+        for j in 0..64 {
+            if (row >> j) & 1 == 1 {
+                out[j] |= 1 << i;
+            }
+        }
+    }
+    out
+}
+
+/// A bit matrix with `rows` rows of `cols` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Builds a matrix from equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths or none are given.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().expect("at least one row").len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        BitMatrix { rows, cols }
+    }
+
+    /// Builds an `n × width` matrix from the low `width` bits of `values`.
+    pub fn from_values(values: &[u64], width: u32) -> Self {
+        let rows = values
+            .iter()
+            .map(|&v| (0..width).map(|b| (v >> b) & 1 == 1).collect())
+            .collect();
+        BitMatrix { rows, cols: width as usize }
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[BitVec] {
+        &self.rows
+    }
+
+    /// Bit at (row, col).
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row].get(col)
+    }
+
+    /// Full transpose, processed in 64×64 blocks via [`transpose64`].
+    pub fn transpose(&self) -> BitMatrix {
+        let out_rows = self.cols;
+        let out_cols = self.rows.len();
+        let mut out: Vec<BitVec> = vec![BitVec::zeros(out_cols); out_rows];
+        for block_r in (0..self.rows.len()).step_by(64) {
+            for block_c in (0..self.cols).step_by(64) {
+                // Gather a 64×64 block (zero-padded at the edges).
+                let mut block = [0u64; 64];
+                for (bi, word) in block.iter_mut().enumerate() {
+                    let r = block_r + bi;
+                    if r >= self.rows.len() {
+                        break;
+                    }
+                    for bj in 0..64 {
+                        let c = block_c + bj;
+                        if c < self.cols && self.rows[r].get(c) {
+                            *word |= 1 << bj;
+                        }
+                    }
+                }
+                transpose64(&mut block);
+                // Scatter back.
+                for (bi, &word) in block.iter().enumerate() {
+                    let r = block_c + bi;
+                    if r >= out_rows {
+                        break;
+                    }
+                    for bj in 0..64 {
+                        let c = block_r + bj;
+                        if c < out_cols && (word >> bj) & 1 == 1 {
+                            out[r].set(c, true);
+                        }
+                    }
+                }
+            }
+        }
+        BitMatrix { rows: out, cols: out_cols }
+    }
+
+    /// The vertical bit-planes of a value matrix (MSB first) — directly
+    /// usable as a BitWeaving layout.
+    pub fn to_planes_msb_first(&self) -> Vec<BitVec> {
+        let t = self.transpose();
+        let mut planes = t.rows;
+        planes.reverse(); // row b is bit b (LSB first) → reverse for MSB.
+        planes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitweaving::VerticalLayout;
+    use crate::workload;
+
+    #[test]
+    fn fast_transpose_matches_naive() {
+        let mut rng = workload::rng(5);
+        for _ in 0..16 {
+            let m: [u64; 64] = std::array::from_fn(|_| {
+                use rand::Rng;
+                rng.gen::<u64>()
+            });
+            let mut fast = m;
+            transpose64(&mut fast);
+            assert_eq!(fast, transpose64_naive(&m));
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let mut rng = workload::rng(6);
+        let m: [u64; 64] = std::array::from_fn(|_| {
+            use rand::Rng;
+            rng.gen::<u64>()
+        });
+        let mut twice = m;
+        transpose64(&mut twice);
+        transpose64(&mut twice);
+        assert_eq!(twice, m);
+    }
+
+    #[test]
+    fn matrix_transpose_roundtrip_nonsquare() {
+        let mut rng = workload::rng(7);
+        let rows: Vec<BitVec> =
+            (0..100).map(|_| workload::random_bitvec(&mut rng, 37, 0.5)).collect();
+        let m = BitMatrix::from_rows(rows.clone());
+        let t = m.transpose();
+        assert_eq!(t.height(), 37);
+        assert_eq!(t.width(), 100);
+        for r in 0..100 {
+            for c in 0..37 {
+                assert_eq!(m.get(r, c), t.get(c, r), "({r},{c})");
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    /// The transpose-based layout equals the definitional VerticalLayout.
+    #[test]
+    fn planes_match_vertical_layout() {
+        let mut rng = workload::rng(8);
+        let values = workload::random_values(&mut rng, 200, 9);
+        let layout = VerticalLayout::from_values(&values, 9);
+        let planes = BitMatrix::from_values(&values, 9).to_planes_msb_first();
+        assert_eq!(planes.len(), layout.planes().len());
+        for (a, b) in planes.iter().zip(layout.planes()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        BitMatrix::from_rows(vec![BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+}

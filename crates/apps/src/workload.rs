@@ -1,0 +1,66 @@
+//! Reproducible random workload generators.
+
+use elp2im_core::bitvec::BitVec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A random bit vector of `len` bits where each bit is set with
+/// probability `density`.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn random_bitvec<R: Rng + ?Sized>(rng: &mut R, len: usize, density: f64) -> BitVec {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    (0..len).map(|_| rng.gen_bool(density)).collect()
+}
+
+/// `n` random unsigned values of `width` bits each.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63.
+pub fn random_values<R: Rng + ?Sized>(rng: &mut R, n: usize, width: u32) -> Vec<u64> {
+    assert!(width >= 1 && width <= 63, "width must be in 1..=63");
+    let max = 1u64 << width;
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_density_is_respected() {
+        let mut r = rng(7);
+        let v = random_bitvec(&mut r, 100_000, 0.25);
+        let frac = v.count_ones() as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "density {frac}");
+    }
+
+    #[test]
+    fn values_respect_width() {
+        let mut r = rng(7);
+        let vals = random_values(&mut r, 10_000, 8);
+        assert!(vals.iter().all(|&v| v < 256));
+        assert!(vals.iter().any(|&v| v > 128), "should cover the range");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = random_bitvec(&mut rng(42), 1000, 0.5);
+        let b = random_bitvec(&mut rng(42), 1000, 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn invalid_density_panics() {
+        random_bitvec(&mut rng(0), 10, 1.5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline designs the ELP2IM evaluation compares against.
+//!
+//! * [`ambit`] — Ambit (Seshadri et al., MICRO 2017): triple-row activation
+//!   over a reserved B-group with dual-contact cells and a C-group of
+//!   constant rows. Includes both a functional TRA engine (property-tested
+//!   majority semantics) and the command sequences whose latencies Fig. 12
+//!   charts, plus the reserved-space configurations swept in Fig. 13.
+//! * [`drisa`] — DRISA 1T1C-NOR (Li et al., MICRO 2017): a latency/power
+//!   model over NOR-gate compute steps, plus a functional NOR machine.
+//! * [`rowclone`] — RowClone (Seshadri et al., MICRO 2013) bulk-copy costs.
+//! * [`cpu`] — a Kaby-Lake-class, memory-bandwidth-bound CPU reference.
+//! * [`area`] — the §5.2 array-overhead comparison.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ambit;
+pub mod ambit_device;
+pub mod area;
+pub mod cpu;
+pub mod drisa;
+pub mod rowclone;
+
+pub use ambit::{AmbitConfig, AmbitEngine};
+pub use cpu::CpuModel;
+pub use drisa::DrisaModel;

@@ -1,0 +1,86 @@
+//! RowClone (Seshadri et al., MICRO 2013): bulk in-DRAM copy costs.
+//!
+//! RowClone's intra-subarray copy is the AAP primitive (§2.2.1); with
+//! Ambit/ELP2IM's dual decoder domains the two activations overlap (oAAP).
+//! The application layers use this module to price the data staging that
+//! precedes in-memory computation (e.g. migrating rows into a compute
+//! subarray, or laying out BitWeaving columns).
+
+use elp2im_dram::command::CommandProfile;
+use elp2im_dram::timing::Ddr3Timing;
+use elp2im_dram::units::Ns;
+
+/// Copy flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyKind {
+    /// Back-to-back activations within a decoder domain (~84 ns).
+    Sequential,
+    /// Overlapped activations across decoder domains (~53 ns).
+    Overlapped,
+}
+
+/// Cost model for bulk row copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkCopier {
+    timing: Ddr3Timing,
+}
+
+impl BulkCopier {
+    /// DDR3-1600 cost model.
+    pub fn new(timing: Ddr3Timing) -> Self {
+        BulkCopier { timing }
+    }
+
+    /// Latency of one row copy.
+    pub fn copy_latency(&self, kind: CopyKind) -> Ns {
+        match kind {
+            CopyKind::Sequential => self.timing.aap(),
+            CopyKind::Overlapped => self.timing.o_aap(),
+        }
+    }
+
+    /// Latency of copying `rows` rows back to back in one subarray.
+    pub fn bulk_latency(&self, rows: usize, kind: CopyKind) -> Ns {
+        self.copy_latency(kind) * rows as f64
+    }
+
+    /// Command profile of one copy (for power/pump accounting).
+    pub fn profile(&self, kind: CopyKind) -> CommandProfile {
+        match kind {
+            CopyKind::Sequential => CommandProfile::aap(&self.timing),
+            CopyKind::Overlapped => CommandProfile::o_aap(&self.timing),
+        }
+    }
+}
+
+impl Default for BulkCopier {
+    fn default() -> Self {
+        BulkCopier::new(Ddr3Timing::ddr3_1600())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_latencies_match_paper() {
+        let c = BulkCopier::default();
+        assert!((c.copy_latency(CopyKind::Sequential).as_f64() - 84.0).abs() < 1.0);
+        assert!((c.copy_latency(CopyKind::Overlapped).as_f64() - 53.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bulk_scales_linearly() {
+        let c = BulkCopier::default();
+        let one = c.copy_latency(CopyKind::Overlapped).as_f64();
+        assert!((c.bulk_latency(100, CopyKind::Overlapped).as_f64() - 100.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profiles_reflect_wordline_behaviour() {
+        let c = BulkCopier::default();
+        assert_eq!(c.profile(CopyKind::Sequential).max_simultaneous_wordlines, 1);
+        assert_eq!(c.profile(CopyKind::Overlapped).max_simultaneous_wordlines, 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks of the circuit-level simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elp2im_circuit::column::Column;
+use elp2im_circuit::montecarlo::{Design, MonteCarlo};
+use elp2im_circuit::params::CircuitParams;
+use elp2im_circuit::primitive::{binary_app_ap, BasicOp, Strategy};
+use elp2im_circuit::variation::PvMode;
+
+fn bench_app_ap(c: &mut Criterion) {
+    c.bench_function("circuit_or_app_ap", |b| {
+        b.iter(|| {
+            let mut col = Column::new(CircuitParams::long_bitline());
+            binary_app_ap(&mut col, BasicOp::Or, true, false, Strategy::Regular).unwrap()
+        })
+    });
+    c.bench_function("circuit_and_alternative", |b| {
+        b.iter(|| {
+            let mut col = Column::new(CircuitParams::short_bitline());
+            binary_app_ap(&mut col, BasicOp::And, false, true, Strategy::Alternative).unwrap()
+        })
+    });
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mc = MonteCarlo::paper_setup().with_trials(10_000);
+    c.bench_function("montecarlo_10k_trials_ambit", |b| {
+        b.iter(|| mc.error_rate(Design::AmbitTra, PvMode::Random, 0.08))
+    });
+}
+
+criterion_group!(benches, bench_app_ap, bench_montecarlo);
+criterion_main!(benches);

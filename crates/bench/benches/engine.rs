@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the functional ELP2IM engine and compiler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elp2im_core::bitvec::BitVec;
+use elp2im_core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
+use elp2im_core::engine::SubarrayEngine;
+
+fn bench_bulk_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_bulk_ops");
+    for &width in &[1024usize, 8192, 65_536] {
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::new("and_low_latency", width), &width, |b, &w| {
+            let mut e = SubarrayEngine::new(w, 8, 2);
+            e.write_row(0, BitVec::ones(w)).unwrap();
+            e.write_row(1, BitVec::zeros(w)).unwrap();
+            e.write_row(2, BitVec::zeros(w)).unwrap();
+            let prog =
+                compile(LogicOp::And, CompileMode::LowLatency, Operands::standard(), 2).unwrap();
+            b.iter(|| e.run(prog.primitives()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("xor_seq6", width), &width, |b, &w| {
+            let mut e = SubarrayEngine::new(w, 8, 2);
+            e.write_row(0, BitVec::ones(w)).unwrap();
+            e.write_row(1, BitVec::zeros(w)).unwrap();
+            e.write_row(2, BitVec::zeros(w)).unwrap();
+            let prog = xor_sequence(6, Operands::standard(), 2).unwrap();
+            b.iter(|| e.run(prog.primitives()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("compile_all_ops_low_latency", |b| {
+        b.iter(|| {
+            for op in LogicOp::ALL {
+                let p = compile(op, CompileMode::LowLatency, Operands::standard(), 2).unwrap();
+                std::hint::black_box(p);
+            }
+        })
+    });
+}
+
+fn bench_bitvec(c: &mut Criterion) {
+    let a = BitVec::ones(1 << 20);
+    let bvec = BitVec::zeros(1 << 20);
+    let mut group = c.benchmark_group("bitvec");
+    group.throughput(Throughput::Bytes((1 << 20) / 8));
+    group.bench_function("and_1mbit", |b| b.iter(|| std::hint::black_box(a.and(&bvec))));
+    group.bench_function("popcount_1mbit", |b| b.iter(|| std::hint::black_box(a.count_ones())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_ops, bench_compiler, bench_bitvec);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs the ablation studies (optimization passes, pseudo-precharge
+//! factor, Cb/Cc ratio, pump budget).
+fn main() {
+    for table in elp2im_bench::experiments::ablations::run() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Runs every table/figure experiment in paper order.
+//!
+//! Flags: `--quick` shrinks Monte-Carlo trial counts; `--csv <dir>` also
+//! writes one CSV file per experiment into `<dir>`.
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &csv_dir {
+        fs::create_dir_all(dir).expect("create CSV directory");
+    }
+    for (i, table) in elp2im_bench::experiments::run_all(quick).into_iter().enumerate() {
+        println!("{table}");
+        if let Some(dir) = &csv_dir {
+            let slug: String = table
+                .title
+                .chars()
+                .take_while(|&c| c != ':')
+                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect();
+            let path = Path::new(dir).join(format!("{i:02}_{slug}.csv"));
+            fs::write(&path, table.to_csv()).expect("write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the PIM/regular-access coexistence comparison.
+fn main() {
+    println!("{}", elp2im_bench::experiments::coexistence::run());
+}

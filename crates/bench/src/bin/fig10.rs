@@ -1,0 +1,14 @@
+//! Regenerates the Fig. 10 waveform (summary, ASCII plot, CSV on request).
+use std::env;
+use std::fs;
+
+fn main() {
+    println!("{}", elp2im_bench::experiments::fig10::run());
+    println!("{}", elp2im_bench::experiments::fig10::plot());
+    if let Some(path) = env::args().nth(1) {
+        fs::write(&path, elp2im_bench::experiments::fig10::csv()).expect("write CSV");
+        println!("CSV trace written to {path}");
+    } else {
+        println!("(pass a file path to dump the CSV trace)");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig. 11 Monte-Carlo reliability sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", elp2im_bench::experiments::fig11::run(quick));
+}

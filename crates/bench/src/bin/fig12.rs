@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12 (basic-operation latency and power).
+fn main() {
+    println!("{}", elp2im_bench::experiments::fig12::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13 (bitmap case study).
+fn main() {
+    println!("{}", elp2im_bench::experiments::fig13::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 14 (table-scan case study).
+fn main() {
+    println!("{}", elp2im_bench::experiments::fig14::run());
+}

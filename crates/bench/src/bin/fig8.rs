@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 8 XOR sequence ladder.
+fn main() {
+    println!("{}", elp2im_bench::experiments::fig8::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the overhead comparison (§5.2, §6.2 claims).
+fn main() {
+    println!("{}", elp2im_bench::experiments::overhead::run());
+}

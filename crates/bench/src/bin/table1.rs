@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper.
+fn main() {
+    println!("{}", elp2im_bench::experiments::table1::run());
+}

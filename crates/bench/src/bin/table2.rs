@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (DrAcc TWN inference).
+fn main() {
+    println!("{}", elp2im_bench::experiments::table2::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (NID binary CNN inference).
+fn main() {
+    println!("{}", elp2im_bench::experiments::table3::run());
+}

@@ -1,0 +1,154 @@
+//! PIM / regular-access coexistence — the §1 motivation made measurable.
+//!
+//! "When a memory array is performing a logic operation, there is little
+//! to no power left for other banks to perform regular memory accesses."
+//!
+//! Four banks run a PIM operation stream (per design) while the other
+//! four serve regular activate-precharge accesses, all sharing the JEDEC
+//! charge-pump budget on the event-driven controller. The table reports
+//! how much regular-access throughput survives next to each design.
+
+use crate::report::{num, ratio, Table};
+use elp2im_apps::backend::{OpKind, PimBackend};
+use elp2im_core::compile::LogicOp;
+use elp2im_dram::command::CommandProfile;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::controller::Controller;
+use elp2im_dram::timing::Ddr3Timing;
+use elp2im_dram::units::Ps;
+
+/// Result of one coexistence run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coexistence {
+    /// Regular accesses completed per microsecond while PIM runs.
+    pub access_rate_per_us: f64,
+    /// PIM commands completed per microsecond.
+    pub pim_rate_per_us: f64,
+}
+
+/// Runs `accesses` regular APs on banks 4–7 alongside repeating `pim`
+/// command streams on banks 0–3, interleaved fairly, and measures both
+/// completion rates.
+pub fn run_coexistence(pim: &[CommandProfile], accesses: usize) -> Coexistence {
+    let t = Ddr3Timing::ddr3_1600();
+    let ap = CommandProfile::ap(&t);
+    let mut ctrl = Controller::new(8, PumpBudget::jedec_ddr3_1600());
+
+    // Fair round-robin interleave of the eight banks.
+    let mut access_done: Vec<Ps> = Vec::new();
+    let mut pim_cmds = 0u64;
+    let per_access_bank = accesses / 4;
+    let mut pim_cursor = vec![0usize; 4];
+    let mut issued_access = vec![0usize; 4];
+    let mut last_access_finish = Ps::ZERO;
+    // Issue until every access retired; PIM streams repeat indefinitely.
+    while access_done.len() < per_access_bank * 4 {
+        for bank in 0..8usize {
+            if bank < 4 {
+                let cmd = &pim[pim_cursor[bank] % pim.len()];
+                pim_cursor[bank] += 1;
+                let _ = ctrl.issue(bank, cmd, Ps::ZERO).expect("valid bank");
+                pim_cmds += 1;
+            } else {
+                let idx = bank - 4;
+                if issued_access[idx] < per_access_bank {
+                    let done = ctrl.issue(bank, &ap, Ps::ZERO).expect("valid bank");
+                    issued_access[idx] += 1;
+                    access_done.push(done);
+                    if done > last_access_finish {
+                        last_access_finish = done;
+                    }
+                }
+            }
+        }
+    }
+    let us = last_access_finish.to_ns().as_f64() / 1000.0;
+    Coexistence {
+        access_rate_per_us: access_done.len() as f64 / us,
+        pim_rate_per_us: pim_cmds as f64 / us,
+    }
+}
+
+/// Regenerates the coexistence comparison.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "Coexistence: regular accesses on 4 banks while 4 banks compute (JEDEC pump budget)",
+        &[
+            "PIM design",
+            "access rate (/us)",
+            "vs idle rank",
+            "PIM commands (/us)",
+        ],
+    );
+    // Baseline: nobody computing (PIM stream = nothing ⇒ use idle filler
+    // of zero-cost? Instead: run accesses alone on 4 banks).
+    let t = Ddr3Timing::ddr3_1600();
+    let ap = CommandProfile::ap(&t);
+    let mut idle = Controller::new(8, PumpBudget::jedec_ddr3_1600());
+    let streams: Vec<_> = (4..8).map(|b| (b, vec![ap.clone(); 250])).collect();
+    let s = idle.run_streams(&streams).unwrap();
+    let idle_rate = 1000.0 / (s.makespan.as_f64() / 1000.0);
+    table.push(vec![
+        "(idle)".into(),
+        num(idle_rate),
+        ratio(1.0),
+        num(0.0),
+    ]);
+
+    let designs: Vec<(&str, Vec<CommandProfile>)> = vec![
+        (
+            "ELP2IM (in-place AND)",
+            PimBackend::elp2im_high_throughput()
+                .kind_profiles(OpKind::InPlace(LogicOp::And)),
+        ),
+        (
+            "ELP2IM (fresh AND)",
+            PimBackend::elp2im_high_throughput().op_profiles(LogicOp::And),
+        ),
+        ("Ambit (AND)", PimBackend::ambit().op_profiles(LogicOp::And)),
+        ("Drisa_nor (AND)", PimBackend::drisa().op_profiles(LogicOp::And)),
+    ];
+    for (name, profiles) in designs {
+        let c = run_coexistence(&profiles, 1000);
+        table.push(vec![
+            name.into(),
+            num(c.access_rate_per_us),
+            ratio(c.access_rate_per_us / idle_rate),
+            num(c.pim_rate_per_us),
+        ]);
+    }
+    table.note("the paper's motivation (section 1): TRA-based computation leaves regular banks starved");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambit_starves_regular_accesses_more_than_elp2im() {
+        let elp = PimBackend::elp2im_high_throughput()
+            .kind_profiles(OpKind::InPlace(LogicOp::And));
+        let ambit = PimBackend::ambit().op_profiles(LogicOp::And);
+        let ce = run_coexistence(&elp, 400);
+        let ca = run_coexistence(&ambit, 400);
+        assert!(
+            ce.access_rate_per_us > ca.access_rate_per_us * 1.3,
+            "accesses beside ELP2IM {:.1}/us vs beside Ambit {:.1}/us",
+            ce.access_rate_per_us,
+            ca.access_rate_per_us
+        );
+    }
+
+    #[test]
+    fn table_reports_idle_first() {
+        let t = run();
+        assert_eq!(t.rows[0][0], "(idle)");
+        assert!(t.rows.len() == 5);
+        // Every design leaves less access throughput than the idle rank.
+        let parse = |s: &str| -> f64 { s.trim_end_matches('x').parse().unwrap() };
+        for row in &t.rows[1..] {
+            assert!(parse(&row[2]) <= 1.01, "{}: {}", row[0], row[2]);
+        }
+    }
+}

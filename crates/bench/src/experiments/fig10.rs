@@ -1,0 +1,63 @@
+//! Fig. 10: circuit-level waveform of two APP-AP sequences (OR, then AND).
+
+use crate::report::Table;
+use elp2im_circuit::params::CircuitParams;
+use elp2im_circuit::primitive::fig10_waveform;
+
+/// Regenerates the Fig. 10 waveform; returns a summary table (the ASCII
+/// plot and CSV are available via [`plot`] and [`csv`]).
+pub fn run() -> Table {
+    let w = fig10_waveform(CircuitParams::long_bitline());
+    let p = CircuitParams::long_bitline();
+    let mut table = Table::new(
+        "Fig 10: APP-AP waveform (OR '1'+'0' then AND '0'x'1')",
+        &["quantity", "value"],
+    );
+    let max = w.samples().iter().map(|s| s.v_bl).fold(0.0f64, f64::max);
+    let min = w.samples().iter().map(|s| s.v_bl).fold(f64::MAX, f64::min);
+    let half_dwell = w
+        .samples()
+        .iter()
+        .filter(|s| (s.v_bl - p.half_vdd()).abs() < 0.03)
+        .count() as f64
+        / w.len() as f64;
+    table.push(vec!["samples".into(), w.len().to_string()]);
+    table.push(vec!["duration".into(), format!("{:.1} ns", w.samples().last().unwrap().t_ns)]);
+    table.push(vec!["bitline max".into(), format!("{max:.3} V (Vdd = {:.1} V)", p.vdd)]);
+    table.push(vec!["bitline min".into(), format!("{min:.3} V")]);
+    table.push(vec![
+        "time near Vdd/2".into(),
+        format!("{:.0} % (pseudo-precharge/precharge dwell)", half_dwell * 100.0),
+    ]);
+    table.note("run `cargo run -p elp2im-bench --bin fig10` for the ASCII plot and CSV");
+    table
+}
+
+/// The ASCII rendering of the waveform.
+pub fn plot() -> String {
+    let p = CircuitParams::long_bitline();
+    let w = fig10_waveform(p.clone());
+    w.ascii_plot(p.vdd, 110, 18)
+}
+
+/// The CSV trace.
+pub fn csv() -> String {
+    fig10_waveform(CircuitParams::long_bitline()).to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn waveform_summary_is_full_swing() {
+        let t = super::run();
+        let max_row = t.rows.iter().find(|r| r[0] == "bitline max").unwrap();
+        let v: f64 = max_row[1].split(' ').next().unwrap().parse().unwrap();
+        assert!(v > 1.1, "bitline must reach near Vdd, got {v}");
+    }
+
+    #[test]
+    fn plot_and_csv_are_nonempty() {
+        assert!(super::plot().contains('*'));
+        assert!(super::csv().lines().count() > 1000);
+    }
+}

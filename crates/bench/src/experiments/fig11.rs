@@ -1,0 +1,58 @@
+//! Fig. 11: Monte-Carlo error rates under process variation.
+
+use crate::report::{rate, Table};
+use elp2im_circuit::montecarlo::{Design, MonteCarlo};
+use elp2im_circuit::variation::PvMode;
+
+/// PV strengths swept (relative sigma).
+pub const SIGMAS: [f64; 5] = [0.04, 0.06, 0.08, 0.10, 0.12];
+
+/// Regenerates Fig. 11 (`quick` lowers the trial count).
+pub fn run(quick: bool) -> Table {
+    let mc = MonteCarlo::paper_setup().with_trials(if quick { 20_000 } else { 200_000 });
+    let designs = [
+        Design::RegularDram,
+        Design::Elp2im { alternative: false },
+        Design::Elp2im { alternative: true },
+        Design::AmbitTra,
+    ];
+    let mut headers: Vec<String> = vec!["pv mode".into(), "design".into()];
+    headers.extend(SIGMAS.iter().map(|s| format!("sigma {:.0}%", s * 100.0)));
+    let mut table = Table::new(
+        "Fig 11: sensing error rate vs process variation (with 15% bitline coupling)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for mode in [PvMode::Random, PvMode::Systematic] {
+        for d in designs {
+            let mut row = vec![format!("{mode:?}"), d.label().to_string()];
+            for &s in &SIGMAS {
+                row.push(rate(mc.error_rate(d, mode, s)));
+            }
+            table.push(row);
+        }
+    }
+    table.note("paper ordering: DRAM < ELP2IM < Ambit under random PV; Ambit suppressed under systematic PV");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_hold_at_high_sigma() {
+        let mc = MonteCarlo::paper_setup().with_trials(30_000);
+        let s = 0.12;
+        let dram = mc.error_rate(Design::RegularDram, PvMode::Random, s);
+        let elp = mc.error_rate(Design::Elp2im { alternative: false }, PvMode::Random, s);
+        let ambit = mc.error_rate(Design::AmbitTra, PvMode::Random, s);
+        assert!(dram <= elp && elp < ambit, "dram {dram}, elp {elp}, ambit {ambit}");
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.headers.len(), 2 + SIGMAS.len());
+    }
+}

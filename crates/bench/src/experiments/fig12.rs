@@ -1,0 +1,84 @@
+//! Fig. 12: latency and power of the basic operations on Drisa_nor, Ambit,
+//! and ELP2IM.
+
+use crate::report::{ns, num, ratio, Table};
+use elp2im_apps::backend::PimBackend;
+use elp2im_core::compile::{CompileMode, LogicOp};
+
+fn backends() -> Vec<(&'static str, PimBackend)> {
+    vec![
+        ("Drisa_nor", PimBackend::drisa().without_power_constraint()),
+        ("Ambit", PimBackend::ambit().without_power_constraint()),
+        (
+            "ELP2IM",
+            PimBackend::new(elp2im_apps::backend::DesignKind::Elp2im {
+                mode: CompileMode::LowLatency,
+                reserved_rows: 1,
+            })
+            .without_power_constraint(),
+        ),
+        ("ELP2IM-2buf", PimBackend::elp2im_accelerator()),
+    ]
+}
+
+/// Regenerates Fig. 12(a) latency and Fig. 12(b) power.
+pub fn run() -> Table {
+    let backends = backends();
+    let mut headers = vec!["op".to_string()];
+    for (name, _) in &backends {
+        headers.push(format!("{name} lat"));
+        headers.push(format!("{name} mW"));
+    }
+    let mut table = Table::new(
+        "Fig 12: basic-operation latency (a) and power (b)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for op in LogicOp::ALL {
+        let mut row = vec![op.to_string()];
+        for (_, b) in &backends {
+            row.push(ns(b.op_latency(op).as_f64()));
+            row.push(num(b.op_power_mw(op)));
+        }
+        table.push(row);
+    }
+    // Mean per-op speedups (the paper's 1.17x / 1.12x and 1.23x / 1.16x).
+    let elp1 = &backends[2].1;
+    let elp2 = &backends[3].1;
+    let ambit = &backends[1].1;
+    let drisa = &backends[0].1;
+    let mean = |base: &PimBackend, elp: &PimBackend| -> f64 {
+        LogicOp::ALL
+            .iter()
+            .map(|&op| base.op_latency(op).as_f64() / elp.op_latency(op).as_f64())
+            .sum::<f64>()
+            / 7.0
+    };
+    table.note(format!(
+        "mean speedup vs Ambit: {} (paper 1.17x); vs Drisa_nor: {} (paper 1.12x)",
+        ratio(mean(ambit, elp1)),
+        ratio(mean(drisa, elp1))
+    ));
+    table.note(format!(
+        "with one more buffer: vs Ambit {} (paper 1.23x); vs Drisa_nor {} (paper 1.16x)",
+        ratio(mean(ambit, elp2)),
+        ratio(mean(drisa, elp2))
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn notes_report_speedups_in_paper_range() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 7);
+        // The first note carries the 1-buffer means.
+        let note = &t.notes[0];
+        let nums: Vec<f64> = note
+            .split(|c: char| !c.is_ascii_digit() && c != '.')
+            .filter_map(|s| s.parse().ok())
+            .filter(|&v: &f64| v > 0.9 && v < 2.0)
+            .collect();
+        assert!(nums.iter().any(|&v| (1.10..=1.25).contains(&v)), "{note}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 13: the Bitmap case study.
+
+use crate::report::{num, ratio, Table};
+use elp2im_apps::backend::PimBackend;
+use elp2im_apps::bitmap::BitmapStudy;
+use elp2im_baselines::area::{reserved_rows, Design};
+
+/// Regenerates Fig. 13(a)/(b)/(c) for the `w = 4` workload.
+pub fn run() -> Table {
+    let study = BitmapStudy::paper_setup(4);
+    let mut table = Table::new(
+        "Fig 13: bitmap study (16M users, w = 4) - system improvement over CPU and device throughput",
+        &[
+            "design",
+            "reserved rows",
+            "sys improv (no constraint)",
+            "sys improv (constrained)",
+            "device Gbit/s (no constraint)",
+            "device Gbit/s (constrained)",
+            "device drop",
+        ],
+    );
+    let mut configs: Vec<(String, PimBackend, usize)> = vec![(
+        "ELP2IM".to_string(),
+        PimBackend::elp2im_high_throughput(),
+        reserved_rows(Design::Elp2im),
+    )];
+    for rows in [4usize, 6, 8, 10] {
+        configs.push((
+            format!("Ambit-{rows}"),
+            PimBackend::ambit_with_reserved(rows),
+            rows,
+        ));
+    }
+    for (name, constrained, rrows) in configs {
+        let free = constrained.clone().without_power_constraint();
+        let thr_free = study.device_throughput_bits_per_ns(&free);
+        let thr_tight = study.device_throughput_bits_per_ns(&constrained);
+        table.push(vec![
+            name,
+            rrows.to_string(),
+            ratio(study.system_improvement(&free)),
+            ratio(study.system_improvement(&constrained)),
+            num(thr_free),
+            num(thr_tight),
+            format!("{:.0} %", (1.0 - thr_tight / thr_free) * 100.0),
+        ]);
+    }
+    table.note("paper: Ambit device throughput drops up to ~83% under the constraint; ELP2IM ~56% (8 -> 4 banks)");
+    table.note("paper: Ambit cannot catch ELP2IM even with 10 reserved rows");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn elp2im_row_dominates() {
+        let t = super::run();
+        let parse = |s: &str| -> f64 { s.trim_end_matches('x').parse().unwrap() };
+        let elp = parse(&t.rows[0][3]);
+        for row in &t.rows[1..] {
+            assert!(elp > parse(&row[3]), "ELP2IM must beat {}", row[0]);
+        }
+    }
+
+    #[test]
+    fn drops_match_paper_shape() {
+        let t = super::run();
+        let drop = |row: &Vec<String>| -> f64 {
+            row[6].trim_end_matches(" %").parse().unwrap()
+        };
+        let elp_drop = drop(&t.rows[0]);
+        assert!((35.0..=60.0).contains(&elp_drop), "elp2im drop {elp_drop}");
+        // Full Ambit config is the last row.
+        let ambit_drop = drop(t.rows.last().unwrap());
+        assert!((70.0..=90.0).contains(&ambit_drop), "ambit drop {ambit_drop}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 14: the table-scan (BitWeaving) case study.
+
+use crate::report::{num, ratio, Table};
+use elp2im_apps::tablescan::{fig14_backends, TableScanStudy};
+use elp2im_baselines::area::{reserved_rows, Design};
+
+/// Regenerates Fig. 14(a)/(b)/(c).
+pub fn run() -> Table {
+    let study = TableScanStudy::paper_setup();
+    let mut headers: Vec<String> = vec!["design".into(), "reserved rows".into()];
+    for w in TableScanStudy::widths() {
+        headers.push(format!("improv w={w}"));
+    }
+    for w in TableScanStudy::widths() {
+        headers.push(format!("Mcodes/ms w={w}"));
+    }
+    let mut table = Table::new(
+        "Fig 14: table scan under power constraint (16M rows, predicate R.a < C1)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (name, backend) in fig14_backends() {
+        let rows = match name {
+            "Ambit" => reserved_rows(Design::Ambit),
+            "Drisa_nor" => reserved_rows(Design::DrisaNor),
+            _ => reserved_rows(Design::Elp2im),
+        };
+        let mut row = vec![name.to_string(), rows.to_string()];
+        for w in TableScanStudy::widths() {
+            row.push(ratio(study.system_improvement(&backend, w)));
+        }
+        for w in TableScanStudy::widths() {
+            // codes per ns -> million codes per millisecond (same number).
+            row.push(num(study.device_throughput(&backend, w) * 1e3));
+        }
+        table.push(row);
+    }
+    table.note("paper: ELP2IM highest throughput, improvement grows with data width;");
+    table.note("paper: Drisa_nor outperforms Ambit under the power constraint despite higher latency");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn elp2im_row_wins_every_width() {
+        let t = super::run();
+        let parse = |s: &str| -> f64 { s.trim_end_matches('x').parse().unwrap() };
+        // rows: Ambit, Drisa_nor, ELP2IM; improvement columns 2..6.
+        for col in 2..6 {
+            let ambit = parse(&t.rows[0][col]);
+            let drisa = parse(&t.rows[1][col]);
+            let elp = parse(&t.rows[2][col]);
+            assert!(elp > ambit && elp > drisa, "col {col}");
+            assert!(drisa > ambit, "Drisa must beat Ambit under constraint (col {col})");
+        }
+    }
+
+    #[test]
+    fn improvement_grows_with_width_for_elp2im() {
+        let t = super::run();
+        let parse = |s: &str| -> f64 { s.trim_end_matches('x').parse().unwrap() };
+        let vals: Vec<f64> = (2..6).map(|c| parse(&t.rows[2][c])).collect();
+        assert!(vals.windows(2).all(|w| w[1] > w[0]), "{vals:?}");
+    }
+}

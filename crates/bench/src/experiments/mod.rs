@@ -1,0 +1,35 @@
+//! One module per regenerated table/figure.
+
+pub mod ablations;
+pub mod coexistence;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig8;
+pub mod overhead;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use crate::report::Table;
+
+/// Runs every experiment in paper order, ablations last.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    let mut tables = vec![
+        table1::run(),
+        fig8::run(),
+        fig10::run(),
+        fig11::run(quick),
+        fig12::run(),
+        fig13::run(),
+        fig14::run(),
+        table2::run(),
+        table3::run(),
+        overhead::run(),
+        coexistence::run(),
+    ];
+    tables.extend(ablations::run());
+    tables
+}

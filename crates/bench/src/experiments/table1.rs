@@ -1,0 +1,41 @@
+//! Table 1: ELP2IM primitive latencies under DDR3-1600.
+
+use crate::report::{ns, Table};
+use elp2im_dram::timing::Ddr3Timing;
+
+/// Regenerates Table 1.
+pub fn run() -> Table {
+    let t = Ddr3Timing::ddr3_1600();
+    let mut table = Table::new(
+        "Table 1: primitives of ELP2IM (DDR3-1600)",
+        &["primitive", "meaning", "paper", "measured"],
+    );
+    let rows: Vec<(&str, &str, f64, f64)> = vec![
+        ("AP", "Activate-Precharge", 49.0, t.ap().as_f64()),
+        ("AAP", "Activate-Activate-Precharge", 84.0, t.aap().as_f64()),
+        ("oAAP", "overlapped AAP", 53.0, t.o_aap().as_f64()),
+        ("APP", "Activate-Pseudoprecharge-Precharge", 67.0, t.app().as_f64()),
+        ("oAPP", "overlapped APP", 53.0, t.o_app().as_f64()),
+        ("tAPP", "trimmed APP", 46.0, t.t_app().as_f64()),
+        ("otAPP", "overlapped+trimmed APP (DESIGN.md 3.2)", 32.0, t.ot_app().as_f64()),
+    ];
+    for (p, meaning, paper, got) in rows {
+        table.push(vec![p.into(), meaning.into(), ns(paper), ns(got)]);
+    }
+    table.note("pseudo-precharge = 1.3 x tRP (the paper's conservative 30%)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_rows_within_a_nanosecond_of_paper() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 7);
+        for row in &t.rows {
+            let paper: f64 = row[2].trim_end_matches(" ns").parse().unwrap();
+            let got: f64 = row[3].trim_end_matches(" ns").parse().unwrap();
+            assert!((paper - got).abs() <= 1.0, "{row:?}");
+        }
+    }
+}

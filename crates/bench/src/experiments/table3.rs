@@ -1,0 +1,71 @@
+//! Table 3: NID binary CNN inference (FPS).
+
+use crate::report::{num, ratio, Table};
+use elp2im_apps::backend::PimBackend;
+use elp2im_apps::nid::{table3_networks, NidStudy};
+
+/// Paper FPS anchors (Ambit row of Table 3).
+pub const PAPER_AMBIT_FPS: [f64; 5] = [7525.1, 227.1, 9.5, 4.7, 1.4];
+/// Paper improvement row for ELP2IM.
+pub const PAPER_ELP2IM_IMPROVEMENT: [f64; 5] = [1.32, 1.11, 1.31, 1.31, 1.25];
+/// Paper improvement row for Drisa_nor.
+pub const PAPER_DRISA_IMPROVEMENT: [f64; 5] = [0.73, 0.91, 0.74, 0.74, 0.79];
+
+/// Regenerates Table 3.
+pub fn run() -> Table {
+    let study = NidStudy::paper_setup();
+    let nets = table3_networks();
+    let mut headers: Vec<String> = vec!["row".into()];
+    headers.extend(nets.iter().map(|n| n.name.clone()));
+    let mut table = Table::new(
+        "Table 3: NID binary CNN inference (FPS, no power constraint, XOR sequence 6)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let ambit_b = PimBackend::ambit().without_power_constraint();
+    let elp_b = PimBackend::elp2im_accelerator();
+    let drisa_b = PimBackend::drisa().without_power_constraint();
+    let fps = |b: &PimBackend| -> Vec<f64> { nets.iter().map(|n| study.fps(n, b)).collect() };
+    let (ambit, elp, drisa) = (fps(&ambit_b), fps(&elp_b), fps(&drisa_b));
+
+    let row = |name: &str, vals: &[f64]| -> Vec<String> {
+        let mut r = vec![name.to_string()];
+        r.extend(vals.iter().map(|&v| num(v)));
+        r
+    };
+    table.push(row("Ambit (FPS)", &ambit));
+    table.push(row("ELP2IM (FPS)", &elp));
+    table.push({
+        let mut r = vec!["Improvement".to_string()];
+        r.extend(elp.iter().zip(&ambit).map(|(e, a)| ratio(e / a)));
+        r
+    });
+    table.push(row("Drisa_nor (FPS)", &drisa));
+    table.push({
+        let mut r = vec!["Improvement".to_string()];
+        r.extend(drisa.iter().zip(&ambit).map(|(d, a)| ratio(d / a)));
+        r
+    });
+    table.note(format!(
+        "paper improvements: ELP2IM {:?} (avg 1.26), Drisa {:?}",
+        PAPER_ELP2IM_IMPROVEMENT, PAPER_DRISA_IMPROVEMENT
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn improvement_rows_in_paper_band() {
+        let t = super::run();
+        let parse = |s: &str| -> f64 { s.trim_end_matches('x').parse().unwrap() };
+        let mut elp_mean = 0.0;
+        for c in 1..=5 {
+            let e = parse(&t.rows[2][c]);
+            elp_mean += e / 5.0;
+            assert!((1.05..=1.40).contains(&e), "col {c}: {e}");
+            let d = parse(&t.rows[4][c]);
+            assert!((0.65..=0.98).contains(&d), "col {c}: {d}");
+        }
+        assert!((1.15..=1.35).contains(&elp_mean), "mean {elp_mean} (paper 1.26)");
+    }
+}

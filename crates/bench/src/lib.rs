@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating every table and figure of the ELP2IM
+//! evaluation (§6).
+//!
+//! Each experiment lives in [`experiments`] as a `run(quick)` function
+//! returning a printable [`report::Table`]; the `src/bin/*` binaries are
+//! thin wrappers (`cargo run -p elp2im-bench --bin fig12`), and
+//! `--bin all_experiments` runs everything in paper order. `quick = true`
+//! shrinks Monte-Carlo trial counts for CI-speed runs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,189 @@
+//! Plain-text report tables (paper value vs measured value).
+
+use std::fmt;
+
+/// A printable experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title, e.g. `"Table 1: primitive latencies (DDR3-1600)"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the table as CSV (title and notes become `#` comments).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = format!("# {}\n", self.title);
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "\n== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a nanosecond quantity.
+pub fn ns(v: f64) -> String {
+    format!("{v:.1} ns")
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a float with three significant decimals.
+pub fn num(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an error rate in scientific notation.
+pub fn rate(v: f64) -> String {
+    if v == 0.0 {
+        "<1e-5".to_string()
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.push(vec!["x".into(), "1".into()]);
+        t.push(vec!["longer-cell".into(), "2".into()]);
+        t.note("a footnote");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| longer-cell |"));
+        assert!(s.contains("note: a footnote"));
+        // All data lines are equally wide.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["x,y".into(), "1".into()]);
+        t.note("footnote");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# demo\n"));
+        assert!(csv.contains("a,b\n"));
+        assert!(csv.contains("\"x,y\",1"), "{csv}");
+        assert!(csv.trim_end().ends_with("# footnote"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ns(48.75), "48.8 ns");
+        assert_eq!(ratio(1.234), "1.23x");
+        assert_eq!(num(12345.0), "12345");
+        assert_eq!(num(3.21), "3.2");
+        assert_eq!(num(0.1234), "0.123");
+        assert_eq!(rate(0.0), "<1e-5");
+        assert_eq!(rate(0.0123), "1.2e-2");
+    }
+}

@@ -1,0 +1,208 @@
+//! A row of coupled columns: explicit aggressor/victim bitline coupling.
+//!
+//! The Monte-Carlo model in [`crate::montecarlo`] treats coupling in
+//! closed form (victim noise = ratio × aggressor deviation); this module
+//! simulates it structurally — N columns of one open-bitline subarray,
+//! each capacitively coupled to its physical neighbors — and is used to
+//! cross-validate the closed-form margins and to reproduce the §6.1.2
+//! worst-case data-pattern observations:
+//!
+//! * the worst pattern alternates '0'/'1' along the wordline, so both
+//!   neighbors swing against every victim;
+//! * TRA aggressors ("strong 1"s from three '1' cells) swing harder than
+//!   single-cell aggressors, which is one of the two reasons Ambit's
+//!   margins collapse.
+
+use crate::column::{CellPort, Column, SenseOutcome};
+use crate::params::CircuitParams;
+use crate::phase::Side;
+
+/// A wordline-direction array of coupled columns.
+#[derive(Debug, Clone)]
+pub struct ColumnArray {
+    columns: Vec<Column>,
+    coupling_ratio: f64,
+}
+
+impl ColumnArray {
+    /// Creates `n` columns with the given parameters; coupling strength is
+    /// taken from `params.coupling_ratio` (a fraction of each aggressor's
+    /// swing reaches its neighbors).
+    pub fn new(n: usize, params: CircuitParams) -> Self {
+        assert!(n >= 1, "need at least one column");
+        let coupling_ratio = params.coupling_ratio;
+        ColumnArray {
+            columns: (0..n).map(|_| Column::new(params.clone())).collect(),
+            coupling_ratio,
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the array is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Mutable access to one column (loading data, injecting variation).
+    pub fn column_mut(&mut self, i: usize) -> &mut Column {
+        &mut self.columns[i]
+    }
+
+    /// Writes one wordline-direction data pattern into cell `row` of every
+    /// column.
+    pub fn write_pattern(&mut self, row: usize, bits: &[bool]) {
+        assert_eq!(bits.len(), self.columns.len(), "one bit per column");
+        for (col, &b) in self.columns.iter_mut().zip(bits) {
+            col.write_cell(row, b);
+        }
+    }
+
+    /// Precharges every column.
+    pub fn precharge_all(&mut self) {
+        for c in &mut self.columns {
+            c.precharge();
+        }
+    }
+
+    /// Activates the same cell ports in every column simultaneously, with
+    /// inter-bitline coupling applied between the charge share and the
+    /// sense decision. Returns one outcome per column.
+    pub fn activate_coupled(&mut self, ports: &[CellPort], restore: bool) -> Vec<SenseOutcome> {
+        // Phase 1: every column shares charge; record the swings.
+        let swings: Vec<f64> =
+            self.columns.iter_mut().map(|c| c.open_multi(ports)).collect();
+        // Phase 2: each victim picks up a fraction of its neighbors'
+        // swings (half the coupling capacitance faces each side).
+        let n = self.columns.len();
+        for i in 0..n {
+            let left = if i > 0 { swings[i - 1] } else { 0.0 };
+            let right = if i + 1 < n { swings[i + 1] } else { 0.0 };
+            let noise = self.coupling_ratio * (left + right) / 2.0;
+            self.columns[i].disturb(Side::Bl, noise);
+        }
+        // Phase 3: sense.
+        self.columns.iter_mut().map(|c| c.sense(restore)).collect()
+    }
+
+    /// Convenience: full read cycle (precharge, coupled activate, close).
+    pub fn read_coupled(&mut self, row: usize) -> Vec<SenseOutcome> {
+        self.precharge_all();
+        let out = self.activate_coupled(&[CellPort::Normal(row)], true);
+        for c in &mut self.columns {
+            c.close_wordlines();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::CouplingModel;
+
+    fn alternating(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn coupled_reads_are_still_correct_at_nominal_parameters() {
+        let mut arr = ColumnArray::new(8, CircuitParams::long_bitline());
+        let pattern = alternating(8);
+        arr.write_pattern(0, &pattern);
+        let out = arr.read_coupled(0);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.bit, pattern[i], "column {i}");
+            assert!(o.margin_v > 0.0, "column {i} margin {}", o.margin_v);
+        }
+    }
+
+    /// §6.1.2: the alternating pattern erodes margins vs a uniform one.
+    #[test]
+    fn alternating_pattern_erodes_margins() {
+        let margin_of = |pattern: &[bool]| -> f64 {
+            let mut arr = ColumnArray::new(9, CircuitParams::long_bitline());
+            arr.write_pattern(0, pattern);
+            let out = arr.read_coupled(0);
+            // Margin of the middle victim.
+            out[4].margin_v
+        };
+        let uniform = margin_of(&[true; 9]);
+        let worst = margin_of(&alternating(9));
+        assert!(
+            worst < uniform - 0.005,
+            "alternating {worst:.4} V !< uniform {uniform:.4} V"
+        );
+    }
+
+    /// TRA aggressors couple harder than single-cell aggressors (§6.1.2's
+    /// "weak 0 driven close to Vdd/2 by neighbouring strong 1s").
+    #[test]
+    fn tra_aggressors_couple_harder() {
+        let victim_margin = |tra: bool| -> f64 {
+            let mut arr = ColumnArray::new(3, CircuitParams::long_bitline());
+            // Aggressor columns: '1' in every row (strong 1s under TRA).
+            // Victim (middle): inconsistent 0,1,0 — a weak 0 under TRA,
+            // a plain '0' for the single-cell read of row 0.
+            arr.write_pattern(0, &[true, false, true]);
+            arr.write_pattern(1, &[true, true, true]);
+            arr.write_pattern(2, &[true, false, true]);
+            arr.precharge_all();
+            let ports: Vec<CellPort> = if tra {
+                (0..3).map(CellPort::Normal).collect()
+            } else {
+                vec![CellPort::Normal(0)]
+            };
+            let out = arr.activate_coupled(&ports, true);
+            out[1].margin_v
+        };
+        let single = victim_margin(false);
+        let with_tra = victim_margin(true);
+        assert!(
+            with_tra < single,
+            "TRA-coupled victim margin {with_tra:.4} !< single {single:.4}"
+        );
+    }
+
+    /// Cross-validation: the structural victim noise matches the
+    /// closed-form coupling model used by the Monte-Carlo.
+    #[test]
+    fn structural_coupling_matches_closed_form() {
+        let p = CircuitParams::long_bitline();
+        let model = CouplingModel { ratio: p.coupling_ratio };
+        let expected_aggressor = model.single_cell_aggressor(&p, 1.0, 1.0);
+
+        // Three columns: victim in the middle reads '0', aggressors read
+        // '1' — both neighbors swing +expected_aggressor; victim noise =
+        // ratio × aggressor (the closed form).
+        let mut arr = ColumnArray::new(3, p.clone());
+        arr.write_pattern(0, &[true, false, true]);
+        arr.precharge_all();
+        let out = arr.activate_coupled(&[CellPort::Normal(0)], true);
+        // Victim margin without coupling would be expected_aggressor (its
+        // own downward swing); coupling steals ratio × aggressor.
+        let clean = expected_aggressor;
+        let noisy = out[1].margin_v;
+        let stolen = clean - noisy;
+        let predicted = model.victim_noise(expected_aggressor);
+        assert!(
+            (stolen - predicted).abs() < predicted * 0.2 + 1e-4,
+            "stolen {stolen:.4} vs closed-form {predicted:.4}"
+        );
+    }
+
+    #[test]
+    fn edge_columns_have_one_neighbor_only() {
+        let mut arr = ColumnArray::new(3, CircuitParams::long_bitline());
+        arr.write_pattern(0, &[false, true, false]);
+        let out = arr.read_coupled(0);
+        // The middle aggressor suffers from two victims' (small) swings;
+        // edges couple only to the middle. All still read correctly.
+        assert_eq!(out[0].bit, false);
+        assert_eq!(out[1].bit, true);
+        assert_eq!(out[2].bit, false);
+    }
+}

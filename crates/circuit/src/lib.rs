@@ -1,0 +1,49 @@
+//! Circuit-level (analog) DRAM column simulator.
+//!
+//! The paper verifies ELP2IM's pseudo-precharge mechanism with H-SPICE and
+//! Rambus power-model parameters (§6.1). This crate substitutes a
+//! discrete-time RC / charge-sharing model of one open-bitline DRAM column:
+//! 1T1C cells on a parasitic bitline, a latch-type sense amplifier with
+//! switchable supply rails, and a precharge unit with split EQ/EQb control —
+//! exactly the circuit of Fig. 1 of the paper plus the ELP2IM modifications.
+//!
+//! What it reproduces:
+//!
+//! * **Fig. 10** — waveforms of APP-AP sequences executing OR and AND
+//!   ([`primitive`], [`waveform`]).
+//! * **Fig. 11** — Monte-Carlo error rates of ELP2IM vs Ambit (TRA) vs
+//!   regular DRAM under random/systematic process variation with bitline
+//!   coupling ([`variation`], [`montecarlo`]).
+//! * **§4.1** — the small-`Cb` failure of the regular strategy and the fix
+//!   via the complementary (alternative) pseudo-precharge strategy.
+//!
+//! # Example
+//!
+//! ```
+//! use elp2im_circuit::column::Column;
+//! use elp2im_circuit::params::CircuitParams;
+//! use elp2im_circuit::primitive::{or_app_ap, Strategy};
+//!
+//! let p = CircuitParams::default();
+//! let mut col = Column::new(p);
+//! // '1' OR '0' computed in-place by the APP-AP sequence.
+//! let out = or_app_ap(&mut col, true, false, Strategy::Regular).unwrap();
+//! assert!(out.result);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod array;
+pub mod column;
+pub mod montecarlo;
+pub mod params;
+pub mod phase;
+pub mod primitive;
+pub mod sense_amp;
+pub mod variation;
+pub mod waveform;
+
+pub use column::Column;
+pub use params::CircuitParams;
+pub use waveform::Waveform;

@@ -1,0 +1,258 @@
+//! Monte-Carlo reliability analysis (Fig. 11 of the paper).
+//!
+//! For each design we identify the worst-case sensing event (§6.1.2) and
+//! evaluate its margin under drawn process variation plus coupling noise:
+//!
+//! * **Regular DRAM** — a single-cell read of the alternating worst-case
+//!   data pattern.
+//! * **ELP2IM** — the second access of an APP-AP pair whose bitline was
+//!   regulated to Vdd/2: the margin is eroded by the mismatch between the
+//!   SA-delivered and PU-delivered Vdd/2 levels. The regular strategy also
+//!   sees aggravated coupling from neighbor regulation swings; the
+//!   complementary (alternative) strategy regulates bitline-bar in a
+//!   different subarray and avoids it.
+//! * **Ambit** — a TRA over inconsistent values ('101'/'010'): the "weak 1 /
+//!   weak 0" charge share with mismatched cell capacitors, plus coupling
+//!   from "strong" TRA aggressors.
+//!
+//! Margins are evaluated in closed form per trial (the RC dynamics do not
+//! change the decision, which is latched at sense-enable), which keeps a
+//! million-trial sweep fast. The [`crate::column`] stepping simulator
+//! cross-validates the same scenarios in the integration tests.
+
+use crate::params::CircuitParams;
+use crate::variation::{CouplingModel, PvMode, VariationSample};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Residual coupling amplification seen by ELP2IM's *regular* strategy
+/// during the access after a pseudo-precharge (neighbor regulation swings).
+const ELP2IM_REGULAR_COUPLING_FACTOR: f64 = 1.5;
+
+/// Design under test for the reliability sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Commodity DRAM single-cell sensing.
+    RegularDram,
+    /// ELP2IM pseudo-precharge sensing.
+    Elp2im {
+        /// Use the §4.1 complementary strategy (regulate bitline-bar).
+        alternative: bool,
+    },
+    /// Ambit triple-row activation.
+    AmbitTra,
+}
+
+impl Design {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::RegularDram => "DRAM",
+            Design::Elp2im { alternative: false } => "ELP2IM",
+            Design::Elp2im { alternative: true } => "ELP2IM-alt",
+            Design::AmbitTra => "Ambit",
+        }
+    }
+}
+
+/// Monte-Carlo reliability experiment.
+///
+/// ```
+/// use elp2im_circuit::montecarlo::{Design, MonteCarlo};
+/// use elp2im_circuit::variation::PvMode;
+///
+/// let mc = MonteCarlo::paper_setup().with_trials(2_000);
+/// let ambit = mc.error_rate(Design::AmbitTra, PvMode::Random, 0.08);
+/// let dram = mc.error_rate(Design::RegularDram, PvMode::Random, 0.08);
+/// assert!(ambit >= dram);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// Circuit parameters.
+    pub params: CircuitParams,
+    /// Coupling model; `None` disables coupling noise.
+    pub coupling: Option<CouplingModel>,
+    /// Trials per point.
+    pub trials: usize,
+    /// RNG seed (experiments are reproducible).
+    pub seed: u64,
+}
+
+impl MonteCarlo {
+    /// The paper's setup: long bitlines, 15 % coupling, 100 k trials.
+    pub fn paper_setup() -> Self {
+        MonteCarlo {
+            params: CircuitParams::long_bitline(),
+            coupling: Some(CouplingModel::paper_default()),
+            trials: 100_000,
+            seed: 0xE1F2,
+        }
+    }
+
+    /// Overrides the trial count (builder style).
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Worst-case sensing margin (V) of one drawn trial; ≤ 0 means a
+    /// sensing error.
+    pub fn trial_margin(&self, design: Design, v: &VariationSample) -> f64 {
+        let p = &self.params;
+        let half = p.half_vdd();
+        let cb = p.cb_ff() * v.cb_mult;
+        let cc0 = p.cc_ff * v.cc_mult[0];
+        let coupling = |aggr: f64| self.coupling.map_or(0.0, |c| c.victim_noise(aggr));
+        match design {
+            Design::RegularDram => {
+                // Read '1' against '0'-reading neighbors.
+                let dev = cc0 * (p.vdd - half) / (cb + cc0);
+                let aggr = self
+                    .coupling
+                    .map_or(0.0, |c| c.single_cell_aggressor(p, v.cc_mult[1], v.cb_mult));
+                dev + v.sa_offset_v - coupling(aggr)
+            }
+            Design::Elp2im { alternative } => {
+                // Second access of APP-AP after a Neutral regulation:
+                // bitline at (half + mismatch) from the SA path, reference
+                // precharged to half by the PU. Worst read: a '0' cell
+                // fighting a positive mismatch and a positive offset.
+                let v_bl = (cb * (half + v.half_mismatch_v)) / (cb + cc0);
+                let dev = half - v_bl; // margin toward reading '0'
+                let aggr_base = self
+                    .coupling
+                    .map_or(0.0, |c| c.single_cell_aggressor(p, v.cc_mult[1], v.cb_mult));
+                let noise = if alternative {
+                    // Bitline-bar lives in a different subarray (§6.1.2).
+                    0.0
+                } else {
+                    coupling(aggr_base * ELP2IM_REGULAR_COUPLING_FACTOR)
+                };
+                dev - v.sa_offset_v - noise
+            }
+            Design::AmbitTra => {
+                // Inconsistent TRA '101': weak 1 whose margin shrinks when
+                // the two '1' cells are small and the '0' cell is large.
+                let cc1 = p.cc_ff * v.cc_mult[0];
+                let cc2 = p.cc_ff * v.cc_mult[1];
+                let cc3 = p.cc_ff * v.cc_mult[2];
+                let dev = half * (cc1 + cc3 - cc2) / (cb + cc1 + cc2 + cc3);
+                let aggr =
+                    self.coupling.map_or(0.0, |c| c.tra_aggressor(p, v.cc_mult[1], v.cb_mult));
+                dev + v.sa_offset_v - coupling(aggr)
+            }
+        }
+    }
+
+    /// Error rate of `design` at PV strength `sigma` under `mode`.
+    pub fn error_rate(&self, design: Design, mode: PvMode, sigma: f64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ (sigma.to_bits().rotate_left(17)) ^ (design.label().len() as u64),
+        );
+        let mut errors = 0usize;
+        for _ in 0..self.trials {
+            let v = VariationSample::draw(&mut rng, mode, sigma, &self.params);
+            if self.trial_margin(design, &v) <= 0.0 {
+                errors += 1;
+            }
+        }
+        errors as f64 / self.trials.max(1) as f64
+    }
+
+    /// Sweeps PV strength and returns `(sigma, error_rate)` pairs.
+    pub fn sweep(&self, design: Design, mode: PvMode, sigmas: &[f64]) -> Vec<(f64, f64)> {
+        sigmas.iter().map(|&s| (s, self.error_rate(design, mode, s))).collect()
+    }
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo::paper_setup()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MonteCarlo {
+        MonteCarlo::paper_setup().with_trials(20_000)
+    }
+
+    #[test]
+    fn nominal_margins_are_positive_for_all_designs() {
+        let mc = mc();
+        let v = VariationSample::nominal();
+        for d in [
+            Design::RegularDram,
+            Design::Elp2im { alternative: false },
+            Design::Elp2im { alternative: true },
+            Design::AmbitTra,
+        ] {
+            assert!(mc.trial_margin(d, &v) > 0.0, "{} must work nominally", d.label());
+        }
+    }
+
+    /// Fig. 11(a): under random PV the ordering is
+    /// DRAM < ELP2IM < Ambit (error rate).
+    #[test]
+    fn fig11_random_pv_ordering() {
+        let mc = mc();
+        let sigma = 0.10;
+        let dram = mc.error_rate(Design::RegularDram, PvMode::Random, sigma);
+        let elp = mc.error_rate(Design::Elp2im { alternative: false }, PvMode::Random, sigma);
+        let ambit = mc.error_rate(Design::AmbitTra, PvMode::Random, sigma);
+        assert!(ambit > elp, "ambit {ambit} !> elp2im {elp}");
+        assert!(elp >= dram, "elp2im {elp} !>= dram {dram}");
+        assert!(ambit > 0.0, "ambit must show errors at sigma 0.10");
+    }
+
+    /// Fig. 11(b): systematic PV suppresses Ambit's TRA mismatch errors.
+    #[test]
+    fn fig11_systematic_pv_suppresses_ambit() {
+        let mc = mc();
+        let sigma = 0.10;
+        let rand = mc.error_rate(Design::AmbitTra, PvMode::Random, sigma);
+        let sys = mc.error_rate(Design::AmbitTra, PvMode::Systematic, sigma);
+        assert!(sys < rand, "systematic {sys} !< random {rand}");
+    }
+
+    #[test]
+    fn error_rate_increases_with_sigma() {
+        let mc = mc();
+        let lo = mc.error_rate(Design::AmbitTra, PvMode::Random, 0.02);
+        let hi = mc.error_rate(Design::AmbitTra, PvMode::Random, 0.12);
+        assert!(hi > lo, "hi {hi} !> lo {lo}");
+    }
+
+    #[test]
+    fn alternative_strategy_is_at_least_as_reliable() {
+        let mc = mc();
+        let reg = mc.error_rate(Design::Elp2im { alternative: false }, PvMode::Random, 0.12);
+        let alt = mc.error_rate(Design::Elp2im { alternative: true }, PvMode::Random, 0.12);
+        assert!(alt <= reg, "alt {alt} !<= regular {reg}");
+    }
+
+    #[test]
+    fn zero_sigma_zero_errors() {
+        let mc = mc().with_trials(5_000);
+        for d in [Design::RegularDram, Design::Elp2im { alternative: false }, Design::AmbitTra] {
+            assert_eq!(mc.error_rate(d, PvMode::Random, 0.0), 0.0, "{}", d.label());
+        }
+    }
+
+    #[test]
+    fn sweep_returns_requested_points() {
+        let mc = mc().with_trials(1_000);
+        let pts = mc.sweep(Design::RegularDram, PvMode::Random, &[0.02, 0.05, 0.08]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].0, 0.02);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let a = mc().with_trials(5_000).error_rate(Design::AmbitTra, PvMode::Random, 0.1);
+        let b = mc().with_trials(5_000).error_rate(Design::AmbitTra, PvMode::Random, 0.1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Circuit parameters, derived from the Rambus DRAM power model and the
+//! constants the paper quotes (§3.1.2, §6.1).
+
+/// Parameters of one DRAM column and its sense amplifier.
+///
+/// Defaults model a commodity long-bitline DDR3 array: `Cb/Cc ≈ 3.5`
+/// (the paper quotes 2–4×), 22 fF cells, a 1.2 V internal array voltage,
+/// SA transistor threshold at 25–30 % of Vdd, and a bitline-to-bitline
+/// coupling capacitance of 15 % of `Cb` (§6.1.2).
+///
+/// ```
+/// use elp2im_circuit::params::CircuitParams;
+/// let p = CircuitParams::default();
+/// assert!(p.cb_ratio >= 2.0 && p.cb_ratio <= 4.0);
+/// let short = CircuitParams::short_bitline();
+/// assert!(short.cb_ratio < 1.0); // §4.1: Cb can drop below Cc
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitParams {
+    /// Internal array supply voltage (V).
+    pub vdd: f64,
+    /// Cell storage capacitance (fF).
+    pub cc_ff: f64,
+    /// Bitline parasitic capacitance as a multiple of `cc_ff`.
+    pub cb_ratio: f64,
+    /// Neighbor-bitline coupling capacitance as a fraction of `Cb`.
+    pub coupling_ratio: f64,
+    /// SA transistor threshold voltage as a fraction of Vdd (0.25–0.30).
+    pub sa_vth_frac: f64,
+    /// Time constant of SA full-supply drive (ns).
+    pub tau_sa_ns: f64,
+    /// Time constant of precharge-unit drive (ns).
+    pub tau_pu_ns: f64,
+    /// Integration step (ns).
+    pub dt_ns: f64,
+    /// Sense phase length (ns) — activate begins with charge share + sense.
+    pub t_sense_ns: f64,
+    /// Restore phase length (ns).
+    pub t_restore_ns: f64,
+    /// Precharge phase length (ns).
+    pub t_precharge_ns: f64,
+}
+
+impl CircuitParams {
+    /// Commodity long-bitline array (the paper's baseline configuration).
+    pub fn long_bitline() -> Self {
+        CircuitParams {
+            vdd: 1.2,
+            cc_ff: 22.0,
+            cb_ratio: 3.5,
+            coupling_ratio: 0.15,
+            sa_vth_frac: 0.27,
+            tau_sa_ns: 2.0,
+            tau_pu_ns: 2.5,
+            dt_ns: 0.05,
+            t_sense_ns: 4.0,
+            t_restore_ns: 21.0,
+            t_precharge_ns: 13.75,
+        }
+    }
+
+    /// Short-bitline / low-latency array where `Cb < Cc` (§4.1): the regular
+    /// pseudo-precharge strategy becomes unreliable here.
+    pub fn short_bitline() -> Self {
+        CircuitParams { cb_ratio: 0.8, ..CircuitParams::long_bitline() }
+    }
+
+    /// Bitline capacitance in fF.
+    pub fn cb_ff(&self) -> f64 {
+        self.cc_ff * self.cb_ratio
+    }
+
+    /// Half-Vdd reference level.
+    pub fn half_vdd(&self) -> f64 {
+        self.vdd / 2.0
+    }
+
+    /// SA drive time constant when run at suppressed supply during the
+    /// pseudo-precharge state.
+    ///
+    /// §6.1.1: SA transistors are low-threshold (`Vth` at 25–30 % of Vdd),
+    /// so the drive-strength loss when one supply rail shifts to Vdd/2 is
+    /// only 11–23 %. We interpolate the loss linearly in `sa_vth_frac`
+    /// across that measured bracket (0.25 → 11 %, 0.30 → 23 %).
+    pub fn tau_sa_half_supply_ns(&self) -> f64 {
+        let frac = ((self.sa_vth_frac - 0.25) / 0.05).clamp(0.0, 1.0);
+        let loss = 0.11 + frac * (0.23 - 0.11);
+        self.tau_sa_ns / (1.0 - loss)
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or `sa_vth_frac` is outside
+    /// `(0, 0.5)`.
+    pub fn validate(&self) {
+        assert!(self.vdd > 0.0, "vdd must be positive");
+        assert!(self.cc_ff > 0.0, "cell capacitance must be positive");
+        assert!(self.cb_ratio > 0.0, "bitline ratio must be positive");
+        assert!(
+            self.sa_vth_frac > 0.0 && self.sa_vth_frac < 0.5,
+            "sa_vth_frac must be in (0, 0.5)"
+        );
+        assert!(self.dt_ns > 0.0 && self.tau_sa_ns > 0.0 && self.tau_pu_ns > 0.0);
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams::long_bitline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        CircuitParams::default().validate();
+        CircuitParams::short_bitline().validate();
+    }
+
+    #[test]
+    fn derived_capacitance() {
+        let p = CircuitParams::long_bitline();
+        assert!((p.cb_ff() - 77.0).abs() < 1e-9);
+        assert!((p.half_vdd() - 0.6).abs() < 1e-12);
+    }
+
+    /// §6.1.1: drive strength at half supply is reduced but not disastrous,
+    /// so pseudo-precharge takes 20–30 % longer than precharge.
+    #[test]
+    fn half_supply_drive_is_slower_but_bounded() {
+        let p = CircuitParams::long_bitline();
+        let ratio = p.tau_sa_half_supply_ns() / p.tau_sa_ns;
+        assert!(ratio > 1.0, "half-supply must be slower");
+        // §6.1.1: 11–23 % strength loss ⇒ 1.12–1.30× slower drive.
+        assert!(
+            (1.10..=1.32).contains(&ratio),
+            "half-supply slowdown out of range: {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd")]
+    fn invalid_vdd_panics() {
+        CircuitParams { vdd: 0.0, ..CircuitParams::default() }.validate();
+    }
+}

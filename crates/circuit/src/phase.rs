@@ -1,0 +1,83 @@
+//! Access-phase labels, mirroring Fig. 1(b) of the paper plus the ELP2IM
+//! pseudo-precharge state.
+
+use std::fmt;
+
+/// Which bitline of the open-bitline pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The bitline that the subarray's cells connect to.
+    Bl,
+    /// The complementary (reference) bitline of the neighbor subarray.
+    BlBar,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Bl => Side::BlBar,
+            Side::BlBar => Side::Bl,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Bl => f.write_str("bitline"),
+            Side::BlBar => f.write_str("bitline-bar"),
+        }
+    }
+}
+
+/// The DRAM access phase a column is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Both bitlines held at Vdd/2 by the precharge unit.
+    Precharge,
+    /// Wordline raised; cell and bitline share charge.
+    Access,
+    /// Sense amplifier enabled, resolving the differential.
+    Sense,
+    /// SA drives bitline and cell to full rail.
+    Restore,
+    /// ELP2IM pseudo-precharge: one SA supply rail shifted to Vdd/2.
+    PseudoPrecharge,
+    /// Split-EQ precharge of a single bitline.
+    HalfPrecharge,
+    /// Idle with the SA latched (between the activations of an AAP).
+    Latched,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Precharge => "precharge",
+            Phase::Access => "access",
+            Phase::Sense => "sense",
+            Phase::Restore => "restore",
+            Phase::PseudoPrecharge => "pseudo-precharge",
+            Phase::HalfPrecharge => "half-precharge",
+            Phase::Latched => "latched",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_other_is_involutive() {
+        assert_eq!(Side::Bl.other(), Side::BlBar);
+        assert_eq!(Side::Bl.other().other(), Side::Bl);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Phase::PseudoPrecharge.to_string(), "pseudo-precharge");
+        assert_eq!(Side::BlBar.to_string(), "bitline-bar");
+    }
+}

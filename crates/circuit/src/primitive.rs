@@ -1,0 +1,367 @@
+//! Circuit-level execution of the ELP2IM primitives.
+//!
+//! These functions drive a [`Column`] through the exact control sequences of
+//! §3.2/Fig. 4 (the "two-cycle" APP-AP operation), §4.1/Fig. 6 (the
+//! alternative, complementary strategy), AAP copies, and DCC-based NOT —
+//! returning the sensed results so the functional engine in `elp2im-core`
+//! can be cross-validated against the analog model.
+
+use crate::column::{CellPort, Column};
+use crate::phase::Side;
+use std::error::Error;
+use std::fmt;
+
+/// Pseudo-precharge execution strategy (§3.2 vs §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Regulate the bitline itself; requires `Cb` comfortably above `Cc`.
+    Regular,
+    /// Regulate the complementary bitline (the §4.1 alternative); correct
+    /// for any `Cb/Cc` ratio.
+    Alternative,
+}
+
+/// The two basic charge-sharing logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasicOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+}
+
+impl BasicOp {
+    /// Software reference result.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BasicOp::Or => a || b,
+            BasicOp::And => a && b,
+        }
+    }
+}
+
+/// Outcome of a circuit-level logic operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpOutcome {
+    /// The value sensed (and restored into the destination cell).
+    pub result: bool,
+    /// The value read during the first (APP) cycle.
+    pub first_read: bool,
+    /// Sense margin of the final decision (V).
+    pub final_margin_v: f64,
+}
+
+/// Error raised when a circuit-level operation produces a logically wrong
+/// result (e.g. the regular strategy on a short bitline, §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicMismatch {
+    /// The operation attempted.
+    pub op: BasicOp,
+    /// First operand.
+    pub a: bool,
+    /// Second operand.
+    pub b: bool,
+    /// What the circuit produced.
+    pub got: bool,
+}
+
+impl fmt::Display for LogicMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit computed {:?}({}, {}) = {} (wrong)",
+            self.op, self.a as u8, self.b as u8, self.got
+        )
+    }
+}
+
+impl Error for LogicMismatch {}
+
+/// Drives one APP-AP sequence computing `cell1 := op(cell0, cell1)`.
+///
+/// The column's cells 0 and 1 are loaded with `a` and `b`, the sequence of
+/// Fig. 4 (regular) or Fig. 6(b) (alternative) runs, and the result is both
+/// returned and restored into cell 1.
+///
+/// # Errors
+///
+/// Returns [`LogicMismatch`] if the sensed result differs from the Boolean
+/// reference — this is the expected failure mode of
+/// [`Strategy::Regular`] on short-bitline arrays.
+pub fn binary_app_ap(
+    col: &mut Column,
+    op: BasicOp,
+    a: bool,
+    b: bool,
+    strategy: Strategy,
+) -> Result<OpOutcome, LogicMismatch> {
+    col.write_cell(0, a);
+    col.write_cell(1, b);
+
+    // Which rail shifts, and which side the split-EQ precharges, encode the
+    // (operation, strategy) pair — see DESIGN.md §3.1 and the analysis in
+    // §4.1 of the paper.
+    let (lift_low_rail, precharge_side) = match (op, strategy) {
+        (BasicOp::Or, Strategy::Regular) => (true, Side::BlBar),
+        (BasicOp::And, Strategy::Regular) => (false, Side::BlBar),
+        (BasicOp::Or, Strategy::Alternative) => (false, Side::Bl),
+        (BasicOp::And, Strategy::Alternative) => (true, Side::Bl),
+    };
+
+    // Cycle 1: APP — activate, pseudo-precharge, half-precharge.
+    col.precharge();
+    let first = col.activate(CellPort::Normal(0), true);
+    col.close_wordlines();
+    col.pseudo_precharge(lift_low_rail);
+    col.half_precharge(precharge_side);
+
+    // Cycle 2: AP — the regulated bitline overwrites or the cell senses.
+    let second = col.activate(CellPort::Normal(1), true);
+    col.close_wordlines();
+    col.precharge();
+
+    let expected = op.eval(a, b);
+    let restored = col.cell_bit(1);
+    if second.bit != expected || restored != expected {
+        return Err(LogicMismatch { op, a, b, got: second.bit });
+    }
+    Ok(OpOutcome { result: second.bit, first_read: first.bit, final_margin_v: second.margin_v })
+}
+
+/// Drives one **oAPP**-AP sequence (§4.2.1): the pseudo-precharge and the
+/// split-EQ precharge overlap through the row-buffer-decoupling isolation
+/// transistor, saving one phase but computing the identical result.
+///
+/// # Errors
+///
+/// Same failure modes as [`binary_app_ap`].
+pub fn binary_oapp_ap(
+    col: &mut Column,
+    op: BasicOp,
+    a: bool,
+    b: bool,
+    strategy: Strategy,
+) -> Result<OpOutcome, LogicMismatch> {
+    col.write_cell(0, a);
+    col.write_cell(1, b);
+    let (lift_low_rail, precharge_side) = match (op, strategy) {
+        (BasicOp::Or, Strategy::Regular) => (true, Side::BlBar),
+        (BasicOp::And, Strategy::Regular) => (false, Side::BlBar),
+        (BasicOp::Or, Strategy::Alternative) => (false, Side::Bl),
+        (BasicOp::And, Strategy::Alternative) => (true, Side::Bl),
+    };
+    col.precharge();
+    let first = col.activate(CellPort::Normal(0), true);
+    col.close_wordlines();
+    // Overlapped: one combined phase instead of pseudo-precharge followed
+    // by half-precharge.
+    col.pseudo_precharge_overlapped(lift_low_rail, precharge_side);
+    let second = col.activate(CellPort::Normal(1), true);
+    col.close_wordlines();
+    col.precharge();
+    let expected = op.eval(a, b);
+    let restored = col.cell_bit(1);
+    if second.bit != expected || restored != expected {
+        return Err(LogicMismatch { op, a, b, got: second.bit });
+    }
+    Ok(OpOutcome { result: second.bit, first_read: first.bit, final_margin_v: second.margin_v })
+}
+
+/// Convenience wrapper: OR via APP-AP.
+///
+/// # Errors
+///
+/// See [`binary_app_ap`].
+pub fn or_app_ap(
+    col: &mut Column,
+    a: bool,
+    b: bool,
+    strategy: Strategy,
+) -> Result<OpOutcome, LogicMismatch> {
+    binary_app_ap(col, BasicOp::Or, a, b, strategy)
+}
+
+/// Convenience wrapper: AND via APP-AP.
+///
+/// # Errors
+///
+/// See [`binary_app_ap`].
+pub fn and_app_ap(
+    col: &mut Column,
+    a: bool,
+    b: bool,
+    strategy: Strategy,
+) -> Result<OpOutcome, LogicMismatch> {
+    binary_app_ap(col, BasicOp::And, a, b, strategy)
+}
+
+/// AAP copy: `dst := src` through the latched sense amplifier (RowClone).
+pub fn copy_aap(col: &mut Column, src: CellPort, dst: CellPort) -> bool {
+    col.precharge();
+    let out = col.activate(src, true);
+    col.attach(dst);
+    col.close_wordlines();
+    col.disable_sa();
+    out.bit
+}
+
+/// NOT through the dual-contact cell: copy `src` into the DCC via its true
+/// port, then read the DCC through its complement port into `dst`.
+pub fn not_via_dcc(col: &mut Column, src: CellPort, dst: CellPort) -> bool {
+    copy_aap(col, src, CellPort::DccTrue);
+    col.precharge();
+    let out = col.activate(CellPort::DccBar, true);
+    col.attach(dst);
+    col.close_wordlines();
+    col.disable_sa();
+    out.bit
+}
+
+/// Produces the Fig. 10 waveform: two APP-AP sequences, an OR ('1'+'0')
+/// followed by an AND ('0'·'1'), recorded on one column.
+pub fn fig10_waveform(params: crate::params::CircuitParams) -> crate::waveform::Waveform {
+    let mut col = Column::new(params);
+    col.record();
+    // OR: '1' + '0' — the regulated '1' overwrites the second cell.
+    binary_app_ap(&mut col, BasicOp::Or, true, false, Strategy::Regular)
+        .expect("nominal OR must succeed on a long bitline");
+    // AND: '0' · '1' — the regulated '0' overwrites the second cell.
+    binary_app_ap(&mut col, BasicOp::And, false, true, Strategy::Regular)
+        .expect("nominal AND must succeed on a long bitline");
+    col.waveform().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CircuitParams;
+
+    fn long() -> Column {
+        Column::new(CircuitParams::long_bitline())
+    }
+
+    fn short() -> Column {
+        Column::new(CircuitParams::short_bitline())
+    }
+
+    /// §3.2: all four operand combinations of OR and AND succeed on a
+    /// commodity long-bitline array with the regular strategy.
+    #[test]
+    fn regular_strategy_truth_tables_long_bitline() {
+        for op in [BasicOp::Or, BasicOp::And] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let mut col = long();
+                    let out = binary_app_ap(&mut col, op, a, b, Strategy::Regular)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    assert_eq!(out.result, op.eval(a, b));
+                    assert_eq!(out.first_read, a);
+                }
+            }
+        }
+    }
+
+    /// §4.1: the regular strategy's worst cases fail when Cb < Cc…
+    #[test]
+    fn regular_strategy_fails_on_short_bitline_worst_case() {
+        let mut col = short();
+        let err = or_app_ap(&mut col, true, false, Strategy::Regular)
+            .expect_err("'1'+'0' with Cb<Cc must fail");
+        assert_eq!(err.got, false);
+
+        let mut col = short();
+        and_app_ap(&mut col, false, true, Strategy::Regular)
+            .expect_err("'0'·'1' with Cb<Cc must fail");
+    }
+
+    /// …and the alternative (complementary) strategy fixes them.
+    #[test]
+    fn alternative_strategy_truth_tables_short_bitline() {
+        for op in [BasicOp::Or, BasicOp::And] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let mut col = short();
+                    let out = binary_app_ap(&mut col, op, a, b, Strategy::Alternative)
+                        .unwrap_or_else(|e| panic!("{op:?}({a},{b}): {e}"));
+                    assert_eq!(out.result, op.eval(a, b));
+                }
+            }
+        }
+    }
+
+    /// The alternative strategy also works on long bitlines.
+    #[test]
+    fn alternative_strategy_truth_tables_long_bitline() {
+        for op in [BasicOp::Or, BasicOp::And] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let mut col = long();
+                    let out = binary_app_ap(&mut col, op, a, b, Strategy::Alternative).unwrap();
+                    assert_eq!(out.result, op.eval(a, b));
+                }
+            }
+        }
+    }
+
+    /// §4.2.1: the overlapped oAPP computes the same truth tables as the
+    /// sequential APP on both strategies.
+    #[test]
+    fn overlapped_oapp_truth_tables() {
+        for op in [BasicOp::Or, BasicOp::And] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    for strategy in [Strategy::Regular, Strategy::Alternative] {
+                        let mut col = long();
+                        let out = binary_oapp_ap(&mut col, op, a, b, strategy)
+                            .unwrap_or_else(|e| panic!("{op:?}({a},{b})/{strategy:?}: {e}"));
+                        assert_eq!(out.result, op.eval(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aap_copies_both_values() {
+        for bit in [false, true] {
+            let mut col = long();
+            col.write_cell(0, bit);
+            col.write_cell(1, !bit);
+            let read = copy_aap(&mut col, CellPort::Normal(0), CellPort::Normal(1));
+            assert_eq!(read, bit);
+            assert_eq!(col.cell_bit(1), bit, "dst must now hold the source value");
+            assert_eq!(col.cell_bit(0), bit, "src must be restored");
+        }
+    }
+
+    #[test]
+    fn not_via_dcc_inverts() {
+        for bit in [false, true] {
+            let mut col = long();
+            col.write_cell(0, bit);
+            let read = not_via_dcc(&mut col, CellPort::Normal(0), CellPort::Normal(2));
+            assert_eq!(read, !bit);
+            assert_eq!(col.cell_bit(2), !bit);
+        }
+    }
+
+    /// Fig. 10: the waveform covers both sequences and passes through the
+    /// pseudo-precharge level.
+    #[test]
+    fn fig10_waveform_has_expected_shape() {
+        let w = fig10_waveform(CircuitParams::long_bitline());
+        assert!(w.len() > 1000, "dense trace expected, got {}", w.len());
+        let vdd = CircuitParams::long_bitline().vdd;
+        let max = w.samples().iter().map(|s| s.v_bl).fold(0.0f64, f64::max);
+        let min = w.samples().iter().map(|s| s.v_bl).fold(f64::MAX, f64::min);
+        assert!(max > 0.95 * vdd, "bitline must reach Vdd, max = {max}");
+        assert!(min < 0.05 * vdd, "bitline must reach Gnd, min = {min}");
+    }
+
+    #[test]
+    fn logic_mismatch_display() {
+        let e = LogicMismatch { op: BasicOp::Or, a: true, b: false, got: false };
+        let s = format!("{e}");
+        assert!(s.contains("Or") && s.contains("wrong"), "{s}");
+    }
+}

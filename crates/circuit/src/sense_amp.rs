@@ -1,0 +1,173 @@
+//! Latch-type sense amplifier with switchable supply rails.
+//!
+//! The SA of Fig. 1(a) is a pair of cross-coupled CMOS inverters with two
+//! supply nodes (node 1 and node 2). During a regular activation they carry
+//! Vdd and Gnd; ELP2IM's pseudo-precharge shifts *one* of them to Vdd/2
+//! while the SA stays enabled, and the rail-to-rail output follows — the
+//! paper's "stable yet non-traditional state" (§3.1.1).
+
+use crate::phase::Side;
+
+/// Supply-rail pair of the sense amplifier (volts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rails {
+    /// Positive supply (node 1).
+    pub hi: f64,
+    /// Negative supply (node 2).
+    pub lo: f64,
+}
+
+impl Rails {
+    /// Full-swing rails for a normal activation.
+    pub fn full(vdd: f64) -> Self {
+        Rails { hi: vdd, lo: 0.0 }
+    }
+
+    /// OR-style pseudo-precharge: Gnd shifts up to Vdd/2 ('0' bitlines get
+    /// regulated to Vdd/2, '1' bitlines keep Vdd).
+    pub fn pseudo_or(vdd: f64) -> Self {
+        Rails { hi: vdd, lo: vdd / 2.0 }
+    }
+
+    /// AND-style pseudo-precharge: Vdd shifts down to Vdd/2 ('1' bitlines
+    /// get regulated to Vdd/2, '0' bitlines keep Gnd).
+    pub fn pseudo_and(vdd: f64) -> Self {
+        Rails { hi: vdd / 2.0, lo: 0.0 }
+    }
+
+    /// Rail span (drive supply difference).
+    pub fn span(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Sense amplifier state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseAmp {
+    enabled: bool,
+    rails: Rails,
+    /// Which side the SA latched high, decided at enable time.
+    high_side: Option<Side>,
+    /// Input-referred offset added to the `Bl` side at decision time
+    /// (process-variation mismatch of the latch pair).
+    pub offset_v: f64,
+}
+
+impl SenseAmp {
+    /// A disabled SA with full rails configured.
+    pub fn new(vdd: f64) -> Self {
+        SenseAmp { enabled: false, rails: Rails::full(vdd), high_side: None, offset_v: 0.0 }
+    }
+
+    /// Whether the SA is currently driving.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The latched high side, if enabled and decided.
+    pub fn high_side(&self) -> Option<Side> {
+        self.high_side
+    }
+
+    /// Current rails.
+    pub fn rails(&self) -> Rails {
+        self.rails
+    }
+
+    /// Enables the SA with the given rails and latches a decision from the
+    /// instantaneous differential (`v_bl` vs `v_blb`), offset included.
+    pub fn enable(&mut self, rails: Rails, v_bl: f64, v_blb: f64) {
+        self.enabled = true;
+        self.rails = rails;
+        self.high_side = Some(if v_bl + self.offset_v >= v_blb { Side::Bl } else { Side::BlBar });
+    }
+
+    /// Shifts the supply rails while staying enabled (pseudo-precharge).
+    /// The latched decision is preserved; outputs follow the new rails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SA is not enabled — the pseudo-precharge state is only
+    /// meaningful while the SA drives the bitlines.
+    pub fn shift_rails(&mut self, rails: Rails) {
+        assert!(self.enabled, "pseudo-precharge requires an enabled SA");
+        self.rails = rails;
+    }
+
+    /// Disables the SA (outputs float; latch decision cleared).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.high_side = None;
+    }
+
+    /// Target voltages `(bl_target, blb_target)` the SA currently drives
+    /// toward, or `None` if disabled.
+    pub fn drive_targets(&self) -> Option<(f64, f64)> {
+        let side = self.high_side?;
+        if !self.enabled {
+            return None;
+        }
+        Some(match side {
+            Side::Bl => (self.rails.hi, self.rails.lo),
+            Side::BlBar => (self.rails.lo, self.rails.hi),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latches_decision_at_enable() {
+        let mut sa = SenseAmp::new(1.2);
+        sa.enable(Rails::full(1.2), 0.7, 0.6);
+        assert_eq!(sa.high_side(), Some(Side::Bl));
+        assert_eq!(sa.drive_targets(), Some((1.2, 0.0)));
+    }
+
+    #[test]
+    fn offset_can_flip_a_marginal_decision() {
+        let mut sa = SenseAmp::new(1.2);
+        sa.offset_v = -0.05;
+        sa.enable(Rails::full(1.2), 0.62, 0.60);
+        // True differential is +20 mV but offset is −50 mV: wrong decision.
+        assert_eq!(sa.high_side(), Some(Side::BlBar));
+    }
+
+    #[test]
+    fn pseudo_precharge_keeps_decision_and_moves_rail() {
+        let mut sa = SenseAmp::new(1.2);
+        sa.enable(Rails::full(1.2), 1.0, 0.2);
+        sa.shift_rails(Rails::pseudo_or(1.2));
+        assert_eq!(sa.high_side(), Some(Side::Bl));
+        // '1' keeps Vdd; the low side is regulated up to Vdd/2.
+        assert_eq!(sa.drive_targets(), Some((1.2, 0.6)));
+
+        sa.shift_rails(Rails::pseudo_and(1.2));
+        assert_eq!(sa.drive_targets(), Some((0.6, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "enabled")]
+    fn rail_shift_requires_enabled_sa() {
+        let mut sa = SenseAmp::new(1.2);
+        sa.shift_rails(Rails::pseudo_or(1.2));
+    }
+
+    #[test]
+    fn disable_clears_latch() {
+        let mut sa = SenseAmp::new(1.2);
+        sa.enable(Rails::full(1.2), 1.0, 0.0);
+        sa.disable();
+        assert_eq!(sa.high_side(), None);
+        assert_eq!(sa.drive_targets(), None);
+    }
+
+    #[test]
+    fn rail_constructors() {
+        assert_eq!(Rails::pseudo_or(1.2), Rails { hi: 1.2, lo: 0.6 });
+        assert_eq!(Rails::pseudo_and(1.2), Rails { hi: 0.6, lo: 0.0 });
+        assert!((Rails::full(1.2).span() - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Process-variation and coupling-noise models (§6.1.2).
+//!
+//! PV is categorized into *systematic* and *random* variation; the paper
+//! runs Monte-Carlo at the two extremes ("variations are all systematic or
+//! all random — any other condition is the intermediate case"). Under
+//! random PV every device draws independently; under systematic PV the
+//! devices of one column move together, so mismatch-driven effects (SA
+//! offset, TRA cell imbalance) largely vanish.
+
+use crate::params::CircuitParams;
+use rand::Rng;
+
+/// Which extreme of the PV split to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PvMode {
+    /// Every device varies independently (worst for mismatch).
+    Random,
+    /// All devices of a column vary together (mismatch suppressed).
+    Systematic,
+}
+
+/// Relative scale of the SA input-referred offset versus the raw PV sigma.
+///
+/// At sigma = 5 % this yields an offset sigma of ≈18 mV at Vdd = 1.2 V,
+/// consistent with published latch-SA offsets of tens of millivolts.
+const OFFSET_SCALE: f64 = 0.30;
+
+/// Relative scale of the Vdd/2 source mismatch (SA path vs PU path) —
+/// ELP2IM's dominant inaccuracy source per §6.1.2.
+const HALF_SOURCE_SCALE: f64 = 0.20;
+
+/// Residual mismatch that survives under systematic PV (paths still differ
+/// even when devices track).
+const SYSTEMATIC_MISMATCH_RESIDUE: f64 = 0.25;
+
+/// One Monte-Carlo draw of the column's process variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSample {
+    /// Multiplier on each of up to three cell capacitances.
+    pub cc_mult: [f64; 3],
+    /// Multiplier on the bitline capacitance.
+    pub cb_mult: f64,
+    /// SA input-referred offset (V), signed.
+    pub sa_offset_v: f64,
+    /// Mismatch between the SA-regulated Vdd/2 and the PU Vdd/2 (V).
+    pub half_mismatch_v: f64,
+}
+
+impl VariationSample {
+    /// A perfectly nominal sample (no variation).
+    pub fn nominal() -> Self {
+        VariationSample { cc_mult: [1.0; 3], cb_mult: 1.0, sa_offset_v: 0.0, half_mismatch_v: 0.0 }
+    }
+
+    /// Draws one sample at relative strength `sigma` (e.g. `0.05` = 5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn draw<R: Rng + ?Sized>(
+        rng: &mut R,
+        mode: PvMode,
+        sigma: f64,
+        params: &CircuitParams,
+    ) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        let gauss = |rng: &mut R| -> f64 {
+            // Box-Muller; two uniforms are cheap enough here.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        match mode {
+            PvMode::Random => {
+                let cc_mult = [
+                    (1.0 + sigma * gauss(rng)).max(0.1),
+                    (1.0 + sigma * gauss(rng)).max(0.1),
+                    (1.0 + sigma * gauss(rng)).max(0.1),
+                ];
+                VariationSample {
+                    cc_mult,
+                    cb_mult: (1.0 + sigma * gauss(rng)).max(0.1),
+                    sa_offset_v: sigma * OFFSET_SCALE * params.vdd * gauss(rng),
+                    half_mismatch_v: sigma * HALF_SOURCE_SCALE * params.vdd * gauss(rng),
+                }
+            }
+            PvMode::Systematic => {
+                // One shared draw: all cells (and the bitline) track.
+                let shared = (1.0 + sigma * gauss(rng)).max(0.1);
+                VariationSample {
+                    cc_mult: [shared; 3],
+                    cb_mult: shared,
+                    // Mismatch effects mostly cancel; a residue remains
+                    // because the two Vdd/2 delivery paths differ.
+                    sa_offset_v: sigma
+                        * OFFSET_SCALE
+                        * SYSTEMATIC_MISMATCH_RESIDUE
+                        * params.vdd
+                        * gauss(rng),
+                    half_mismatch_v: sigma
+                        * HALF_SOURCE_SCALE
+                        * SYSTEMATIC_MISMATCH_RESIDUE
+                        * params.vdd
+                        * gauss(rng),
+                }
+            }
+        }
+    }
+}
+
+/// Bitline-coupling noise model (open-bitline worst case, §6.1.2).
+///
+/// The victim bitline picks up `coupling_ratio` of its neighbors' swing.
+/// The worst data pattern alternates '0'/'1' along the wordline, so both
+/// neighbors swing *against* the victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingModel {
+    /// Coupling capacitance as a fraction of Cb (default 0.15).
+    pub ratio: f64,
+}
+
+impl CouplingModel {
+    /// The paper's 15 %-of-Cb coupling configuration.
+    pub fn paper_default() -> Self {
+        CouplingModel { ratio: 0.15 }
+    }
+
+    /// Noise injected into the victim at sense time when both neighbors
+    /// deviate by `aggressor_dev` volts in the opposing direction.
+    pub fn victim_noise(&self, aggressor_dev: f64) -> f64 {
+        self.ratio * aggressor_dev
+    }
+
+    /// Aggressor deviation of a regular single-cell access.
+    pub fn single_cell_aggressor(&self, p: &CircuitParams, cc_mult: f64, cb_mult: f64) -> f64 {
+        let cc = p.cc_ff * cc_mult;
+        let cb = p.cb_ff() * cb_mult;
+        cc * p.half_vdd() / (cb + cc)
+    }
+
+    /// Aggressor deviation of an Ambit TRA whose three cells all store '1'
+    /// ("strong 1" neighbors, the paper's worst aggressor).
+    pub fn tra_aggressor(&self, p: &CircuitParams, cc_mult: f64, cb_mult: f64) -> f64 {
+        let cc = p.cc_ff * cc_mult;
+        let cb = p.cb_ff() * cb_mult;
+        3.0 * cc * p.half_vdd() / (cb + 3.0 * cc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn nominal_sample_is_identity() {
+        let s = VariationSample::nominal();
+        assert_eq!(s.cc_mult, [1.0; 3]);
+        assert_eq!(s.sa_offset_v, 0.0);
+    }
+
+    #[test]
+    fn zero_sigma_draws_are_nominal() {
+        let p = CircuitParams::default();
+        let s = VariationSample::draw(&mut rng(), PvMode::Random, 0.0, &p);
+        assert!((s.cc_mult[0] - 1.0).abs() < 1e-12);
+        assert_eq!(s.sa_offset_v, 0.0);
+    }
+
+    #[test]
+    fn random_mode_cells_differ_systematic_match() {
+        let p = CircuitParams::default();
+        let mut r = rng();
+        let rand = VariationSample::draw(&mut r, PvMode::Random, 0.1, &p);
+        assert!(rand.cc_mult[0] != rand.cc_mult[1] || rand.cc_mult[1] != rand.cc_mult[2]);
+        let sys = VariationSample::draw(&mut r, PvMode::Systematic, 0.1, &p);
+        assert_eq!(sys.cc_mult[0], sys.cc_mult[1]);
+        assert_eq!(sys.cc_mult[1], sys.cc_mult[2]);
+    }
+
+    #[test]
+    fn systematic_mismatch_is_suppressed() {
+        let p = CircuitParams::default();
+        let mut r = rng();
+        let n = 2000;
+        let mean_abs = |mode: PvMode, r: &mut SmallRng| -> f64 {
+            (0..n)
+                .map(|_| VariationSample::draw(r, mode, 0.05, &p).sa_offset_v.abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let rnd = mean_abs(PvMode::Random, &mut r);
+        let sys = mean_abs(PvMode::Systematic, &mut r);
+        assert!(sys < rnd * 0.5, "systematic {sys} !< half of random {rnd}");
+    }
+
+    #[test]
+    fn sigma_scales_offsets() {
+        let p = CircuitParams::default();
+        let mut r = rng();
+        let n = 4000;
+        let spread = |sigma: f64, r: &mut SmallRng| -> f64 {
+            (0..n)
+                .map(|_| VariationSample::draw(r, PvMode::Random, sigma, &p).sa_offset_v.abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let small = spread(0.02, &mut r);
+        let large = spread(0.08, &mut r);
+        assert!(large > small * 2.5, "offset must scale with sigma: {small} vs {large}");
+    }
+
+    #[test]
+    fn tra_aggressor_swings_harder_than_single_cell() {
+        let p = CircuitParams::default();
+        let c = CouplingModel::paper_default();
+        let single = c.single_cell_aggressor(&p, 1.0, 1.0);
+        let tra = c.tra_aggressor(&p, 1.0, 1.0);
+        assert!(tra > 1.5 * single, "tra {tra} vs single {single}");
+    }
+
+    #[test]
+    fn victim_noise_is_proportional() {
+        let c = CouplingModel { ratio: 0.15 };
+        assert!((c.victim_noise(0.2) - 0.03).abs() < 1e-12);
+    }
+}

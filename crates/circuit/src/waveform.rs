@@ -1,0 +1,147 @@
+//! Waveform recording and rendering (Fig. 10 of the paper).
+
+use crate::phase::Phase;
+use std::fmt::Write as _;
+
+/// One recorded sample of the column state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulation time (ns).
+    pub t_ns: f64,
+    /// Bitline voltage (V).
+    pub v_bl: f64,
+    /// Complementary-bitline voltage (V).
+    pub v_blb: f64,
+    /// Phase label at this instant.
+    pub phase: Phase,
+}
+
+/// A recorded voltage trace of one column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Waveform {
+    samples: Vec<Sample>,
+}
+
+impl Waveform {
+    /// An empty waveform.
+    pub fn new() -> Self {
+        Waveform::default()
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Bitline voltage at (or just after) time `t_ns`, if recorded.
+    pub fn v_bl_at(&self, t_ns: f64) -> Option<f64> {
+        self.samples.iter().find(|s| s.t_ns >= t_ns).map(|s| s.v_bl)
+    }
+
+    /// Renders the trace as CSV (`t_ns,v_bl,v_blb,phase`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ns,v_bl,v_blb,phase\n");
+        for s in &self.samples {
+            let _ = writeln!(out, "{:.3},{:.4},{:.4},{}", s.t_ns, s.v_bl, s.v_blb, s.phase);
+        }
+        out
+    }
+
+    /// Renders a coarse ASCII plot of the bitline voltage: one row per
+    /// voltage bucket (top = Vdd), one column per time bucket.
+    pub fn ascii_plot(&self, vdd: f64, width: usize, height: usize) -> String {
+        if self.samples.is_empty() || width == 0 || height < 2 {
+            return String::new();
+        }
+        let t0 = self.samples.first().expect("nonempty").t_ns;
+        let t1 = self.samples.last().expect("nonempty").t_ns.max(t0 + 1e-9);
+        let mut grid = vec![vec![' '; width]; height];
+        for s in &self.samples {
+            let x = (((s.t_ns - t0) / (t1 - t0)) * (width as f64 - 1.0)).round() as usize;
+            let yv = (s.v_bl / vdd).clamp(0.0, 1.0);
+            let y = ((1.0 - yv) * (height as f64 - 1.0)).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = '*';
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{vdd:>5.2}V")
+            } else if i == height - 1 {
+                format!("{:>5.2}V", 0.0)
+            } else if i == height / 2 {
+                format!("{:>5.2}V", vdd / 2.0)
+            } else {
+                "      ".to_string()
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "       +{}", "-".repeat(width));
+        let _ = writeln!(out, "        {:<10.1}ns{:>w$.1}ns", t0, t1, w = width.saturating_sub(14));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf() -> Waveform {
+        let mut w = Waveform::new();
+        for i in 0..10 {
+            w.push(Sample {
+                t_ns: i as f64,
+                v_bl: 0.12 * i as f64,
+                v_blb: 0.6,
+                phase: Phase::Restore,
+            });
+        }
+        w
+    }
+
+    #[test]
+    fn push_and_query() {
+        let w = wf();
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+        assert!((w.v_bl_at(5.0).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(w.v_bl_at(100.0), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = wf().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "t_ns,v_bl,v_blb,phase");
+        assert_eq!(lines.len(), 11);
+        assert!(lines[1].starts_with("0.000,0.0000,0.6000,"));
+    }
+
+    #[test]
+    fn ascii_plot_shape() {
+        let plot = wf().ascii_plot(1.2, 40, 10);
+        let lines: Vec<_> = plot.lines().collect();
+        assert_eq!(lines.len(), 12); // 10 rows + axis + time labels
+        assert!(lines[0].contains("1.20V"));
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn empty_plot_is_empty() {
+        assert!(Waveform::new().ascii_plot(1.2, 40, 10).is_empty());
+    }
+}

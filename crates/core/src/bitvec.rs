@@ -1,0 +1,299 @@
+//! A bulk bit vector — the content of one DRAM row.
+//!
+//! Rows in the functional engine are `BitVec`s; bulk bitwise operations on
+//! entire rows are the unit of work the paper accelerates.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length vector of bits stored in 64-bit words.
+///
+/// ```
+/// use elp2im_core::bitvec::BitVec;
+/// let a = BitVec::from_bools(&[true, false, true]);
+/// let b = BitVec::from_bools(&[true, true, false]);
+/// assert_eq!(a.and(&b).to_bools(), vec![true, false, false]);
+/// assert_eq!(a.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec { words: vec![u64::MAX; len.div_ceil(WORD_BITS)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a vector filled with `bit`.
+    pub fn splat(bit: bool, len: usize) -> Self {
+        if bit {
+            BitVec::ones(len)
+        } else {
+            BitVec::zeros(len)
+        }
+    }
+
+    /// Builds a vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Builds a vector of `len` bits from little-endian 64-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is too short for `len` bits.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert!(
+            words.len() * WORD_BITS >= len,
+            "need {} words for {len} bits, got {}",
+            len.div_ceil(WORD_BITS),
+            words.len()
+        );
+        let mut v = BitVec { words: words[..len.div_ceil(WORD_BITS)].to_vec(), len };
+        v.mask_tail();
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing little-endian words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Gets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        let (w, o) = (i / WORD_BITS, i % WORD_BITS);
+        if bit {
+            self.words[w] |= 1 << o;
+        } else {
+            self.words[w] &= !(1 << o);
+        }
+    }
+
+    /// Converts to a vector of booleans.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    fn zip(&self, other: &BitVec, f: impl Fn(u64, u64) -> u64) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch: {} vs {}", self.len, other.len);
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        let mut v = BitVec { words, len: self.len };
+        v.mask_tail();
+        v
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ (as do the other binary operations).
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> BitVec {
+        let words = self.words.iter().map(|&a| !a).collect();
+        let mut v = BitVec { words, len: self.len };
+        v.mask_tail();
+        v
+    }
+
+    /// Per-column select: `mask[i] ? ones : self[i]`-style merge used by the
+    /// engine's overwrite semantics — returns `(self & !mask) | (value &
+    /// mask)`.
+    pub fn merge(&self, mask: &BitVec, value: &BitVec) -> BitVec {
+        assert_eq!(self.len, mask.len);
+        assert_eq!(self.len, value.len);
+        let words = self
+            .words
+            .iter()
+            .zip(&mask.words)
+            .zip(&value.words)
+            .map(|((&s, &m), &v)| (s & !m) | (v & m))
+            .collect();
+        let mut v = BitVec { words, len: self.len };
+        v.mask_tail();
+        v
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns true if all bits are zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        let show = self.len.min(64);
+        for i in 0..show {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > show {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bools)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = BitVec::from_bools(&[true, false, true, true]);
+        assert_eq!(v.len(), 4);
+        assert!(v.get(0) && !v.get(1) && v.get(2) && v.get(3));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn splat_and_masking() {
+        let ones = BitVec::ones(70);
+        assert_eq!(ones.count_ones(), 70);
+        // Tail bits beyond len must be masked off.
+        assert_eq!(ones.words()[1] >> 6, 0);
+        assert!(BitVec::zeros(70).is_zero());
+        assert_eq!(BitVec::splat(true, 3).to_bools(), vec![true; 3]);
+    }
+
+    #[test]
+    fn logic_ops_match_bool_logic() {
+        let a = BitVec::from_bools(&[true, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b).to_bools(), vec![true, false, false, false]);
+        assert_eq!(a.or(&b).to_bools(), vec![true, true, true, false]);
+        assert_eq!(a.xor(&b).to_bools(), vec![false, true, true, false]);
+        assert_eq!(a.not().to_bools(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn not_masks_tail() {
+        let v = BitVec::zeros(65).not();
+        assert_eq!(v.count_ones(), 65);
+    }
+
+    #[test]
+    fn merge_selects_by_mask() {
+        let base = BitVec::from_bools(&[false, false, true, true]);
+        let mask = BitVec::from_bools(&[true, false, true, false]);
+        let val = BitVec::from_bools(&[true, true, false, false]);
+        assert_eq!(base.merge(&mask, &val).to_bools(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        let v = BitVec::from_words(&[0b1011], 4);
+        assert_eq!(v.to_bools(), vec![true, true, false, true]);
+        let w = BitVec::from_words(&[u64::MAX, u64::MAX], 100);
+        assert_eq!(w.count_ones(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = BitVec::zeros(4).and(&BitVec::zeros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let _ = BitVec::zeros(4).get(4);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let v = BitVec::from_bools(&[true, false, true]);
+        assert_eq!(format!("{v}"), "101");
+        assert!(format!("{v:?}").contains("101"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_bools(), vec![true, false, true]);
+    }
+}

@@ -1,0 +1,446 @@
+//! The user-facing bulk bitwise device.
+//!
+//! [`Elp2imDevice`] wraps one functional subarray with a row allocator and
+//! the operation compiler: `store` bit vectors, combine them with
+//! `and`/`or`/`xor`/…, `load` results, and read the accumulated substrate
+//! statistics (commands, latency, energy, wordline activations).
+
+use crate::bitvec::BitVec;
+use crate::compile::{compile, CompileMode, LogicOp, Operands};
+use crate::engine::SubarrayEngine;
+use crate::error::CoreError;
+use crate::primitive::RowRef;
+use crate::rowmap::RowAllocator;
+use elp2im_dram::stats::RunStats;
+use std::collections::HashMap;
+
+/// Configuration of an [`Elp2imDevice`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Row width in bits (stored vectors may be shorter; they are padded).
+    pub width: usize,
+    /// Number of data rows in the subarray.
+    pub data_rows: usize,
+    /// Reserved dual-contact rows (1 = the paper's base design,
+    /// 2 = the accelerator configuration of §6.3.3).
+    pub reserved_rows: usize,
+    /// Compilation strategy for operations.
+    pub mode: CompileMode,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            width: 8192,
+            data_rows: 512,
+            reserved_rows: 1,
+            mode: CompileMode::LowLatency,
+        }
+    }
+}
+
+/// Handle to a stored row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowHandle(usize);
+
+/// A bulk bitwise processing-in-memory device.
+///
+/// ```
+/// use elp2im_core::device::{DeviceConfig, Elp2imDevice};
+/// use elp2im_core::bitvec::BitVec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dev = Elp2imDevice::new(DeviceConfig::default());
+/// let a = dev.store(&BitVec::from_bools(&[true, false]))?;
+/// let n = dev.not(a)?;
+/// assert_eq!(dev.load(n)?.to_bools(), vec![false, true]);
+/// // Substrate accounting is live: a NOT is two oAAP commands.
+/// assert_eq!(dev.stats().total_commands(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Elp2imDevice {
+    config: DeviceConfig,
+    engine: SubarrayEngine,
+    alloc: RowAllocator,
+    /// Handle → (row index, logical bit length).
+    handles: HashMap<usize, (usize, usize)>,
+    next_handle: usize,
+    /// One data row kept aside as compiler scratch (XOR sequence 1 only).
+    scratch_row: usize,
+}
+
+impl Elp2imDevice {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero width or fewer than two data
+    /// rows (one is reserved for compiler scratch).
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(config.width > 0, "row width must be positive");
+        assert!(config.data_rows >= 2, "need at least two data rows");
+        let engine = SubarrayEngine::new(config.width, config.data_rows, config.reserved_rows);
+        // The last data row is the compiler's scratch.
+        let scratch_row = config.data_rows - 1;
+        let alloc = RowAllocator::new(config.data_rows - 1);
+        Elp2imDevice { config, engine, alloc, handles: HashMap::new(), next_handle: 0, scratch_row }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Accumulated substrate statistics (PIM commands only; host stores and
+    /// loads are free).
+    pub fn stats(&self) -> &RunStats {
+        self.engine.stats()
+    }
+
+    /// Clears the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.engine.reset_stats();
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        self.alloc.live()
+    }
+
+    fn pad(&self, value: &BitVec) -> Result<BitVec, CoreError> {
+        if value.len() > self.config.width {
+            return Err(CoreError::WidthMismatch {
+                expected: self.config.width,
+                got: value.len(),
+            });
+        }
+        if value.len() == self.config.width {
+            return Ok(value.clone());
+        }
+        let mut padded = BitVec::zeros(self.config.width);
+        for (i, word) in value.words().iter().enumerate() {
+            // Cheap word-wise copy; tail already masked by BitVec.
+            let mut w = padded.words().to_vec();
+            w[i] = *word;
+            padded = BitVec::from_words(&w, self.config.width);
+        }
+        Ok(padded)
+    }
+
+    fn lookup(&self, h: RowHandle) -> Result<(usize, usize), CoreError> {
+        self.handles.get(&h.0).copied().ok_or(CoreError::InvalidHandle(h.0))
+    }
+
+    /// Stores a bit vector into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WidthMismatch`] if the vector is wider than a row;
+    /// [`CoreError::CapacityExceeded`] if no rows are free.
+    pub fn store(&mut self, value: &BitVec) -> Result<RowHandle, CoreError> {
+        let padded = self.pad(value)?;
+        let row = self.alloc.alloc()?;
+        self.engine.write_row(row, padded)?;
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, (row, value.len()));
+        Ok(RowHandle(h))
+    }
+
+    /// Logical bit length of a stored row.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for a dead handle.
+    pub fn length(&self, h: RowHandle) -> Result<usize, CoreError> {
+        self.lookup(h).map(|(_, len)| len)
+    }
+
+    /// Loads a row back, trimmed to its original length.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for a dead handle.
+    pub fn load(&self, h: RowHandle) -> Result<BitVec, CoreError> {
+        let (row, len) = self.lookup(h)?;
+        let full = self.engine.row(RowRef::Data(row))?;
+        Ok((0..len).map(|i| full.get(i)).collect())
+    }
+
+    /// Frees a row.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for a dead handle.
+    pub fn release(&mut self, h: RowHandle) -> Result<(), CoreError> {
+        let (row, _) = self.lookup(h)?;
+        self.handles.remove(&h.0);
+        self.alloc.free(row)
+    }
+
+    /// Executes `op` over `a` and `b` into a fresh destination row.
+    ///
+    /// # Errors
+    ///
+    /// Handle, capacity, and compilation errors propagate.
+    pub fn binary(&mut self, op: LogicOp, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        let (ra, la) = self.lookup(a)?;
+        let (rb, lb) = self.lookup(b)?;
+        if la != lb {
+            return Err(CoreError::WidthMismatch { expected: la, got: lb });
+        }
+        let dst = self.alloc.alloc()?;
+        let rows = Operands { a: ra, b: rb, dst, scratch: Some(self.scratch_row) };
+        let prog = match compile(op, self.config.mode, rows, self.config.reserved_rows) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.alloc.free(dst);
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.engine.run(prog.primitives()) {
+            let _ = self.alloc.free(dst);
+            return Err(e);
+        }
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, (dst, la));
+        Ok(RowHandle(h))
+    }
+
+    /// Bulk AND into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Elp2imDevice::binary`].
+    pub fn and(&mut self, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        self.binary(LogicOp::And, a, b)
+    }
+
+    /// Bulk OR into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Elp2imDevice::binary`].
+    pub fn or(&mut self, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        self.binary(LogicOp::Or, a, b)
+    }
+
+    /// Bulk XOR into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Elp2imDevice::binary`].
+    pub fn xor(&mut self, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        self.binary(LogicOp::Xor, a, b)
+    }
+
+    /// Bulk NAND into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Elp2imDevice::binary`].
+    pub fn nand(&mut self, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        self.binary(LogicOp::Nand, a, b)
+    }
+
+    /// Bulk NOR into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Elp2imDevice::binary`].
+    pub fn nor(&mut self, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        self.binary(LogicOp::Nor, a, b)
+    }
+
+    /// Bulk XNOR into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Elp2imDevice::binary`].
+    pub fn xnor(&mut self, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+        self.binary(LogicOp::Xnor, a, b)
+    }
+
+    /// Failure injection: flips one bit of a stored row (see
+    /// [`SubarrayEngine::inject_bit_error`]).
+    ///
+    /// # Errors
+    ///
+    /// Invalid handles and out-of-range columns are errors.
+    pub fn inject_bit_error(&mut self, h: RowHandle, column: usize) -> Result<(), CoreError> {
+        let (row, len) = self.lookup(h)?;
+        if column >= len {
+            return Err(CoreError::WidthMismatch { expected: len, got: column + 1 });
+        }
+        self.engine.inject_bit_error(crate::primitive::RowRef::Data(row), column)
+    }
+
+    /// Bulk NOT into a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// Handle and capacity errors propagate.
+    pub fn not(&mut self, a: RowHandle) -> Result<RowHandle, CoreError> {
+        let (ra, la) = self.lookup(a)?;
+        let dst = self.alloc.alloc()?;
+        let rows = Operands { a: ra, b: ra, dst, scratch: Some(self.scratch_row) };
+        let prog = match compile(LogicOp::Not, self.config.mode, rows, self.config.reserved_rows) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.alloc.free(dst);
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.engine.run(prog.primitives()) {
+            let _ = self.alloc.free(dst);
+            return Err(e);
+        }
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, (dst, la));
+        Ok(RowHandle(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Elp2imDevice {
+        Elp2imDevice::new(DeviceConfig {
+            width: 64,
+            data_rows: 16,
+            reserved_rows: 1,
+            mode: CompileMode::LowLatency,
+        })
+    }
+
+    fn bools(n: u64, len: usize) -> BitVec {
+        BitVec::from_words(&[n], len)
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut d = dev();
+        let v = bools(0b1011, 4);
+        let h = d.store(&v).unwrap();
+        assert_eq!(d.load(h).unwrap(), v);
+        assert_eq!(d.live_rows(), 1);
+    }
+
+    #[test]
+    fn all_binary_ops_match_software() {
+        let a_val = 0b1100u64;
+        let b_val = 0b1010u64;
+        for op in [LogicOp::And, LogicOp::Or, LogicOp::Nand, LogicOp::Nor, LogicOp::Xor, LogicOp::Xnor] {
+            let mut d = dev();
+            let a = d.store(&bools(a_val, 4)).unwrap();
+            let b = d.store(&bools(b_val, 4)).unwrap();
+            let c = d.binary(op, a, b).unwrap();
+            let got = d.load(c).unwrap();
+            let want: BitVec = (0..4)
+                .map(|i| op.eval((a_val >> i) & 1 == 1, (b_val >> i) & 1 == 1))
+                .collect();
+            assert_eq!(got, want, "{op}");
+            // Operands must survive the operation.
+            assert_eq!(d.load(a).unwrap(), bools(a_val, 4), "{op} clobbered a");
+            assert_eq!(d.load(b).unwrap(), bools(b_val, 4), "{op} clobbered b");
+        }
+    }
+
+    #[test]
+    fn not_inverts() {
+        let mut d = dev();
+        let a = d.store(&bools(0b10, 2)).unwrap();
+        let n = d.not(a).unwrap();
+        assert_eq!(d.load(n).unwrap(), bools(0b01, 2));
+    }
+
+    #[test]
+    fn release_recycles_rows() {
+        let mut d = dev();
+        let before = d.live_rows();
+        let h = d.store(&bools(1, 1)).unwrap();
+        d.release(h).unwrap();
+        assert_eq!(d.live_rows(), before);
+        assert!(matches!(d.load(h), Err(CoreError::InvalidHandle(_))));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut d = dev();
+        let a = d.store(&bools(1, 3)).unwrap();
+        let b = d.store(&bools(1, 4)).unwrap();
+        assert!(matches!(d.and(a, b), Err(CoreError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn too_wide_vector_rejected() {
+        let mut d = dev();
+        let wide = BitVec::ones(65);
+        assert!(matches!(d.store(&wide), Err(CoreError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn capacity_exhaustion_reported() {
+        let mut d = Elp2imDevice::new(DeviceConfig {
+            width: 8,
+            data_rows: 3, // minus scratch = 2 usable
+            reserved_rows: 1,
+            mode: CompileMode::LowLatency,
+        });
+        let _ = d.store(&bools(1, 1)).unwrap();
+        let _ = d.store(&bools(1, 1)).unwrap();
+        assert!(matches!(d.store(&bools(1, 1)), Err(CoreError::CapacityExceeded { .. })));
+    }
+
+    #[test]
+    fn failed_op_frees_destination_row() {
+        // High-throughput XOR with zero reserved rows fails to compile; the
+        // speculatively allocated dst must be released.
+        let mut d = Elp2imDevice::new(DeviceConfig {
+            width: 8,
+            data_rows: 8,
+            reserved_rows: 0,
+            mode: CompileMode::LowLatency,
+        });
+        let a = d.store(&bools(1, 2)).unwrap();
+        let b = d.store(&bools(2, 2)).unwrap();
+        let live = d.live_rows();
+        assert!(d.xor(a, b).is_err());
+        assert_eq!(d.live_rows(), live);
+    }
+
+    #[test]
+    fn stats_track_command_mix() {
+        let mut d = dev();
+        let a = d.store(&bools(0b01, 2)).unwrap();
+        let b = d.store(&bools(0b11, 2)).unwrap();
+        let _ = d.and(a, b).unwrap();
+        let s = d.stats();
+        // LowLatency AND = oAAP, oAPP, oAAP.
+        assert_eq!(s.total_commands(), 3);
+        assert_eq!(s.commands.get("oAAP"), Some(&2));
+        assert_eq!(s.commands.get("oAPP"), Some(&1));
+        assert!(s.busy_time.as_f64() > 150.0);
+    }
+
+    #[test]
+    fn two_buffer_device_uses_seq6_for_xor() {
+        let mut d = Elp2imDevice::new(DeviceConfig {
+            width: 16,
+            data_rows: 8,
+            reserved_rows: 2,
+            mode: CompileMode::LowLatency,
+        });
+        let a = d.store(&bools(0b0011, 4)).unwrap();
+        let b = d.store(&bools(0b0101, 4)).unwrap();
+        let x = d.xor(a, b).unwrap();
+        assert_eq!(d.load(x).unwrap(), bools(0b0110, 4));
+        // seq6 = 6 primitives.
+        assert_eq!(d.stats().total_commands(), 6);
+    }
+}

@@ -1,0 +1,627 @@
+//! The functional subarray engine.
+//!
+//! Executes primitive programs over whole rows ([`BitVec`]s) with the exact
+//! pseudo-precharge semantics of §3.2:
+//!
+//! * After an APP-class primitive, every bitline column is either
+//!   **overwriting** (it kept the full-rail surviving value — Vdd for OR,
+//!   Gnd for AND) or **neutral** (regulated to Vdd/2). The engine tracks
+//!   this as a per-column keep-mask.
+//! * The next activation applies the pending regulation: overwritten
+//!   columns take the surviving value; neutral columns sense the stored
+//!   cell — which is precisely `dst := dst OP src`.
+//! * Trimmed primitives (tAPP/otAPP) skip the restore and *destroy* the
+//!   accessed row; reading a destroyed row is an error.
+//! * Dual-contact rows read and restore complemented values through their
+//!   bar port, implementing NOT.
+//!
+//! Every executed primitive is accounted against the DDR3 substrate
+//! (latency, energy, wordline events) via its command profile.
+
+use crate::bitvec::BitVec;
+use crate::error::CoreError;
+use crate::primitive::{Primitive, RegulateMode, RowRef};
+use elp2im_dram::power::PowerModel;
+use elp2im_dram::stats::RunStats;
+use elp2im_dram::timing::Ddr3Timing;
+
+/// Pending bitline regulation left by an APP-class primitive.
+#[derive(Debug, Clone, PartialEq)]
+struct Regulation {
+    /// Columns holding the full-rail surviving value (will overwrite).
+    keep: BitVec,
+    /// Which mode produced it.
+    mode: RegulateMode,
+}
+
+/// One entry of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Position in the executed stream.
+    pub index: usize,
+    /// The primitive executed.
+    pub primitive: Primitive,
+    /// Start time (cumulative busy time before this primitive).
+    pub start: elp2im_dram::units::Ns,
+    /// Duration.
+    pub duration: elp2im_dram::units::Ns,
+}
+
+/// The functional model of one ELP2IM subarray.
+///
+/// ```
+/// use elp2im_core::engine::SubarrayEngine;
+/// use elp2im_core::bitvec::BitVec;
+/// use elp2im_core::primitive::{Primitive, RegulateMode, RowRef};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut e = SubarrayEngine::new(8, 16, 1);
+/// e.write_row(0, BitVec::from_bools(&[true, true, false, false, true, false, true, false]))?;
+/// e.write_row(1, BitVec::from_bools(&[true, false, true, false, false, false, true, true]))?;
+/// // In-place OR: APP(r0) then AP(r1) computes r1 := r0 | r1.
+/// e.execute(&Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or })?;
+/// e.execute(&Primitive::Ap { row: RowRef::Data(1) })?;
+/// assert_eq!(e.row(RowRef::Data(1))?.to_bools(),
+///            vec![true, true, true, false, true, false, true, true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubarrayEngine {
+    width: usize,
+    rows: Vec<Option<BitVec>>,
+    dcc: Vec<Option<BitVec>>,
+    regulation: Option<Regulation>,
+    timing: Ddr3Timing,
+    power: PowerModel,
+    stats: RunStats,
+    trace: Option<Vec<TraceEntry>>,
+    /// Wordline-raise counts per physical row: `[data rows..., dcc rows...]`.
+    /// Reserved rows absorb most of a PIM workload's activations (they are
+    /// touched by nearly every operation), which matters for disturbance
+    /// budgets (row-hammer-style neighbor disturb).
+    activation_counts: Vec<u64>,
+}
+
+impl SubarrayEngine {
+    /// Creates an engine with `data_rows` regular rows of `width` bits and
+    /// `dcc_rows` reserved dual-contact rows (the paper's base design has
+    /// one; the accelerator configuration of §6.3.3 has two).
+    pub fn new(width: usize, data_rows: usize, dcc_rows: usize) -> Self {
+        SubarrayEngine {
+            width,
+            rows: vec![None; data_rows],
+            dcc: vec![None; dcc_rows],
+            regulation: None,
+            timing: Ddr3Timing::ddr3_1600(),
+            power: PowerModel::micron_ddr3_1600(),
+            stats: RunStats::new(),
+            trace: None,
+            activation_counts: vec![0; data_rows + dcc_rows],
+        }
+    }
+
+    /// Wordline-raise count of one physical row.
+    pub fn activation_count(&self, row: RowRef) -> u64 {
+        let idx = match row {
+            RowRef::Data(i) => i,
+            RowRef::DccTrue(i) | RowRef::DccBar(i) => self.rows.len() + i,
+        };
+        self.activation_counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// The most-activated row and its count — the disturbance hot spot.
+    pub fn hottest_row(&self) -> (RowRef, u64) {
+        let (idx, &count) = self
+            .activation_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .expect("at least one row");
+        let row = if idx < self.rows.len() {
+            RowRef::Data(idx)
+        } else {
+            RowRef::DccTrue(idx - self.rows.len())
+        };
+        (row, count)
+    }
+
+    /// Enables primitive-level execution tracing (start time, duration
+    /// per command) — the view a logic analyzer on the command bus would
+    /// give.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Row width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of regular data rows.
+    pub fn data_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of reserved dual-contact rows.
+    pub fn dcc_rows(&self) -> usize {
+        self.dcc.len()
+    }
+
+    /// Accumulated substrate statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (rows keep their contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::new();
+    }
+
+    /// The timing parameter set in use.
+    pub fn timing(&self) -> &Ddr3Timing {
+        &self.timing
+    }
+
+    /// Whether a regulation is pending (a well-formed program ends with
+    /// none).
+    pub fn has_pending_regulation(&self) -> bool {
+        self.regulation.is_some()
+    }
+
+    /// Writes a data row directly (host-side store, outside PIM timing).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WidthMismatch`] or [`CoreError::RowOutOfRange`].
+    pub fn write_row(&mut self, index: usize, value: BitVec) -> Result<(), CoreError> {
+        if value.len() != self.width {
+            return Err(CoreError::WidthMismatch { expected: self.width, got: value.len() });
+        }
+        let (rows, dcc_rows) = (self.rows.len(), self.dcc.len());
+        let slot = self
+            .rows
+            .get_mut(index)
+            .ok_or(CoreError::RowOutOfRange { row: RowRef::Data(index), rows, dcc_rows })?;
+        *slot = Some(value);
+        Ok(())
+    }
+
+    fn out_of_range(&self, row: RowRef) -> CoreError {
+        CoreError::RowOutOfRange { row, rows: self.rows.len(), dcc_rows: self.dcc.len() }
+    }
+
+    /// Reads the stored content of a row (through the referenced port).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range, destroyed, or uninitialized rows are errors.
+    pub fn row(&self, row: RowRef) -> Result<BitVec, CoreError> {
+        match row {
+            RowRef::Data(i) => {
+                let slot = self.rows.get(i).ok_or_else(|| self.out_of_range(row))?;
+                slot.clone().ok_or(CoreError::UninitializedRow(row))
+            }
+            RowRef::DccTrue(i) => {
+                let slot = self.dcc.get(i).ok_or_else(|| self.out_of_range(row))?;
+                slot.clone().ok_or(CoreError::UninitializedRow(row))
+            }
+            RowRef::DccBar(i) => {
+                let slot = self.dcc.get(i).ok_or_else(|| self.out_of_range(row))?;
+                slot.clone().map(|v| v.not()).ok_or(CoreError::UninitializedRow(row))
+            }
+        }
+    }
+
+    /// Whether the row currently holds valid data.
+    pub fn is_live(&self, row: RowRef) -> bool {
+        match row {
+            RowRef::Data(i) => self.rows.get(i).is_some_and(Option::is_some),
+            RowRef::DccTrue(i) | RowRef::DccBar(i) => self.dcc.get(i).is_some_and(Option::is_some),
+        }
+    }
+
+    /// Stores `value` through `row`'s port (bar port stores the
+    /// complement of what the bitline carries — the cell keeps `!value`).
+    fn restore(&mut self, row: RowRef, bitline_value: &BitVec) -> Result<(), CoreError> {
+        match row {
+            RowRef::Data(i) => {
+                if i >= self.rows.len() {
+                    return Err(self.out_of_range(row));
+                }
+                self.rows[i] = Some(bitline_value.clone());
+            }
+            RowRef::DccTrue(i) => {
+                if i >= self.dcc.len() {
+                    return Err(self.out_of_range(row));
+                }
+                self.dcc[i] = Some(bitline_value.clone());
+            }
+            RowRef::DccBar(i) => {
+                if i >= self.dcc.len() {
+                    return Err(self.out_of_range(row));
+                }
+                self.dcc[i] = Some(bitline_value.not());
+            }
+        }
+        Ok(())
+    }
+
+    fn destroy(&mut self, row: RowRef) -> Result<(), CoreError> {
+        match row {
+            RowRef::Data(i) => {
+                if i >= self.rows.len() {
+                    return Err(self.out_of_range(row));
+                }
+                self.rows[i] = None;
+            }
+            RowRef::DccTrue(i) | RowRef::DccBar(i) => {
+                if i >= self.dcc.len() {
+                    return Err(self.out_of_range(row));
+                }
+                self.dcc[i] = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Activates `row`: applies any pending regulation and returns the
+    /// value latched on the bitline.
+    fn activate(&mut self, row: RowRef) -> Result<BitVec, CoreError> {
+        let stored = match self.row(row) {
+            Ok(v) => v,
+            Err(CoreError::UninitializedRow(r)) => {
+                // Distinguish "never written" from "destroyed by a trim":
+                // both are unreadable; report destroyed reads specially when
+                // regulation would not fully overwrite them. For simplicity
+                // and safety, any read of an invalid row is an error.
+                return Err(CoreError::DestroyedRowRead(r));
+            }
+            Err(e) => return Err(e),
+        };
+        let value = match self.regulation.take() {
+            None => stored,
+            Some(reg) => {
+                let surviving = BitVec::splat(reg.mode.surviving_bit(), self.width);
+                stored.merge(&reg.keep, &surviving)
+            }
+        };
+        Ok(value)
+    }
+
+    fn check_dual_decoder(&self, p: &Primitive, a: RowRef, b: RowRef) -> Result<(), CoreError> {
+        if p.requires_dual_decoder() && a.is_reserved() == b.is_reserved() {
+            return Err(CoreError::DualDecoderViolation { a, b });
+        }
+        Ok(())
+    }
+
+    fn account(&mut self, p: &Primitive) {
+        for row in p.rows() {
+            let idx = match row {
+                RowRef::Data(i) => i,
+                RowRef::DccTrue(i) | RowRef::DccBar(i) => self.rows.len() + i,
+            };
+            if let Some(c) = self.activation_counts.get_mut(idx) {
+                *c += 1;
+            }
+        }
+        let profile = p.profile(&self.timing);
+        let energy = self.power.command_energy(&profile);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                index: trace.len(),
+                primitive: *p,
+                start: self.stats.busy_time,
+                duration: profile.duration,
+            });
+        }
+        self.stats.record(profile.class, profile.duration, profile.total_wordline_events, energy);
+    }
+
+    /// Executes one primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates addressing, destroyed-row, and decoder-domain errors; on
+    /// error the engine state is unchanged except that a consumed
+    /// regulation is not reinstated (matching hardware, where the charge is
+    /// gone).
+    pub fn execute(&mut self, p: &Primitive) -> Result<(), CoreError> {
+        match *p {
+            Primitive::Ap { row } => {
+                let v = self.activate(row)?;
+                self.restore(row, &v)?;
+            }
+            Primitive::Aap { src, dst } | Primitive::OAap { src, dst } => {
+                self.check_dual_decoder(p, src, dst)?;
+                let v = self.activate(src)?;
+                self.restore(src, &v)?;
+                self.restore(dst, &v)?;
+            }
+            Primitive::App { row, mode } | Primitive::OApp { row, mode } => {
+                let v = self.activate(row)?;
+                self.restore(row, &v)?;
+                self.set_regulation(mode, &v);
+            }
+            Primitive::TApp { row, mode } | Primitive::OtApp { row, mode } => {
+                let v = self.activate(row)?;
+                self.destroy(row)?;
+                self.set_regulation(mode, &v);
+            }
+            Primitive::OAppCopy { src, dst, mode } => {
+                self.check_dual_decoder(p, src, dst)?;
+                let v = self.activate(src)?;
+                self.restore(src, &v)?;
+                self.restore(dst, &v)?;
+                self.set_regulation(mode, &v);
+            }
+        }
+        self.account(p);
+        Ok(())
+    }
+
+    fn set_regulation(&mut self, mode: RegulateMode, bitline: &BitVec) {
+        let keep = match mode {
+            RegulateMode::Or => bitline.clone(),
+            RegulateMode::And => bitline.not(),
+        };
+        self.regulation = Some(Regulation { keep, mode });
+    }
+
+    /// Executes a sequence of primitives in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first failing primitive.
+    pub fn run(&mut self, program: &[Primitive]) -> Result<(), CoreError> {
+        for p in program {
+            self.execute(p)?;
+        }
+        Ok(())
+    }
+
+    /// Failure injection: flips one stored bit, modeling a sensing error
+    /// of the kind the Fig. 11 Monte-Carlo quantifies (e.g. a TRA margin
+    /// collapse or a Vdd/2 mismatch flip). Subsequent operations propagate
+    /// the corruption, which is how the §6.1.2 ECC discussion manifests:
+    /// bitwise PIM results carry no error-correction.
+    ///
+    /// # Errors
+    ///
+    /// The target row must be live; `column` must be in range.
+    pub fn inject_bit_error(&mut self, row: RowRef, column: usize) -> Result<(), CoreError> {
+        if column >= self.width {
+            return Err(CoreError::WidthMismatch { expected: self.width, got: column + 1 });
+        }
+        let mut value = self.row(row)?;
+        value.set(column, !value.get(column));
+        // Store through the same port semantics as a restore.
+        self.restore(row, &value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[u8]) -> BitVec {
+        BitVec::from_bools(&bits.iter().map(|&b| b != 0).collect::<Vec<_>>())
+    }
+
+    fn engine() -> SubarrayEngine {
+        let mut e = SubarrayEngine::new(4, 8, 2);
+        e.write_row(0, bv(&[1, 1, 0, 0])).unwrap();
+        e.write_row(1, bv(&[1, 0, 1, 0])).unwrap();
+        e
+    }
+
+    #[test]
+    fn in_place_or_and_truth_tables() {
+        // APP(r0)·or ; AP(r1) → r1 := r0 | r1 across all column combos.
+        let mut e = engine();
+        e.run(&[
+            Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+            Primitive::Ap { row: RowRef::Data(1) },
+        ])
+        .unwrap();
+        assert_eq!(e.row(RowRef::Data(1)).unwrap(), bv(&[1, 1, 1, 0]));
+        // Source must be restored intact.
+        assert_eq!(e.row(RowRef::Data(0)).unwrap(), bv(&[1, 1, 0, 0]));
+
+        let mut e = engine();
+        e.run(&[
+            Primitive::App { row: RowRef::Data(0), mode: RegulateMode::And },
+            Primitive::Ap { row: RowRef::Data(1) },
+        ])
+        .unwrap();
+        assert_eq!(e.row(RowRef::Data(1)).unwrap(), bv(&[1, 0, 0, 0]));
+    }
+
+    #[test]
+    fn aap_copies() {
+        let mut e = engine();
+        e.execute(&Primitive::Aap { src: RowRef::Data(0), dst: RowRef::Data(2) }).unwrap();
+        assert_eq!(e.row(RowRef::Data(2)).unwrap(), bv(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn oaap_requires_different_domains() {
+        let mut e = engine();
+        let err = e
+            .execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::Data(2) })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DualDecoderViolation { .. }));
+        // Data ↔ reserved is fine.
+        e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+        assert_eq!(e.row(RowRef::DccTrue(0)).unwrap(), bv(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn dcc_bar_reads_complement_and_restores_complement() {
+        let mut e = engine();
+        e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+        assert_eq!(e.row(RowRef::DccBar(0)).unwrap(), bv(&[0, 0, 1, 1]));
+        // NOT: copy the bar-port readout into a data row.
+        e.execute(&Primitive::OAap { src: RowRef::DccBar(0), dst: RowRef::Data(3) }).unwrap();
+        assert_eq!(e.row(RowRef::Data(3)).unwrap(), bv(&[0, 0, 1, 1]));
+        // The DCC itself must be unchanged (restored through the bar port).
+        assert_eq!(e.row(RowRef::DccTrue(0)).unwrap(), bv(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn trimmed_app_destroys_row() {
+        let mut e = engine();
+        e.execute(&Primitive::TApp { row: RowRef::Data(0), mode: RegulateMode::Or }).unwrap();
+        // Regulation is pending; consume it into r1.
+        e.execute(&Primitive::Ap { row: RowRef::Data(1) }).unwrap();
+        assert_eq!(e.row(RowRef::Data(1)).unwrap(), bv(&[1, 1, 1, 0]));
+        // r0 is now unreadable.
+        let err = e.row(RowRef::Data(0)).unwrap_err();
+        assert!(matches!(err, CoreError::UninitializedRow(_)));
+        let err = e.execute(&Primitive::Ap { row: RowRef::Data(0) }).unwrap_err();
+        assert!(matches!(err, CoreError::DestroyedRowRead(_)));
+        // Rewriting revives it.
+        e.write_row(0, bv(&[0, 1, 0, 1])).unwrap();
+        assert_eq!(e.row(RowRef::Data(0)).unwrap(), bv(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn regulated_overwrite_through_bar_port() {
+        // AND-regulate by r1 = 1010, then activate the DCC bar port:
+        // columns where r1=0 read 0; else they read !dcc.
+        let mut e = engine();
+        e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+        // dcc = 1100, bar readout = 0011
+        e.execute(&Primitive::App { row: RowRef::Data(1), mode: RegulateMode::And }).unwrap();
+        e.execute(&Primitive::Ap { row: RowRef::DccBar(0) }).unwrap();
+        // value = r1 AND !dcc = 1010 & 0011 = 0010
+        assert_eq!(e.row(RowRef::DccBar(0)).unwrap(), bv(&[0, 0, 1, 0]));
+        // And the stored cell is the complement of that bitline value.
+        assert_eq!(e.row(RowRef::DccTrue(0)).unwrap(), bv(&[1, 1, 0, 1]));
+    }
+
+    #[test]
+    fn stats_accumulate_commands_and_time() {
+        let mut e = engine();
+        e.run(&[
+            Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+            Primitive::Ap { row: RowRef::Data(1) },
+        ])
+        .unwrap();
+        let s = e.stats();
+        assert_eq!(s.total_commands(), 2);
+        // APP (67) + AP (49) ≈ 115.4 ns of busy time.
+        assert!((s.busy_time.as_f64() - 115.35).abs() < 1.0, "busy = {}", s.busy_time);
+        assert!(s.energy.as_f64() > 0.0);
+        assert_eq!(s.wordline_activations, 2);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut e = SubarrayEngine::new(4, 2, 1);
+        let err = e.write_row(0, BitVec::zeros(5)).unwrap_err();
+        assert_eq!(err, CoreError::WidthMismatch { expected: 4, got: 5 });
+    }
+
+    #[test]
+    fn out_of_range_rows_rejected() {
+        let mut e = engine();
+        assert!(matches!(
+            e.execute(&Primitive::Ap { row: RowRef::Data(99) }),
+            Err(CoreError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            e.row(RowRef::DccTrue(5)),
+            Err(CoreError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn uninitialized_read_is_an_error() {
+        let e = SubarrayEngine::new(4, 2, 1);
+        assert!(matches!(e.row(RowRef::Data(0)), Err(CoreError::UninitializedRow(_))));
+    }
+
+    #[test]
+    fn activation_counts_identify_the_reserved_row_hot_spot() {
+        use crate::compile::{compile, CompileMode, LogicOp, Operands};
+        let mut e = SubarrayEngine::new(4, 8, 1);
+        e.write_row(0, bv(&[1, 1, 0, 0])).unwrap();
+        e.write_row(1, bv(&[1, 0, 1, 0])).unwrap();
+        e.write_row(2, bv(&[0, 0, 0, 0])).unwrap();
+        // Run 10 XORs: every one hammers the single reserved row.
+        let prog = compile(LogicOp::Xor, CompileMode::LowLatency, Operands::standard(), 1).unwrap();
+        for _ in 0..10 {
+            e.run(prog.primitives()).unwrap();
+        }
+        let (hottest, count) = e.hottest_row();
+        assert_eq!(hottest, RowRef::DccTrue(0), "the DCC absorbs the workload");
+        // seq5 raises the DCC wordline 4 times per XOR (two copies in,
+        // one compute-out, one trimmed read).
+        assert_eq!(count, 40);
+        assert_eq!(e.activation_count(RowRef::Data(0)), 20); // a read twice/op
+        assert_eq!(e.activation_count(RowRef::Data(7)), 0);
+    }
+
+    #[test]
+    fn trace_records_primitives_with_cumulative_times() {
+        let mut e = engine();
+        e.enable_trace();
+        assert!(e.trace().is_empty());
+        e.run(&[
+            Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+            Primitive::Ap { row: RowRef::Data(1) },
+        ])
+        .unwrap();
+        let tr = e.trace();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].index, 0);
+        assert_eq!(tr[0].start.as_f64(), 0.0);
+        assert!((tr[0].duration.as_f64() - 66.6).abs() < 1.0);
+        // Second primitive starts where the first ended.
+        assert!((tr[1].start.as_f64() - tr[0].duration.as_f64()).abs() < 1e-9);
+        assert!(matches!(tr[1].primitive, Primitive::Ap { .. }));
+    }
+
+    #[test]
+    fn injected_errors_propagate_through_operations() {
+        let mut e = engine();
+        // Corrupt one bit of r0, then compute r1 := r0 | r1 in place.
+        e.inject_bit_error(RowRef::Data(0), 3).unwrap();
+        assert_eq!(e.row(RowRef::Data(0)).unwrap(), bv(&[1, 1, 0, 1]));
+        e.run(&[
+            Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+            Primitive::Ap { row: RowRef::Data(1) },
+        ])
+        .unwrap();
+        // Without the fault the result would be 1110; the fault makes
+        // column 3 overwrite to '1'.
+        assert_eq!(e.row(RowRef::Data(1)).unwrap(), bv(&[1, 1, 1, 1]));
+
+        // Injection through a DCC bar port flips the stored complement.
+        let mut e = engine();
+        e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+        e.inject_bit_error(RowRef::DccBar(0), 0).unwrap();
+        assert_eq!(e.row(RowRef::DccTrue(0)).unwrap(), bv(&[0, 1, 0, 0]));
+
+        // Errors on dead rows / bad columns are rejected.
+        assert!(e.inject_bit_error(RowRef::Data(7), 0).is_err());
+        assert!(e.inject_bit_error(RowRef::Data(0), 99).is_err());
+    }
+
+    #[test]
+    fn pending_regulation_is_tracked() {
+        let mut e = engine();
+        assert!(!e.has_pending_regulation());
+        e.execute(&Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or }).unwrap();
+        assert!(e.has_pending_regulation());
+        e.execute(&Primitive::Ap { row: RowRef::Data(1) }).unwrap();
+        assert!(!e.has_pending_regulation());
+    }
+}

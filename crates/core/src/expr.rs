@@ -1,0 +1,439 @@
+//! Boolean-expression compilation (§4.2.3).
+//!
+//! "Because ELP2IM implements logic expression in the granularity of basic
+//! AND, OR, and NOT operations, any complex logic expression is required
+//! to be decomposed into the basic operations and executed sequentially …
+//! it is important to simplify the Boolean expression to the minimized
+//! form and explore more buffers for the reused data."
+//!
+//! [`Expr`] is a small Boolean AST over row-variables; [`compile_expr`]
+//! lowers it to a primitive [`Program`], allocating temporary rows,
+//! reusing common subexpressions (one compute per distinct subterm — the
+//! "more than one copy of a variable" case of the Boolean median example),
+//! and freeing temporaries as their last use passes.
+
+use crate::bitvec::BitVec;
+use crate::compile::{compile, CompileMode, LogicOp, Operands};
+use crate::error::CoreError;
+use crate::isa::Program;
+use crate::primitive::Primitive;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::rc::Rc;
+
+/// A Boolean expression over input variables (row indices are bound at
+/// compile time).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Input variable `i`.
+    Var(usize),
+    /// Logical negation.
+    Not(Rc<Expr>),
+    /// Conjunction.
+    And(Rc<Expr>, Rc<Expr>),
+    /// Disjunction.
+    Or(Rc<Expr>, Rc<Expr>),
+    /// Exclusive or.
+    Xor(Rc<Expr>, Rc<Expr>),
+}
+
+impl Expr {
+    /// Input variable `i`.
+    pub fn var(i: usize) -> Expr {
+        Expr::Var(i)
+    }
+
+    /// The Boolean median (majority) of three expressions — the paper's
+    /// §4.2.3 example `AB + AC + BC`.
+    pub fn majority(a: Expr, b: Expr, c: Expr) -> Expr {
+        (a.clone() & b.clone()) | (a & c.clone()) | (b & c)
+    }
+
+    /// Evaluates over scalar inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index exceeds `inputs`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => inputs[*i],
+            Expr::Not(e) => !e.eval(inputs),
+            Expr::And(a, b) => a.eval(inputs) && b.eval(inputs),
+            Expr::Or(a, b) => a.eval(inputs) || b.eval(inputs),
+            Expr::Xor(a, b) => a.eval(inputs) ^ b.eval(inputs),
+        }
+    }
+
+    /// Evaluates column-wise over bit-vector inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index exceeds `inputs` or lengths differ.
+    pub fn eval_bitvec(&self, inputs: &[BitVec]) -> BitVec {
+        match self {
+            Expr::Var(i) => inputs[*i].clone(),
+            Expr::Not(e) => e.eval_bitvec(inputs).not(),
+            Expr::And(a, b) => a.eval_bitvec(inputs).and(&b.eval_bitvec(inputs)),
+            Expr::Or(a, b) => a.eval_bitvec(inputs).or(&b.eval_bitvec(inputs)),
+            Expr::Xor(a, b) => a.eval_bitvec(inputs).xor(&b.eval_bitvec(inputs)),
+        }
+    }
+
+    /// Number of distinct (hash-consed) internal nodes — the compute count
+    /// after common-subexpression elimination.
+    pub fn distinct_ops(&self) -> usize {
+        fn walk(e: &Expr, seen: &mut HashMap<Expr, ()>) {
+            if matches!(e, Expr::Var(_)) || seen.contains_key(e) {
+                return;
+            }
+            seen.insert(e.clone(), ());
+            match e {
+                Expr::Var(_) => {}
+                Expr::Not(x) => walk(x, seen),
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                    walk(a, seen);
+                    walk(b, seen);
+                }
+            }
+        }
+        let mut seen = HashMap::new();
+        walk(self, &mut seen);
+        seen.len()
+    }
+
+    /// Highest variable index used, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Expr::Var(i) => Some(*i),
+            Expr::Not(e) => e.max_var(),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                match (a.max_var(), b.max_var()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+        }
+    }
+}
+
+impl Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Not(Rc::new(self))
+    }
+}
+
+impl BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::And(Rc::new(self), Rc::new(rhs))
+    }
+}
+
+impl BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::Or(Rc::new(self), Rc::new(rhs))
+    }
+}
+
+impl BitXor for Expr {
+    type Output = Expr;
+    fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::Xor(Rc::new(self), Rc::new(rhs))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(i) => write!(f, "v{i}"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+            Expr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+        }
+    }
+}
+
+/// Row assignment for an expression compilation.
+#[derive(Debug, Clone)]
+pub struct ExprOperands {
+    /// Data-row index of each input variable.
+    pub inputs: Vec<usize>,
+    /// Destination row for the result.
+    pub dst: usize,
+    /// Temporary rows the compiler may use (distinct from inputs/dst).
+    pub temps: Vec<usize>,
+}
+
+/// Compiles `expr` into a primitive program computing it into
+/// `rows.dst`, with common subexpressions computed once and temporaries
+/// recycled after their last use.
+///
+/// # Errors
+///
+/// * [`CoreError::RowOutOfRange`]-style variable errors are reported as
+///   [`CoreError::InvalidHandle`] with the variable index.
+/// * [`CoreError::CapacityExceeded`] when `rows.temps` cannot hold the
+///   live intermediate set.
+/// * Compilation errors of the basic operations propagate.
+pub fn compile_expr(
+    expr: &Expr,
+    rows: &ExprOperands,
+    mode: CompileMode,
+    reserved_rows: usize,
+) -> Result<Program, CoreError> {
+    if let Some(max) = expr.max_var() {
+        if max >= rows.inputs.len() {
+            return Err(CoreError::InvalidHandle(max));
+        }
+    }
+    let mut ctx = Ctx {
+        rows,
+        mode,
+        reserved_rows,
+        free: rows.temps.iter().rev().copied().collect(),
+        computed: HashMap::new(),
+        uses: HashMap::new(),
+        prims: Vec::new(),
+    };
+    count_uses(expr, &mut ctx.uses);
+    let result_row = lower(expr, &mut ctx)?;
+    if result_row != rows.dst {
+        // Copy the final value into the destination (an AAP).
+        ctx.prims.push(Primitive::Aap {
+            src: crate::primitive::RowRef::Data(result_row),
+            dst: crate::primitive::RowRef::Data(rows.dst),
+        });
+    }
+    Ok(Program::new(format!("expr({expr})"), ctx.prims))
+}
+
+struct Ctx<'a> {
+    rows: &'a ExprOperands,
+    mode: CompileMode,
+    reserved_rows: usize,
+    free: Vec<usize>,
+    /// Subexpression → (row, remaining uses).
+    computed: HashMap<Expr, (usize, usize)>,
+    uses: HashMap<Expr, usize>,
+    prims: Vec<Primitive>,
+}
+
+fn count_uses(e: &Expr, uses: &mut HashMap<Expr, usize>) {
+    if matches!(e, Expr::Var(_)) {
+        return;
+    }
+    let n = uses.entry(e.clone()).or_insert(0);
+    *n += 1;
+    if *n > 1 {
+        return; // children already counted on first visit
+    }
+    match e {
+        Expr::Var(_) => {}
+        Expr::Not(x) => count_uses(x, uses),
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+            count_uses(a, uses);
+            count_uses(b, uses);
+        }
+    }
+}
+
+impl Ctx<'_> {
+    fn alloc(&mut self) -> Result<usize, CoreError> {
+        self.free.pop().ok_or(CoreError::CapacityExceeded { rows: self.rows.temps.len() })
+    }
+
+    /// Marks one use of a computed subexpression's row; frees it when no
+    /// uses remain (inputs are never freed).
+    fn consume(&mut self, e: &Expr, row: usize) {
+        if matches!(e, Expr::Var(_)) {
+            return;
+        }
+        if let Some((r, remaining)) = self.computed.get_mut(e) {
+            debug_assert_eq!(*r, row);
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.computed.remove(e);
+                self.free.push(row);
+            }
+        }
+    }
+}
+
+/// Lowers `e`, returning the row holding its value.
+fn lower(e: &Expr, ctx: &mut Ctx<'_>) -> Result<usize, CoreError> {
+    if let Expr::Var(i) = e {
+        return Ok(ctx.rows.inputs[*i]);
+    }
+    if let Some((row, _)) = ctx.computed.get(e) {
+        return Ok(*row);
+    }
+    let (op, row_a, row_b, ka, kb) = match e {
+        Expr::Var(_) => unreachable!("handled above"),
+        Expr::Not(x) => {
+            let ra = lower(x, ctx)?;
+            (LogicOp::Not, ra, ra, Some(x.as_ref().clone()), None)
+        }
+        Expr::And(a, b) => {
+            let ra = lower(a, ctx)?;
+            let rb = lower(b, ctx)?;
+            (LogicOp::And, ra, rb, Some(a.as_ref().clone()), Some(b.as_ref().clone()))
+        }
+        Expr::Or(a, b) => {
+            let ra = lower(a, ctx)?;
+            let rb = lower(b, ctx)?;
+            (LogicOp::Or, ra, rb, Some(a.as_ref().clone()), Some(b.as_ref().clone()))
+        }
+        Expr::Xor(a, b) => {
+            let ra = lower(a, ctx)?;
+            let rb = lower(b, ctx)?;
+            (LogicOp::Xor, ra, rb, Some(a.as_ref().clone()), Some(b.as_ref().clone()))
+        }
+    };
+    let dst = ctx.alloc()?;
+    let operands = Operands { a: row_a, b: row_b, dst, scratch: None };
+    let prog = compile(op, ctx.mode, operands, ctx.reserved_rows)?;
+    ctx.prims.extend(prog.primitives().iter().copied());
+    // Record before consuming children so self-referencing frees work.
+    let uses = ctx.uses.get(e).copied().unwrap_or(1);
+    ctx.computed.insert(e.clone(), (dst, uses));
+    if let Some(a) = ka {
+        ctx.consume(&a, row_a);
+    }
+    if let Some(b) = kb {
+        ctx.consume(&b, row_b);
+    }
+    Ok(dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SubarrayEngine;
+    use crate::primitive::RowRef;
+    use elp2im_dram::timing::Ddr3Timing;
+
+    fn check(expr: &Expr, n_vars: usize) -> Program {
+        let width = 1 << n_vars; // enumerate the whole truth table
+        let inputs: Vec<BitVec> = (0..n_vars)
+            .map(|v| (0..width).map(|row| (row >> v) & 1 == 1).collect())
+            .collect();
+        let rows = ExprOperands {
+            inputs: (0..n_vars).collect(),
+            dst: n_vars,
+            temps: (n_vars + 1..n_vars + 9).collect(),
+        };
+        let prog = compile_expr(expr, &rows, CompileMode::LowLatency, 2).unwrap();
+        let mut e = SubarrayEngine::new(width, n_vars + 10, 2);
+        for (i, v) in inputs.iter().enumerate() {
+            e.write_row(i, v.clone()).unwrap();
+        }
+        e.write_row(rows.dst, BitVec::zeros(width)).unwrap();
+        for &t in &rows.temps {
+            e.write_row(t, BitVec::zeros(width)).unwrap();
+        }
+        e.run(prog.primitives()).unwrap_or_else(|err| panic!("{expr}: {err}"));
+        let got = e.row(RowRef::Data(rows.dst)).unwrap();
+        assert_eq!(got, expr.eval_bitvec(&inputs), "{expr}");
+        prog
+    }
+
+    #[test]
+    fn simple_expressions_compile_and_compute() {
+        let v = Expr::var;
+        check(&(v(0) & v(1)), 2);
+        check(&(v(0) | v(1)), 2);
+        check(&(v(0) ^ v(1)), 2);
+        check(&!(v(0) & v(1)), 2);
+        check(&(!(v(0)) | (v(1) & v(2))), 3);
+    }
+
+    /// §4.2.3: the Boolean median `AB + AC + BC`.
+    #[test]
+    fn majority_of_three() {
+        let m = Expr::majority(Expr::var(0), Expr::var(1), Expr::var(2));
+        let prog = check(&m, 3);
+        // 3 ANDs + 2 ORs = 5 computes; each LowLatency op is 3 commands,
+        // plus the final copy into dst.
+        assert!(prog.len() <= 5 * 3 + 1, "{} commands", prog.len());
+    }
+
+    /// Common subexpressions are computed once.
+    #[test]
+    fn cse_reuses_shared_subterms() {
+        let v = Expr::var;
+        let shared = v(0) ^ v(1);
+        let expr = (shared.clone() & v(2)) | (shared.clone() ^ v(3));
+        assert_eq!(expr.distinct_ops(), 4); // xor, and, xor, or
+        let prog = check(&expr, 4);
+
+        // Without CSE the shared XOR would compile twice (7 commands each
+        // with one buffer; 6–7 here). With CSE: one XOR + AND + XOR + OR +
+        // final copy.
+        let naive_commands = 7 + 3 + 7 + 3 + 1 + 7; // duplicate xor
+        assert!(
+            prog.len() < naive_commands,
+            "CSE should save commands: got {}",
+            prog.len()
+        );
+    }
+
+    /// Deep chains recycle temporaries instead of exhausting them.
+    #[test]
+    fn temporaries_are_recycled() {
+        let v = Expr::var;
+        // ((((v0 & v1) | v1) ^ v0) & v1) … 8 levels deep, only 8 temps.
+        let mut e = v(0) & v(1);
+        for i in 0..8 {
+            e = match i % 3 {
+                0 => e | v(1),
+                1 => e ^ v(0),
+                _ => e & v(1),
+            };
+        }
+        check(&e, 2);
+    }
+
+    #[test]
+    fn exhausting_temps_is_reported() {
+        let v = Expr::var;
+        // Keep many subexpressions alive at once with a wide OR tree.
+        let wide = ((v(0) & v(1)) ^ (v(0) | v(1)))
+            ^ ((v(0) ^ v(1)) & (!(v(0)) | !(v(1))));
+        let rows = ExprOperands { inputs: vec![0, 1], dst: 2, temps: vec![3] };
+        let err = compile_expr(&wide, &rows, CompileMode::LowLatency, 1).unwrap_err();
+        assert!(matches!(err, CoreError::CapacityExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let rows = ExprOperands { inputs: vec![0], dst: 1, temps: vec![2, 3] };
+        let err =
+            compile_expr(&Expr::var(5), &rows, CompileMode::LowLatency, 1).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidHandle(5)));
+    }
+
+    #[test]
+    fn display_and_metadata() {
+        let e = Expr::majority(Expr::var(0), Expr::var(1), Expr::var(2));
+        let s = e.to_string();
+        assert!(s.contains('&') && s.contains('|'), "{s}");
+        assert_eq!(e.max_var(), Some(2));
+        assert_eq!(e.distinct_ops(), 5);
+        assert_eq!(Expr::var(3).max_var(), Some(3));
+    }
+
+    #[test]
+    fn latency_accounting_works_for_expressions() {
+        let t = Ddr3Timing::ddr3_1600();
+        let m = Expr::majority(Expr::var(0), Expr::var(1), Expr::var(2));
+        let rows = ExprOperands { inputs: vec![0, 1, 2], dst: 3, temps: (4..12).collect() };
+        let prog = compile_expr(&m, &rows, CompileMode::LowLatency, 1).unwrap();
+        // 5 ops × ~159 ns + copy ≈ 850–900 ns.
+        let ns = prog.latency(&t).as_f64();
+        assert!((700.0..=1000.0).contains(&ns), "median latency {ns}");
+    }
+}

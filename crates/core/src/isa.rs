@@ -1,0 +1,166 @@
+//! Primitive programs in the paper's `prmt([dst],src)` form (§5.1), with
+//! substrate accounting.
+
+use crate::primitive::Primitive;
+use elp2im_dram::command::CommandProfile;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::power::PowerModel;
+use elp2im_dram::timing::Ddr3Timing;
+use elp2im_dram::units::{Ns, Picojoules};
+use std::fmt;
+
+/// A named sequence of ELP2IM primitives.
+///
+/// ```
+/// use elp2im_core::isa::Program;
+/// use elp2im_core::primitive::{Primitive, RegulateMode, RowRef};
+/// use elp2im_dram::timing::Ddr3Timing;
+///
+/// let p = Program::new("or-in-place", vec![
+///     Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+///     Primitive::Ap { row: RowRef::Data(1) },
+/// ]);
+/// let t = Ddr3Timing::ddr3_1600();
+/// assert!((p.latency(&t).as_f64() - 115.35).abs() < 1.0);
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    primitives: Vec<Primitive>,
+}
+
+impl Program {
+    /// Creates a named program.
+    pub fn new(name: impl Into<String>, primitives: Vec<Primitive>) -> Self {
+        Program { name: name.into(), primitives }
+    }
+
+    /// The program's name (e.g. `"xor-seq5"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primitive sequence.
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+
+    /// Number of primitives (the paper's "commands"/"cycles" count).
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    /// Total latency under `t`.
+    pub fn latency(&self, t: &Ddr3Timing) -> Ns {
+        self.primitives.iter().map(|p| p.duration(t)).sum()
+    }
+
+    /// The substrate command profiles, in order.
+    pub fn profiles(&self, t: &Ddr3Timing) -> Vec<CommandProfile> {
+        self.primitives.iter().map(|p| p.profile(t)).collect()
+    }
+
+    /// Total wordline-raise events.
+    pub fn wordline_events(&self, t: &Ddr3Timing) -> u64 {
+        self.profiles(t).iter().map(|p| u64::from(p.total_wordline_events)).sum()
+    }
+
+    /// Total dynamic energy under `power`.
+    pub fn energy(&self, t: &Ddr3Timing, power: &PowerModel) -> Picojoules {
+        self.profiles(t).iter().map(|p| power.command_energy(p)).sum()
+    }
+
+    /// Total charge-pump token cost under `budget`.
+    pub fn pump_cost(&self, t: &Ddr3Timing, budget: &PumpBudget) -> f64 {
+        self.profiles(t).iter().map(|p| budget.command_cost(p)).sum()
+    }
+
+    /// Steady-state bank parallelism when this program repeats back to back
+    /// in every bank (§6.3's power-constraint analysis).
+    pub fn parallel_banks(&self, t: &Ddr3Timing, budget: &PumpBudget, banks: usize) -> f64 {
+        budget.max_parallel_banks(&self.profiles(t), banks)
+    }
+
+    /// Concatenates another program after this one.
+    pub fn then(mut self, other: Program) -> Program {
+        self.primitives.extend(other.primitives);
+        self
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, p) in self.primitives.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::{RegulateMode, RowRef};
+
+    fn prog() -> Program {
+        Program::new(
+            "demo",
+            vec![
+                Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) },
+                Primitive::OApp { row: RowRef::Data(1), mode: RegulateMode::And },
+                Primitive::OAap { src: RowRef::DccTrue(0), dst: RowRef::Data(2) },
+            ],
+        )
+    }
+
+    #[test]
+    fn latency_is_sum_of_durations() {
+        let t = Ddr3Timing::ddr3_1600();
+        let p = prog();
+        let expect: f64 = p.primitives().iter().map(|x| x.duration(&t).as_f64()).sum();
+        assert!((p.latency(&t).as_f64() - expect).abs() < 1e-9);
+        // oAAP + oAPP + oAAP ≈ 159 ns (the paper's optimized 3-command op).
+        assert!((p.latency(&t).as_f64() - 158.45).abs() < 1.5);
+    }
+
+    #[test]
+    fn accounting_is_positive_and_consistent() {
+        let t = Ddr3Timing::ddr3_1600();
+        let power = PowerModel::micron_ddr3_1600();
+        let budget = PumpBudget::jedec_ddr3_1600();
+        let p = prog();
+        assert_eq!(p.wordline_events(&t), 5); // 2 + 1 + 2
+        assert!(p.energy(&t, &power).as_f64() > 0.0);
+        assert!(p.pump_cost(&t, &budget) > 4.0);
+        let banks = p.parallel_banks(&t, &budget, 8);
+        assert!(banks > 0.5 && banks <= 8.0, "banks = {banks}");
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let t = Ddr3Timing::ddr3_1600();
+        let a = prog();
+        let lat_a = a.latency(&t);
+        let combined = a.clone().then(prog());
+        assert_eq!(combined.len(), 6);
+        assert!((combined.latency(&t).as_f64() - 2.0 * lat_a.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_joins_primitives() {
+        let s = prog().to_string();
+        assert!(s.starts_with("demo: "));
+        assert!(s.contains(" ; "), "{s}");
+        assert!(s.contains("oAAP([R0],r0)"), "{s}");
+    }
+}

@@ -1,0 +1,59 @@
+//! ELP2IM core: the paper's primary contribution.
+//!
+//! * [`bitvec`] — the bulk bit-vector type rows are made of.
+//! * [`primitive`] — the six-plus-one ELP2IM primitives (AP, AAP, oAAP,
+//!   APP, oAPP, tAPP, otAPP) with Table-1 timing and command profiles.
+//! * [`engine`] — the functional subarray engine: executes primitive
+//!   programs over whole rows with exact pseudo-precharge/overwrite
+//!   semantics (validated against the analog model in `elp2im-circuit`).
+//! * [`isa`] — primitive programs in the paper's `prmt([dst],src)` form,
+//!   with latency/energy/pump accounting.
+//! * [`compile`] — the logic-operation compiler: NOT/AND/OR/NAND/NOR/XOR/
+//!   XNOR to primitive sequences under the three execution strategies of
+//!   Fig. 5, including all six XOR sequences of Fig. 8.
+//! * [`optimizer`] — the §4.2/§4.3 sequence optimizations (AP+APP merging,
+//!   row-buffer-decoupling overlap, restore truncation) as rewrite passes.
+//! * [`rowmap`] — subarray row allocation with reserved-row bookkeeping.
+//! * [`device`] — [`device::Elp2imDevice`], the user-facing bulk bitwise
+//!   device.
+//!
+//! # Example
+//!
+//! ```
+//! use elp2im_core::device::{DeviceConfig, Elp2imDevice};
+//! use elp2im_core::bitvec::BitVec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dev = Elp2imDevice::new(DeviceConfig::default());
+//! let a = dev.store(&BitVec::from_bools(&[true, true, false, false]))?;
+//! let b = dev.store(&BitVec::from_bools(&[true, false, true, false]))?;
+//! let x = dev.xor(a, b)?;
+//! assert_eq!(dev.load(x)?.to_bools(), vec![false, true, true, false]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitvec;
+pub mod compile;
+pub mod device;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod isa;
+pub mod module;
+pub mod optimizer;
+pub mod parse;
+pub mod primitive;
+pub mod rowmap;
+pub mod validate;
+
+pub use bitvec::BitVec;
+pub use compile::{CompileMode, LogicOp};
+pub use device::{DeviceConfig, Elp2imDevice};
+pub use engine::SubarrayEngine;
+pub use error::CoreError;
+pub use isa::Program;
+pub use primitive::{Primitive, RegulateMode, RowRef};

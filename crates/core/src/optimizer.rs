@@ -1,0 +1,328 @@
+//! Sequence-optimization passes (§4.2 and §4.3 of the paper).
+//!
+//! The paper derives its optimized XOR sequence by hand in Fig. 8; this
+//! module implements the same three transformations as general rewrite
+//! passes so any compiled program benefits:
+//!
+//! 1. [`merge_ap_app`] — an `AP(r)` immediately followed by an `APP(r)` on
+//!    the same row reference performs a redundant precharge/re-activate
+//!    pair; the APP alone computes, restores, and regulates (Fig. 8,
+//!    sequence 1 → 2).
+//! 2. [`trim_restores`] — an APP whose accessed row is dead afterwards can
+//!    skip the restore (tAPP; restore truncation [32], sequence 2 → 3).
+//! 3. [`overlap`] — with the row-buffer-decoupling isolation transistor
+//!    (§4.2.1, [31]), APP → oAPP and tAPP → otAPP (sequence 4 → 5).
+
+use crate::isa::Program;
+use crate::primitive::{Primitive, RowRef};
+use std::collections::HashSet;
+
+/// Physical row identity (ignores which DCC port is used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhysRow {
+    /// Regular data row.
+    Data(usize),
+    /// Reserved dual-contact row.
+    Dcc(usize),
+}
+
+impl From<RowRef> for PhysRow {
+    fn from(r: RowRef) -> Self {
+        match r {
+            RowRef::Data(i) => PhysRow::Data(i),
+            RowRef::DccTrue(i) | RowRef::DccBar(i) => PhysRow::Dcc(i),
+        }
+    }
+}
+
+/// Merges adjacent `AP(r)`/`APP(r)` pairs into a single APP (Fig. 8,
+/// sequence 1 → 2: "they can be merged to one APP").
+pub fn merge_ap_app(prog: &Program) -> Program {
+    let prims = prog.primitives();
+    let mut out: Vec<Primitive> = Vec::with_capacity(prims.len());
+    let mut i = 0;
+    while i < prims.len() {
+        if i + 1 < prims.len() {
+            if let (Primitive::Ap { row: r1 }, Primitive::App { row: r2, mode }) =
+                (prims[i], prims[i + 1])
+            {
+                if r1 == r2 {
+                    out.push(Primitive::App { row: r2, mode });
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push(prims[i]);
+        i += 1;
+    }
+    Program::new(format!("{}+merge", prog.name()), out)
+}
+
+/// Rows a primitive *reads* (activates with the stored value mattering).
+fn reads(p: &Primitive) -> Vec<PhysRow> {
+    match *p {
+        Primitive::Ap { row }
+        | Primitive::App { row, .. }
+        | Primitive::OApp { row, .. }
+        | Primitive::TApp { row, .. }
+        | Primitive::OtApp { row, .. } => vec![row.into()],
+        Primitive::Aap { src, .. }
+        | Primitive::OAap { src, .. }
+        | Primitive::OAppCopy { src, .. } => vec![src.into()],
+    }
+}
+
+/// Rows a primitive fully overwrites (their prior content is irrelevant).
+fn overwrites(p: &Primitive) -> Vec<PhysRow> {
+    match *p {
+        Primitive::Aap { dst, .. }
+        | Primitive::OAap { dst, .. }
+        | Primitive::OAppCopy { dst, .. } => vec![dst.into()],
+        _ => Vec::new(),
+    }
+}
+
+/// Converts APP/oAPP into their trimmed forms when the accessed row's value
+/// is dead afterwards — not read again before being fully overwritten, and
+/// not in `preserve` (rows whose content must survive the program, i.e.
+/// operands and results).
+pub fn trim_restores(prog: &Program, preserve: &[PhysRow]) -> Program {
+    let prims = prog.primitives();
+    let preserve: HashSet<PhysRow> = preserve.iter().copied().collect();
+    let mut out: Vec<Primitive> = Vec::with_capacity(prims.len());
+    for (i, p) in prims.iter().enumerate() {
+        let trimmed = match *p {
+            Primitive::App { row, mode } if row_is_dead(prims, i, row, &preserve) => {
+                Some(Primitive::TApp { row, mode })
+            }
+            Primitive::OApp { row, mode } if row_is_dead(prims, i, row, &preserve) => {
+                Some(Primitive::OtApp { row, mode })
+            }
+            _ => None,
+        };
+        out.push(trimmed.unwrap_or(*p));
+    }
+    Program::new(format!("{}+trim", prog.name()), out)
+}
+
+fn row_is_dead(
+    prims: &[Primitive],
+    at: usize,
+    row: RowRef,
+    preserve: &HashSet<PhysRow>,
+) -> bool {
+    let phys: PhysRow = row.into();
+    if preserve.contains(&phys) {
+        return false;
+    }
+    for p in &prims[at + 1..] {
+        if reads(p).contains(&phys) {
+            return false;
+        }
+        if overwrites(p).contains(&phys) {
+            return true; // fully rewritten before any read
+        }
+    }
+    true // never touched again
+}
+
+/// Substitutes overlapped variants (APP → oAPP, tAPP → otAPP); legal when
+/// the isolation transistor of [31] is present (§4.2.1).
+pub fn overlap(prog: &Program) -> Program {
+    let out = prog
+        .primitives()
+        .iter()
+        .map(|p| match *p {
+            Primitive::App { row, mode } => Primitive::OApp { row, mode },
+            Primitive::TApp { row, mode } => Primitive::OtApp { row, mode },
+            other => other,
+        })
+        .collect();
+    Program::new(format!("{}+overlap", prog.name()), out)
+}
+
+/// Applies the full §4.2 pipeline: merge, then trim (given rows to
+/// preserve), then overlap if `isolation` is available.
+pub fn optimize(prog: &Program, preserve: &[PhysRow], isolation: bool) -> Program {
+    let merged = merge_ap_app(prog);
+    let trimmed = trim_restores(&merged, preserve);
+    let out = if isolation { overlap(&trimmed) } else { trimmed };
+    Program::new(format!("{}+opt", prog.name()), out.primitives().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+    use crate::compile::{xor_sequence, Operands};
+    use crate::engine::SubarrayEngine;
+    use crate::primitive::RegulateMode;
+    use elp2im_dram::timing::Ddr3Timing;
+
+    const R0T: RowRef = RowRef::DccTrue(0);
+    const R0B: RowRef = RowRef::DccBar(0);
+
+    /// The *naive* XOR before the Fig. 8 merging: step 2 ends with AP(R0B)
+    /// and step 3 begins with APP(R0B).
+    fn naive_xor() -> Program {
+        let (a, b, dst) = (RowRef::Data(0), RowRef::Data(1), RowRef::Data(2));
+        Program::new(
+            "xor-naive",
+            vec![
+                Primitive::OAap { src: b, dst: R0T },
+                Primitive::App { row: a, mode: RegulateMode::And },
+                Primitive::OAap { src: R0B, dst },
+                Primitive::OAap { src: a, dst: R0T },
+                Primitive::App { row: b, mode: RegulateMode::And },
+                Primitive::Ap { row: R0B },
+                Primitive::App { row: R0B, mode: RegulateMode::Or },
+                Primitive::Ap { row: dst },
+            ],
+        )
+    }
+
+    fn run_xor(prog: &Program) -> Vec<bool> {
+        let a = [false, false, true, true];
+        let b = [false, true, false, true];
+        let mut e = SubarrayEngine::new(4, 8, 2);
+        e.write_row(0, BitVec::from_bools(&a)).unwrap();
+        e.write_row(1, BitVec::from_bools(&b)).unwrap();
+        e.write_row(2, BitVec::zeros(4)).unwrap();
+        e.run(prog.primitives()).unwrap_or_else(|err| panic!("{}: {err}", prog.name()));
+        e.row(RowRef::Data(2)).unwrap().to_bools()
+    }
+
+    const XOR_TRUTH: [bool; 4] = [false, true, true, false];
+
+    #[test]
+    fn naive_xor_is_correct_but_slow() {
+        let t = Ddr3Timing::ddr3_1600();
+        let naive = naive_xor();
+        assert_eq!(run_xor(&naive), XOR_TRUTH);
+        assert!(naive.latency(&t).as_f64() > 440.0);
+    }
+
+    /// Fig. 8 sequence 1 → 2: merging reproduces the 409 ns / 7-primitive
+    /// program, still correct.
+    #[test]
+    fn merge_reproduces_seq2() {
+        let t = Ddr3Timing::ddr3_1600();
+        let merged = merge_ap_app(&naive_xor());
+        assert_eq!(merged.len(), 7);
+        assert!((merged.latency(&t).as_f64() - 409.0).abs() < 3.0);
+        assert_eq!(run_xor(&merged), XOR_TRUTH);
+        // Matches the hand-written sequence 2 latency.
+        let seq2 = xor_sequence(2, Operands::standard(), 1).unwrap();
+        assert_eq!(merged.latency(&t), seq2.latency(&t));
+    }
+
+    /// Sequence 2 → 3: trimming the dead intermediate in R0 gives 388 ns.
+    #[test]
+    fn trim_reproduces_seq3() {
+        let t = Ddr3Timing::ddr3_1600();
+        let merged = merge_ap_app(&naive_xor());
+        let preserve = [PhysRow::Data(0), PhysRow::Data(1), PhysRow::Data(2)];
+        let trimmed = trim_restores(&merged, &preserve);
+        assert!((trimmed.latency(&t).as_f64() - 388.0).abs() < 3.0);
+        assert_eq!(run_xor(&trimmed), XOR_TRUTH);
+    }
+
+    /// Sequence 4 → 5: overlapping brings the program to 346 ns.
+    #[test]
+    fn full_pipeline_reproduces_seq5_latency() {
+        let t = Ddr3Timing::ddr3_1600();
+        let preserve = [PhysRow::Data(0), PhysRow::Data(1), PhysRow::Data(2)];
+        let optimized = optimize(&naive_xor(), &preserve, true);
+        assert!(
+            (optimized.latency(&t).as_f64() - 346.0).abs() < 3.0,
+            "got {}",
+            optimized.latency(&t)
+        );
+        assert_eq!(run_xor(&optimized), XOR_TRUTH);
+        let seq5 = xor_sequence(5, Operands::standard(), 1).unwrap();
+        assert_eq!(optimized.latency(&t), seq5.latency(&t));
+    }
+
+    #[test]
+    fn trim_never_destroys_preserved_or_live_rows() {
+        // APP on a data row that is read later must NOT be trimmed even if
+        // unlisted; APP on a row read later stays.
+        let a = RowRef::Data(0);
+        let prog = Program::new(
+            "live",
+            vec![
+                Primitive::App { row: a, mode: RegulateMode::Or },
+                Primitive::Ap { row: RowRef::Data(1) },
+                Primitive::Ap { row: a }, // a is read again afterwards
+            ],
+        );
+        let trimmed = trim_restores(&prog, &[]);
+        assert_eq!(trimmed.primitives()[0], prog.primitives()[0]);
+
+        // Same program without the later read: now trimmable…
+        let prog2 = Program::new(
+            "dead",
+            vec![
+                Primitive::App { row: a, mode: RegulateMode::Or },
+                Primitive::Ap { row: RowRef::Data(1) },
+            ],
+        );
+        let trimmed2 = trim_restores(&prog2, &[]);
+        assert!(matches!(trimmed2.primitives()[0], Primitive::TApp { .. }));
+        // …unless preserved.
+        let kept = trim_restores(&prog2, &[PhysRow::Data(0)]);
+        assert!(matches!(kept.primitives()[0], Primitive::App { .. }));
+    }
+
+    #[test]
+    fn trim_allows_rows_that_are_overwritten_before_reading() {
+        let a = RowRef::Data(0);
+        let prog = Program::new(
+            "overwritten",
+            vec![
+                Primitive::App { row: a, mode: RegulateMode::Or },
+                Primitive::Ap { row: RowRef::Data(1) },
+                // a is fully rewritten before any read: dead at the APP.
+                Primitive::Aap { src: RowRef::Data(1), dst: a },
+                Primitive::Ap { row: a },
+            ],
+        );
+        let trimmed = trim_restores(&prog, &[]);
+        assert!(matches!(trimmed.primitives()[0], Primitive::TApp { .. }));
+    }
+
+    #[test]
+    fn merge_requires_same_row_reference() {
+        let prog = Program::new(
+            "no-merge",
+            vec![
+                Primitive::Ap { row: RowRef::Data(0) },
+                Primitive::App { row: RowRef::Data(1), mode: RegulateMode::Or },
+            ],
+        );
+        assert_eq!(merge_ap_app(&prog).len(), 2);
+    }
+
+    #[test]
+    fn overlap_converts_all_app_variants() {
+        let prog = Program::new(
+            "x",
+            vec![
+                Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+                Primitive::TApp { row: RowRef::Data(1), mode: RegulateMode::And },
+                Primitive::Ap { row: RowRef::Data(2) },
+            ],
+        );
+        let o = overlap(&prog);
+        assert!(matches!(o.primitives()[0], Primitive::OApp { .. }));
+        assert!(matches!(o.primitives()[1], Primitive::OtApp { .. }));
+        assert!(matches!(o.primitives()[2], Primitive::Ap { .. }));
+    }
+
+    #[test]
+    fn phys_row_identity_merges_ports() {
+        assert_eq!(PhysRow::from(RowRef::DccTrue(1)), PhysRow::from(RowRef::DccBar(1)));
+        assert_ne!(PhysRow::from(RowRef::Data(1)), PhysRow::from(RowRef::DccTrue(1)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Parsing the paper's `prmt([dst],src)` command form (§5.1).
+//!
+//! The memory controller of §5.1 buffers configurable primitive sequences
+//! expressed as `prmt([dst],src)` — `prmt` the primitive mnemonic, `dst`
+//! the destination row, `src` the source. This module parses exactly the
+//! textual form that [`Primitive`]'s `Display` implementation prints, so
+//! programs round-trip:
+//!
+//! ```
+//! use elp2im_core::parse::parse_program;
+//! let p = parse_program("xor", "oAAP([R0],r0) ; oAPP(r1)·and ; oAAP([r2],R0)").unwrap();
+//! assert_eq!(p.len(), 3);
+//! assert_eq!(p.to_string(), "xor: oAAP([R0],r0) ; oAPP(r1)·and ; oAAP([r2],R0)");
+//! ```
+
+use crate::isa::Program;
+use crate::primitive::{Primitive, RegulateMode, RowRef};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrmtError {
+    /// What failed to parse.
+    pub token: String,
+    /// Why.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParsePrmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?}: {}", self.token, self.reason)
+    }
+}
+
+impl Error for ParsePrmtError {}
+
+fn err(token: &str, reason: &'static str) -> ParsePrmtError {
+    ParsePrmtError { token: token.to_string(), reason }
+}
+
+fn parse_row(s: &str) -> Result<RowRef, ParsePrmtError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("!R") {
+        return rest
+            .parse()
+            .map(RowRef::DccBar)
+            .map_err(|_| err(s, "bad reserved-row index"));
+    }
+    if let Some(rest) = s.strip_prefix('R') {
+        return rest
+            .parse()
+            .map(RowRef::DccTrue)
+            .map_err(|_| err(s, "bad reserved-row index"));
+    }
+    if let Some(rest) = s.strip_prefix('r') {
+        return rest.parse().map(RowRef::Data).map_err(|_| err(s, "bad data-row index"));
+    }
+    Err(err(s, "rows are rN (data), RN, or !RN (reserved)"))
+}
+
+fn parse_mode(s: &str) -> Result<RegulateMode, ParsePrmtError> {
+    match s.trim() {
+        "or" => Ok(RegulateMode::Or),
+        "and" => Ok(RegulateMode::And),
+        other => Err(err(other, "regulation mode is ·or or ·and")),
+    }
+}
+
+/// Parses one `prmt([dst],src)` command.
+///
+/// # Errors
+///
+/// Returns [`ParsePrmtError`] on any malformed token.
+pub fn parse_primitive(s: &str) -> Result<Primitive, ParsePrmtError> {
+    let s = s.trim();
+    // Split the optional ·mode suffix (accept ASCII '.' as well).
+    let (head, mode) = if let Some((h, m)) = s.rsplit_once('·') {
+        (h, Some(parse_mode(m)?))
+    } else if let Some((h, m)) = s.rsplit_once(")." ).map(|(h, m)| (h, m)) {
+        // "APP(r1).and" form: restore the ')' eaten by the split.
+        (&s[..h.len() + 1], Some(parse_mode(m)?))
+    } else {
+        (s, None)
+    };
+    let open = head.find('(').ok_or_else(|| err(s, "missing '('"))?;
+    let close = head.rfind(')').ok_or_else(|| err(s, "missing ')'"))?;
+    if close < open {
+        return Err(err(s, "mismatched parentheses"));
+    }
+    let mnemonic = head[..open].trim();
+    let args = &head[open + 1..close];
+
+    let two_rows = |args: &str| -> Result<(RowRef, RowRef), ParsePrmtError> {
+        let inner = args.trim();
+        let Some(rest) = inner.strip_prefix('[') else {
+            return Err(err(args, "expected [dst],src"));
+        };
+        let Some((dst, src)) = rest.split_once("],") else {
+            return Err(err(args, "expected [dst],src"));
+        };
+        Ok((parse_row(src)?, parse_row(dst)?))
+    };
+
+    let need_mode = |mode: Option<RegulateMode>| -> Result<RegulateMode, ParsePrmtError> {
+        mode.ok_or_else(|| err(s, "APP-class primitives need a ·or/·and mode"))
+    };
+
+    match mnemonic {
+        "AP" => {
+            if mode.is_some() {
+                return Err(err(s, "AP takes no regulation mode"));
+            }
+            Ok(Primitive::Ap { row: parse_row(args)? })
+        }
+        "AAP" => {
+            let (src, dst) = two_rows(args)?;
+            Ok(Primitive::Aap { src, dst })
+        }
+        "oAAP" => {
+            let (src, dst) = two_rows(args)?;
+            Ok(Primitive::OAap { src, dst })
+        }
+        "APP" => Ok(Primitive::App { row: parse_row(args)?, mode: need_mode(mode)? }),
+        "oAPP" => {
+            // Either oAPP(row)·m or the fused copy oAPP([dst],src)·m.
+            if args.trim_start().starts_with('[') {
+                let (src, dst) = two_rows(args)?;
+                Ok(Primitive::OAppCopy { src, dst, mode: need_mode(mode)? })
+            } else {
+                Ok(Primitive::OApp { row: parse_row(args)?, mode: need_mode(mode)? })
+            }
+        }
+        "tAPP" => Ok(Primitive::TApp { row: parse_row(args)?, mode: need_mode(mode)? }),
+        "otAPP" => Ok(Primitive::OtApp { row: parse_row(args)?, mode: need_mode(mode)? }),
+        other => Err(err(other, "unknown primitive mnemonic")),
+    }
+}
+
+/// Parses a `;`-separated program.
+///
+/// # Errors
+///
+/// Returns the first command's [`ParsePrmtError`].
+pub fn parse_program(name: &str, text: &str) -> Result<Program, ParsePrmtError> {
+    let prims = text
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_primitive)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Program::new(name, prims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{xor_sequence, Operands};
+
+    #[test]
+    fn parses_each_primitive_kind() {
+        assert_eq!(parse_primitive("AP(r3)").unwrap(), Primitive::Ap { row: RowRef::Data(3) });
+        assert_eq!(
+            parse_primitive("AAP([r2],r1)").unwrap(),
+            Primitive::Aap { src: RowRef::Data(1), dst: RowRef::Data(2) }
+        );
+        assert_eq!(
+            parse_primitive("oAAP([R0],r7)").unwrap(),
+            Primitive::OAap { src: RowRef::Data(7), dst: RowRef::DccTrue(0) }
+        );
+        assert_eq!(
+            parse_primitive("APP(r1)·and").unwrap(),
+            Primitive::App { row: RowRef::Data(1), mode: RegulateMode::And }
+        );
+        assert_eq!(
+            parse_primitive("otAPP(!R0)·or").unwrap(),
+            Primitive::OtApp { row: RowRef::DccBar(0), mode: RegulateMode::Or }
+        );
+        assert_eq!(
+            parse_primitive("oAPP([R1],r1)·and").unwrap(),
+            Primitive::OAppCopy {
+                src: RowRef::Data(1),
+                dst: RowRef::DccTrue(1),
+                mode: RegulateMode::And
+            }
+        );
+    }
+
+    #[test]
+    fn display_round_trips_all_sequences() {
+        for n in 1..=6u8 {
+            let prog = xor_sequence(n, Operands::standard(), 2).unwrap();
+            let text: Vec<String> = prog.primitives().iter().map(|p| p.to_string()).collect();
+            let reparsed = parse_program(prog.name(), &text.join(" ; ")).unwrap();
+            assert_eq!(reparsed.primitives(), prog.primitives(), "seq{n}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_primitive("AP(r1)·or").is_err(), "AP takes no mode");
+        assert!(parse_primitive("APP(r1)").is_err(), "APP needs a mode");
+        assert!(parse_primitive("ZAP(r1)").is_err(), "unknown mnemonic");
+        assert!(parse_primitive("AAP(r1,r2)").is_err(), "missing [dst]");
+        assert!(parse_primitive("AP(x1)").is_err(), "bad row");
+        assert!(parse_primitive("AP r1").is_err(), "missing parens");
+        let e = parse_primitive("APP(r1)·nor").unwrap_err();
+        assert!(e.to_string().contains("·or or ·and"), "{e}");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let p = parse_program("x", "  AP( r1 ) ;  oAAP([ R0 ], r2 )  ; ").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

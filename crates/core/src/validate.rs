@@ -1,0 +1,306 @@
+//! Static validation of primitive programs.
+//!
+//! The functional engine catches misuse at run time; this module checks a
+//! [`Program`] *before* execution — the check a §5.1 configurable memory
+//! controller would perform when a primitive sequence is buffered into it:
+//!
+//! * overlapped double activations must span decoder domains;
+//! * no primitive may read a row destroyed by an earlier trimmed restore
+//!   (unless fully rewritten in between);
+//! * row indices must fit the subarray shape;
+//! * a program must not end with a pending regulation (the next unrelated
+//!   activation would silently apply it);
+//! * every input the program reads must be among the declared live-in
+//!   rows.
+
+use crate::isa::Program;
+use crate::optimizer::PhysRow;
+use crate::primitive::{Primitive, RowRef};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Subarray shape a program is validated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubarrayShape {
+    /// Data rows available.
+    pub data_rows: usize,
+    /// Reserved dual-contact rows available.
+    pub dcc_rows: usize,
+}
+
+/// A violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Row index exceeds the subarray shape.
+    RowOutOfRange {
+        /// Primitive index within the program.
+        at: usize,
+        /// Offending row.
+        row: RowRef,
+    },
+    /// Overlapped activation within one decoder domain.
+    SameDecoderOverlap {
+        /// Primitive index.
+        at: usize,
+        /// First row.
+        a: RowRef,
+        /// Second row.
+        b: RowRef,
+    },
+    /// A read of a row destroyed by a trimmed restore.
+    ReadOfDestroyedRow {
+        /// Primitive index of the read.
+        at: usize,
+        /// The destroyed row.
+        row: RowRef,
+        /// Primitive index of the trim that destroyed it.
+        destroyed_at: usize,
+    },
+    /// A read of a row that is neither live-in nor written earlier.
+    ReadOfUndefinedRow {
+        /// Primitive index.
+        at: usize,
+        /// The undefined row.
+        row: RowRef,
+    },
+    /// The program ends with a regulation still pending.
+    DanglingRegulation {
+        /// Primitive index of the last APP-class command.
+        at: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RowOutOfRange { at, row } => {
+                write!(f, "primitive #{at}: row {row} out of range")
+            }
+            Violation::SameDecoderOverlap { at, a, b } => {
+                write!(f, "primitive #{at}: overlapped activation of {a} and {b} in one decoder domain")
+            }
+            Violation::ReadOfDestroyedRow { at, row, destroyed_at } => write!(
+                f,
+                "primitive #{at}: reads {row}, destroyed by the trimmed restore at #{destroyed_at}"
+            ),
+            Violation::ReadOfUndefinedRow { at, row } => {
+                write!(f, "primitive #{at}: reads {row}, which is neither live-in nor written")
+            }
+            Violation::DanglingRegulation { at } => {
+                write!(f, "program ends with the regulation from primitive #{at} still pending")
+            }
+        }
+    }
+}
+
+impl Error for Violation {}
+
+fn reads_of(p: &Primitive) -> Vec<RowRef> {
+    match *p {
+        Primitive::Ap { row }
+        | Primitive::App { row, .. }
+        | Primitive::OApp { row, .. }
+        | Primitive::TApp { row, .. }
+        | Primitive::OtApp { row, .. } => vec![row],
+        Primitive::Aap { src, .. }
+        | Primitive::OAap { src, .. }
+        | Primitive::OAppCopy { src, .. } => vec![src],
+    }
+}
+
+fn writes_of(p: &Primitive) -> Vec<RowRef> {
+    match *p {
+        Primitive::Aap { dst, .. }
+        | Primitive::OAap { dst, .. }
+        | Primitive::OAppCopy { dst, .. } => vec![dst],
+        _ => Vec::new(),
+    }
+}
+
+/// Validates `prog` against `shape`, with `live_in` naming the physical
+/// rows assumed to hold data beforehand. Returns every violation found
+/// (empty = valid).
+pub fn validate(prog: &Program, shape: SubarrayShape, live_in: &[PhysRow]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut defined: HashSet<PhysRow> = live_in.iter().copied().collect();
+    // PhysRow -> index of destroying trim.
+    let mut destroyed: Vec<(PhysRow, usize)> = Vec::new();
+    let mut pending_regulation: Option<usize> = None;
+
+    let in_range = |row: RowRef| -> bool {
+        match row {
+            RowRef::Data(i) => i < shape.data_rows,
+            RowRef::DccTrue(i) | RowRef::DccBar(i) => i < shape.dcc_rows,
+        }
+    };
+
+    for (at, p) in prog.primitives().iter().enumerate() {
+        for row in p.rows() {
+            if !in_range(row) {
+                violations.push(Violation::RowOutOfRange { at, row });
+            }
+        }
+        if p.requires_dual_decoder() {
+            let rows = p.rows();
+            if rows.len() == 2 && rows[0].is_reserved() == rows[1].is_reserved() {
+                violations.push(Violation::SameDecoderOverlap { at, a: rows[0], b: rows[1] });
+            }
+        }
+        for row in reads_of(p) {
+            let phys: PhysRow = row.into();
+            if let Some(&(_, destroyed_at)) =
+                destroyed.iter().rev().find(|(r, _)| *r == phys)
+            {
+                violations.push(Violation::ReadOfDestroyedRow { at, row, destroyed_at });
+            } else if !defined.contains(&phys) {
+                violations.push(Violation::ReadOfUndefinedRow { at, row });
+            }
+        }
+        // Effects: regulation bookkeeping, then writes/destroys.
+        if p.regulation().is_some() {
+            pending_regulation = Some(at);
+        } else {
+            // Every activation consumes any pending regulation.
+            pending_regulation = None;
+        }
+        if p.destroys_source() {
+            for row in reads_of(p) {
+                let phys: PhysRow = row.into();
+                defined.remove(&phys);
+                destroyed.push((phys, at));
+            }
+        } else {
+            // Reads restore their row; it stays defined.
+        }
+        for row in writes_of(p) {
+            let phys: PhysRow = row.into();
+            defined.insert(phys);
+            destroyed.retain(|(r, _)| *r != phys);
+        }
+        // Reading a row through AP/APP also (re)defines it via restore.
+        if !p.destroys_source() {
+            for row in reads_of(p) {
+                defined.insert(row.into());
+            }
+        }
+    }
+    if let Some(at) = pending_regulation {
+        violations.push(Violation::DanglingRegulation { at });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
+    use crate::primitive::RegulateMode;
+
+    const SHAPE: SubarrayShape = SubarrayShape { data_rows: 16, dcc_rows: 2 };
+
+    fn live_in() -> Vec<PhysRow> {
+        vec![PhysRow::Data(0), PhysRow::Data(1), PhysRow::Data(2), PhysRow::Data(3)]
+    }
+
+    /// Every compiler output is statically valid.
+    #[test]
+    fn compiled_programs_validate_cleanly() {
+        for op in LogicOp::ALL {
+            for mode in [CompileMode::LowLatency, CompileMode::HighThroughput] {
+                let prog = compile(op, mode, Operands::standard(), 2).unwrap();
+                let v = validate(&prog, SHAPE, &live_in());
+                assert!(v.is_empty(), "{op} {mode:?}: {v:?}");
+            }
+        }
+        for n in 1..=6u8 {
+            let prog = xor_sequence(n, Operands::standard(), 2).unwrap();
+            let v = validate(&prog, SHAPE, &live_in());
+            assert!(v.is_empty(), "seq{n}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn detects_out_of_range_rows() {
+        let prog = Program::new("bad", vec![Primitive::Ap { row: RowRef::Data(99) }]);
+        let v = validate(&prog, SHAPE, &[PhysRow::Data(99)]);
+        assert!(matches!(v[0], Violation::RowOutOfRange { at: 0, .. }));
+    }
+
+    #[test]
+    fn detects_same_decoder_overlap() {
+        let prog = Program::new(
+            "bad",
+            vec![Primitive::OAap { src: RowRef::Data(0), dst: RowRef::Data(1) }],
+        );
+        let v = validate(&prog, SHAPE, &live_in());
+        assert!(matches!(v[0], Violation::SameDecoderOverlap { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn detects_reads_of_destroyed_rows() {
+        let prog = Program::new(
+            "bad",
+            vec![
+                Primitive::TApp { row: RowRef::Data(0), mode: RegulateMode::Or },
+                Primitive::Ap { row: RowRef::Data(1) }, // consumes regulation
+                Primitive::Ap { row: RowRef::Data(0) }, // reads destroyed row
+            ],
+        );
+        let v = validate(&prog, SHAPE, &live_in());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0],
+            Violation::ReadOfDestroyedRow { at: 2, destroyed_at: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rewrite_revives_destroyed_rows() {
+        let prog = Program::new(
+            "ok",
+            vec![
+                Primitive::TApp { row: RowRef::Data(0), mode: RegulateMode::Or },
+                Primitive::Ap { row: RowRef::Data(1) },
+                Primitive::Aap { src: RowRef::Data(1), dst: RowRef::Data(0) },
+                Primitive::Ap { row: RowRef::Data(0) },
+            ],
+        );
+        assert!(validate(&prog, SHAPE, &live_in()).is_empty());
+    }
+
+    #[test]
+    fn detects_undefined_reads() {
+        let prog = Program::new("bad", vec![Primitive::Ap { row: RowRef::Data(7) }]);
+        let v = validate(&prog, SHAPE, &live_in());
+        assert!(matches!(v[0], Violation::ReadOfUndefinedRow { at: 0, .. }));
+        // Reading the reserved row before writing it is also undefined.
+        let prog = Program::new(
+            "bad2",
+            vec![Primitive::OAap { src: RowRef::DccBar(0), dst: RowRef::Data(1) }],
+        );
+        let v = validate(&prog, SHAPE, &live_in());
+        assert!(matches!(v[0], Violation::ReadOfUndefinedRow { .. }));
+    }
+
+    #[test]
+    fn detects_dangling_regulation() {
+        let prog = Program::new(
+            "bad",
+            vec![Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or }],
+        );
+        let v = validate(&prog, SHAPE, &live_in());
+        assert!(matches!(v[0], Violation::DanglingRegulation { at: 0 }), "{v:?}");
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::ReadOfDestroyedRow {
+            at: 3,
+            row: RowRef::DccBar(0),
+            destroyed_at: 1,
+        };
+        let s = v.to_string();
+        assert!(s.contains("#3") && s.contains("#1"), "{s}");
+    }
+}

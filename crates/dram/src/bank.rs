@@ -1,0 +1,95 @@
+//! Per-bank timing state for the event-driven controller.
+
+use crate::units::Ps;
+
+/// Timing state of one DRAM bank.
+///
+/// The controller uses this to serialize commands within a bank; logic
+/// semantics live in the PIM layers, so the bank only tracks *when* it is
+/// next free and simple occupancy statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankState {
+    busy_until: Ps,
+    commands_issued: u64,
+}
+
+impl BankState {
+    /// A bank that is idle at time zero.
+    pub fn new() -> Self {
+        BankState::default()
+    }
+
+    /// When the bank finishes its current command.
+    pub fn busy_until(&self) -> Ps {
+        self.busy_until
+    }
+
+    /// Whether the bank can accept a command at `now`.
+    pub fn is_free(&self, now: Ps) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Earliest time at or after `now` when the bank is free.
+    pub fn next_free(&self, now: Ps) -> Ps {
+        if self.is_free(now) {
+            now
+        } else {
+            self.busy_until
+        }
+    }
+
+    /// Occupies the bank from `start` for `duration` picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is still busy at `start` — the controller must
+    /// never double-book a bank.
+    pub fn occupy(&mut self, start: Ps, duration: Ps) -> Ps {
+        assert!(
+            self.is_free(start),
+            "bank double-booked: busy until {}, occupy at {}",
+            self.busy_until,
+            start
+        );
+        self.busy_until = start + duration;
+        self.commands_issued += 1;
+        self.busy_until
+    }
+
+    /// Number of commands this bank has executed.
+    pub fn commands_issued(&self) -> u64 {
+        self.commands_issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupy_advances_busy_until() {
+        let mut b = BankState::new();
+        assert!(b.is_free(Ps(0)));
+        let done = b.occupy(Ps(0), Ps(49_000));
+        assert_eq!(done, Ps(49_000));
+        assert!(!b.is_free(Ps(10_000)));
+        assert!(b.is_free(Ps(49_000)));
+        assert_eq!(b.commands_issued(), 1);
+    }
+
+    #[test]
+    fn next_free_clamps_to_now() {
+        let mut b = BankState::new();
+        b.occupy(Ps(0), Ps(100));
+        assert_eq!(b.next_free(Ps(50)), Ps(100));
+        assert_eq!(b.next_free(Ps(200)), Ps(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn double_booking_panics() {
+        let mut b = BankState::new();
+        b.occupy(Ps(0), Ps(100));
+        b.occupy(Ps(50), Ps(100));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the DRAM substrate.
+
+use crate::units::Ps;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DRAM substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramError {
+    /// A bank index was out of range.
+    BankOutOfRange {
+        /// Requested bank.
+        bank: usize,
+        /// Number of banks in the module.
+        banks: usize,
+    },
+    /// A command was issued to a bank that is still busy.
+    BankBusy {
+        /// The bank that was busy.
+        bank: usize,
+        /// When the bank becomes free.
+        free_at: Ps,
+    },
+    /// The charge-pump budget can never admit this command (its cost exceeds
+    /// the entire window budget).
+    CommandExceedsPumpBudget {
+        /// Pump cost of the offending command.
+        cost: f64,
+        /// Total budget per window.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (module has {banks} banks)")
+            }
+            DramError::BankBusy { bank, free_at } => {
+                write!(f, "bank {bank} busy until {free_at}")
+            }
+            DramError::CommandExceedsPumpBudget { cost, budget } => write!(
+                f,
+                "command pump cost {cost:.2} exceeds the whole window budget {budget:.2}"
+            ),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DramError::BankOutOfRange { bank: 9, banks: 8 };
+        assert_eq!(format!("{e}"), "bank 9 out of range (module has 8 banks)");
+        let e = DramError::BankBusy { bank: 1, free_at: Ps(100) };
+        assert!(format!("{e}").contains("busy"));
+        let e = DramError::CommandExceedsPumpBudget { cost: 9.0, budget: 4.0 };
+        assert!(format!("{e}").contains("pump"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DramError>();
+    }
+}

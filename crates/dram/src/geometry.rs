@@ -1,0 +1,149 @@
+//! DRAM module geometry and typed row addressing.
+//!
+//! The paper's case studies use a regular DRAM module with 8 banks (§6.3);
+//! subarray and row dimensions follow common DDR3 organizations (512-row
+//! subarrays with 8 KiB rows, cf. §5.2's 512×512 matrix note — a subarray
+//! row spans many matrices horizontally).
+
+use std::fmt;
+
+/// Geometry of a DRAM module visible to the PIM layers.
+///
+/// ```
+/// use elp2im_dram::geometry::Geometry;
+/// let g = Geometry::ddr3_module();
+/// assert_eq!(g.banks, 8);
+/// assert_eq!(g.row_bits(), 65_536);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Independent banks per module.
+    pub banks: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Data rows per subarray (excluding any reserved rows).
+    pub rows_per_subarray: usize,
+    /// Row width in bytes (one full row across all matrices of a subarray).
+    pub row_bytes: usize,
+}
+
+impl Geometry {
+    /// The 8-bank DDR3 module configuration used in §6.3.
+    pub fn ddr3_module() -> Self {
+        Geometry {
+            banks: 8,
+            subarrays_per_bank: 64,
+            rows_per_subarray: 512,
+            row_bytes: 8192,
+        }
+    }
+
+    /// A deliberately tiny geometry for fast tests.
+    pub fn tiny() -> Self {
+        Geometry {
+            banks: 2,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            row_bytes: 32,
+        }
+    }
+
+    /// Bits per row.
+    pub fn row_bits(&self) -> usize {
+        self.row_bytes * 8
+    }
+
+    /// Total number of subarrays in the module.
+    pub fn total_subarrays(&self) -> usize {
+        self.banks * self.subarrays_per_bank
+    }
+
+    /// Total module capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_subarrays() * self.rows_per_subarray * self.row_bytes
+    }
+
+    /// Number of bit-lanes that can compute in parallel when every subarray
+    /// of every bank executes the same bulk bitwise operation.
+    pub fn parallel_lanes(&self) -> usize {
+        self.total_subarrays() * self.row_bits()
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::ddr3_module()
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} banks × {} subarrays × {} rows × {} B",
+            self.banks, self.subarrays_per_bank, self.rows_per_subarray, self.row_bytes
+        )
+    }
+}
+
+/// A fully qualified row address within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowAddr {
+    /// Bank index.
+    pub bank: usize,
+    /// Subarray index within the bank.
+    pub subarray: usize,
+    /// Row index within the subarray.
+    pub row: usize,
+}
+
+impl RowAddr {
+    /// Creates a row address; validates against a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if any component is out of range for `geom`.
+    pub fn checked_new(geom: &Geometry, bank: usize, subarray: usize, row: usize) -> Option<Self> {
+        if bank < geom.banks && subarray < geom.subarrays_per_bank && row < geom.rows_per_subarray {
+            Some(RowAddr { bank, subarray, row })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.s{}.r{}", self.bank, self.subarray, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_module_capacity() {
+        let g = Geometry::ddr3_module();
+        // 8 × 64 × 512 × 8 KiB = 2 GiB
+        assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(g.parallel_lanes(), 8 * 64 * 65_536);
+    }
+
+    #[test]
+    fn checked_addressing() {
+        let g = Geometry::tiny();
+        assert!(RowAddr::checked_new(&g, 1, 1, 31).is_some());
+        assert!(RowAddr::checked_new(&g, 2, 0, 0).is_none());
+        assert!(RowAddr::checked_new(&g, 0, 2, 0).is_none());
+        assert!(RowAddr::checked_new(&g, 0, 0, 32).is_none());
+    }
+
+    #[test]
+    fn display_round_trips_information() {
+        let a = RowAddr { bank: 3, subarray: 7, row: 100 };
+        assert_eq!(format!("{a}"), "b3.s7.r100");
+        let g = Geometry::tiny();
+        assert!(format!("{g}").contains("2 banks"));
+    }
+}

@@ -1,0 +1,196 @@
+//! IDD-based DRAM energy/power model.
+//!
+//! Constants follow the Micron MT41J256M16 DDR3 datasheet (the paper's §6.2
+//! power source) and the DRAMPower-style activate/precharge energy formula:
+//!
+//! `E(ACT+PRE) = (IDD0·tRC − IDD3N·tRAS − IDD2N·tRP) · VDD`
+//!
+//! On top of that base the paper specifies two surcharges:
+//!
+//! * each **additional simultaneously driven wordline** costs ≈22 % of an
+//!   activation (charge-pump inefficiency, §6.2), and
+//! * an **APP-class command** (pseudo-precharge) costs ≈31 % more than a
+//!   regular AP activation (§6.2).
+//!
+//! DRISA's added gates and latches raise *background* power; that shows up
+//! as a per-design background multiplier.
+
+use crate::command::CommandProfile;
+use crate::timing::Ddr3Timing;
+use crate::units::{Ns, Picojoules};
+
+/// Fraction of an activation's energy attributable to the restore phase.
+///
+/// Used to discount trimmed (restore-truncated) activations; derived from the
+/// restore share of `tRAS` after the sense phase completes.
+const RESTORE_ENERGY_FRACTION: f64 = 0.45;
+
+/// DRAM energy/power model.
+///
+/// ```
+/// use elp2im_dram::power::PowerModel;
+/// use elp2im_dram::command::CommandProfile;
+/// use elp2im_dram::timing::Ddr3Timing;
+///
+/// let t = Ddr3Timing::ddr3_1600();
+/// let p = PowerModel::micron_ddr3_1600();
+/// let e_ap = p.command_energy(&CommandProfile::ap(&t));
+/// let e_app = p.command_energy(&CommandProfile::app(&t));
+/// // §6.2: APP costs ~31 % more activate energy than AP.
+/// assert!(e_app.as_f64() > e_ap.as_f64() * 1.15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Activate-precharge current (mA), one bank active.
+    pub idd0_ma: f64,
+    /// Precharge standby current (mA).
+    pub idd2n_ma: f64,
+    /// Active standby current (mA).
+    pub idd3n_ma: f64,
+    /// Timing set used to split activate/precharge phases.
+    pub timing: Ddr3Timing,
+    /// Surcharge per *extra* simultaneously driven wordline (0.22 ⇒ +22 %).
+    pub extra_wordline_surcharge: f64,
+    /// Surcharge for a pseudo-precharge phase (0.31 ⇒ +31 % of an
+    /// activation).
+    pub pseudo_precharge_surcharge: f64,
+}
+
+impl PowerModel {
+    /// Micron MT41J256M16 (DDR3-1600) datasheet constants.
+    pub fn micron_ddr3_1600() -> Self {
+        PowerModel {
+            vdd: 1.5,
+            idd0_ma: 95.0,
+            idd2n_ma: 42.0,
+            idd3n_ma: 45.0,
+            timing: Ddr3Timing::ddr3_1600(),
+            extra_wordline_surcharge: 0.22,
+            pseudo_precharge_surcharge: 0.31,
+        }
+    }
+
+    /// Energy of one full activate+precharge cycle (no surcharges).
+    pub fn act_pre_energy(&self) -> Picojoules {
+        let t = &self.timing;
+        let t_rc = t.ap().as_f64();
+        // mA · ns · V = pJ
+        let pj = (self.idd0_ma * t_rc
+            - self.idd3n_ma * t.t_ras.as_f64()
+            - self.idd2n_ma * t.t_rp.as_f64())
+            * self.vdd;
+        Picojoules(pj)
+    }
+
+    /// Activation-phase share of [`Self::act_pre_energy`].
+    pub fn act_energy(&self) -> Picojoules {
+        let share = self.timing.t_ras / self.timing.ap();
+        self.act_pre_energy() * share
+    }
+
+    /// Precharge-phase share of [`Self::act_pre_energy`].
+    pub fn pre_energy(&self) -> Picojoules {
+        self.act_pre_energy() * (1.0 - self.timing.t_ras / self.timing.ap())
+    }
+
+    /// Dynamic energy of one command described by `profile`.
+    ///
+    /// Sums: a full activation per restoring wordline event, a discounted
+    /// activation per trimmed event, one precharge, the +22 %-per-extra-
+    /// wordline surcharge and the +31 % pseudo-precharge surcharge.
+    pub fn command_energy(&self, profile: &CommandProfile) -> Picojoules {
+        let e_act = self.act_energy().as_f64();
+        let restoring = f64::from(profile.restores.min(profile.total_wordline_events));
+        let trimmed = f64::from(profile.total_wordline_events) - restoring;
+        let mut pj = e_act * restoring + e_act * (1.0 - RESTORE_ENERGY_FRACTION) * trimmed;
+        pj += self.pre_energy().as_f64();
+        pj += e_act
+            * self.extra_wordline_surcharge
+            * f64::from(profile.extra_simultaneous_wordlines());
+        if profile.pseudo_precharge {
+            pj += e_act * self.pseudo_precharge_surcharge;
+        }
+        Picojoules(pj)
+    }
+
+    /// Background (standby) power in milliwatts while a subarray computes.
+    ///
+    /// `design_factor` scales for designs that add always-on logic (DRISA).
+    pub fn background_power_mw(&self, design_factor: f64) -> f64 {
+        self.idd3n_ma * self.vdd * design_factor
+    }
+
+    /// Background energy over `duration` for a design with the given factor.
+    pub fn background_energy(&self, duration: Ns, design_factor: f64) -> Picojoules {
+        Picojoules(self.background_power_mw(design_factor) * duration.as_f64())
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::micron_ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandProfile;
+
+    fn model() -> PowerModel {
+        PowerModel::micron_ddr3_1600()
+    }
+
+    #[test]
+    fn act_pre_energy_is_in_nanojoule_range() {
+        let e = model().act_pre_energy();
+        // (95·48.75 − 45·35 − 42·13.75) × 1.5 ≈ 3.7 nJ
+        assert!((e.as_nanojoules() - 3.72).abs() < 0.1, "e = {e}");
+    }
+
+    #[test]
+    fn phase_split_sums_to_total() {
+        let p = model();
+        let total = p.act_energy() + p.pre_energy();
+        assert!((total.as_f64() - p.act_pre_energy().as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_surcharge_matches_paper() {
+        let p = model();
+        let t = p.timing.clone();
+        let ap = p.command_energy(&CommandProfile::ap(&t)).as_f64();
+        let app = p.command_energy(&CommandProfile::app(&t)).as_f64();
+        // The +31 % applies to the activation share.
+        let expected = ap + p.act_energy().as_f64() * 0.31;
+        assert!((app - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tra_costs_more_than_ap_but_less_than_three() {
+        let p = model();
+        let t = p.timing.clone();
+        let ap = p.command_energy(&CommandProfile::ap(&t)).as_f64();
+        let tra = p.command_energy(&CommandProfile::ambit_tra_aap(&t)).as_f64();
+        assert!(tra > 2.0 * ap, "tra = {tra}, ap = {ap}");
+    }
+
+    #[test]
+    fn trimmed_app_is_cheaper_than_app() {
+        let p = model();
+        let t = p.timing.clone();
+        let app = p.command_energy(&CommandProfile::app(&t)).as_f64();
+        let tapp = p.command_energy(&CommandProfile::t_app(&t)).as_f64();
+        assert!(tapp < app);
+    }
+
+    #[test]
+    fn background_scales_with_factor() {
+        let p = model();
+        let base = p.background_energy(Ns(100.0), 1.0).as_f64();
+        let drisa = p.background_energy(Ns(100.0), 1.5).as_f64();
+        assert!((drisa / base - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Run statistics collected by the event-driven controller and by the
+//! analytic device models.
+
+use crate::command::CommandClass;
+use crate::units::{Ns, Picojoules};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics for a simulated run or a modeled operation stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Commands issued, by class.
+    pub commands: BTreeMap<String, u64>,
+    /// Total wordline-raise events.
+    pub wordline_activations: u64,
+    /// Busy time summed over commands (per-bank serial time).
+    pub busy_time: Ns,
+    /// Wall-clock makespan (with bank parallelism), when simulated.
+    pub makespan: Ns,
+    /// Dynamic energy.
+    pub energy: Picojoules,
+    /// Time spent stalled waiting for pump budget.
+    pub pump_stall: Ns,
+}
+
+impl RunStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    /// Records one command.
+    pub fn record(
+        &mut self,
+        class: CommandClass,
+        duration: Ns,
+        wordlines: u8,
+        energy: Picojoules,
+    ) {
+        *self.commands.entry(class.to_string()).or_insert(0) += 1;
+        self.wordline_activations += u64::from(wordlines);
+        self.busy_time += duration;
+        self.energy += energy;
+    }
+
+    /// Total number of commands of every class.
+    pub fn total_commands(&self) -> u64 {
+        self.commands.values().sum()
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        for (k, v) in &other.commands {
+            *self.commands.entry(k.clone()).or_insert(0) += v;
+        }
+        self.wordline_activations += other.wordline_activations;
+        self.busy_time += other.busy_time;
+        self.makespan = Ns(self.makespan.as_f64().max(other.makespan.as_f64()));
+        self.energy += other.energy;
+        self.pump_stall += other.pump_stall;
+    }
+
+    /// Average power over the makespan (mW); falls back to busy time when no
+    /// makespan was simulated.
+    pub fn average_power_mw(&self) -> f64 {
+        let t = if self.makespan.as_f64() > 0.0 { self.makespan } else { self.busy_time };
+        if t.as_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.energy.power_mw(t)
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} commands, {} wordline activations, busy {}, makespan {}, {}",
+            self.total_commands(),
+            self.wordline_activations,
+            self.busy_time,
+            self.makespan,
+            self.energy
+        )?;
+        if self.pump_stall.as_f64() > 0.0 {
+            write!(f, ", pump stall {}", self.pump_stall)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = RunStats::new();
+        s.record(CommandClass::Ap, Ns(49.0), 1, Picojoules(100.0));
+        s.record(CommandClass::Ap, Ns(49.0), 1, Picojoules(100.0));
+        s.record(CommandClass::TraAap, Ns(53.0), 4, Picojoules(400.0));
+        assert_eq!(s.total_commands(), 3);
+        assert_eq!(s.wordline_activations, 6);
+        assert_eq!(s.commands["AP"], 2);
+        assert!((s.busy_time.as_f64() - 151.0).abs() < 1e-9);
+        assert!((s.energy.as_f64() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = RunStats::new();
+        a.record(CommandClass::Ap, Ns(49.0), 1, Picojoules(10.0));
+        a.makespan = Ns(100.0);
+        let mut b = RunStats::new();
+        b.record(CommandClass::App, Ns(67.0), 1, Picojoules(20.0));
+        b.makespan = Ns(80.0);
+        a.merge(&b);
+        assert_eq!(a.total_commands(), 2);
+        assert_eq!(a.makespan, Ns(100.0)); // max, not sum
+        assert!((a.energy.as_f64() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power_uses_makespan() {
+        let mut s = RunStats::new();
+        s.record(CommandClass::Ap, Ns(50.0), 1, Picojoules(100.0));
+        assert!((s.average_power_mw() - 2.0).abs() < 1e-12); // busy fallback
+        s.makespan = Ns(200.0);
+        assert!((s.average_power_mw() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_power_is_zero() {
+        assert_eq!(RunStats::new().average_power_mw(), 0.0);
+    }
+}

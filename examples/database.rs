@@ -1,0 +1,50 @@
+//! A miniature analytics session on the in-DRAM query layer: compound
+//! predicates and aggregates with the bitwise work done by ELP2IM and only
+//! the counting on the CPU.
+//!
+//! Run with `cargo run --example database`.
+
+use elp2im::apps::bitweaving::Predicate;
+use elp2im::apps::query::{InMemoryTable, QueryPredicate};
+use elp2im::apps::workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = 4096;
+    let mut rng = workload::rng(2026);
+    let ages = workload::random_values(&mut rng, rows, 7); // 0..128
+    let scores = workload::random_values(&mut rng, rows, 6); // 0..64
+    let regions = workload::random_values(&mut rng, rows, 3); // 0..8
+
+    let mut table = InMemoryTable::new(rows)?;
+    table.add_column("age", 7, &ages)?;
+    table.add_column("score", 6, &scores)?;
+    table.add_column("region", 3, &regions)?;
+
+    let queries = [
+        QueryPredicate::cmp("age", Predicate::Lt, 30),
+        QueryPredicate::cmp("age", Predicate::Ge, 18)
+            .and(QueryPredicate::cmp("score", Predicate::Gt, 40)),
+        QueryPredicate::cmp("region", Predicate::Eq, 2)
+            .or(QueryPredicate::cmp("region", Predicate::Eq, 5))
+            .and(QueryPredicate::cmp("age", Predicate::Ge, 65).negate()),
+    ];
+    for q in &queries {
+        let count = table.count_where(q)?;
+        assert_eq!(count, table.count_where_scalar(q), "device must agree with scalar");
+        println!("SELECT COUNT(*) WHERE {q:<60} -> {count}");
+    }
+
+    let q = QueryPredicate::cmp("region", Predicate::Eq, 3);
+    let sum = table.sum_where("score", &q)?;
+    assert_eq!(sum, table.sum_where_scalar("score", &q));
+    println!("SELECT SUM(score) WHERE {q:<59} -> {sum}");
+
+    let stats = table.device_stats();
+    println!(
+        "\nsubstrate: {} commands, {:.1} us in-DRAM, {:.1} nJ",
+        stats.total_commands(),
+        stats.busy_time.as_f64() / 1000.0,
+        stats.energy.as_nanojoules()
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Reliability analysis (§4.1 and §6.1.2): the short-bitline failure of
+//! the regular strategy, its fix, and a compact Fig. 11 Monte-Carlo sweep.
+//!
+//! Run with `cargo run --example reliability`.
+
+use elp2im::circuit::column::Column;
+use elp2im::circuit::montecarlo::{Design, MonteCarlo};
+use elp2im::circuit::params::CircuitParams;
+use elp2im::circuit::primitive::{or_app_ap, Strategy};
+use elp2im::circuit::variation::PvMode;
+
+fn main() {
+    // §4.1: the worst case '1'+'0' on a short bitline (Cb < Cc).
+    let mut col = Column::new(CircuitParams::short_bitline());
+    match or_app_ap(&mut col, true, false, Strategy::Regular) {
+        Err(e) => println!("regular strategy on short bitline: {e} (expected failure)"),
+        Ok(_) => println!("regular strategy unexpectedly succeeded"),
+    }
+    let mut col = Column::new(CircuitParams::short_bitline());
+    let out = or_app_ap(&mut col, true, false, Strategy::Alternative)
+        .expect("the complementary strategy is ratio-independent");
+    println!(
+        "alternative strategy: '1' OR '0' = {} with {:.0} mV margin\n",
+        u8::from(out.result),
+        out.final_margin_v * 1000.0
+    );
+
+    // Fig. 11 mini-sweep.
+    let mc = MonteCarlo::paper_setup().with_trials(50_000);
+    println!("error rates at 50k trials (15% coupling):");
+    println!("{:<11} {:>12} {:>12}", "design", "random 8%", "random 12%");
+    for d in [
+        Design::RegularDram,
+        Design::Elp2im { alternative: false },
+        Design::Elp2im { alternative: true },
+        Design::AmbitTra,
+    ] {
+        println!(
+            "{:<11} {:>12.2e} {:>12.2e}",
+            d.label(),
+            mc.error_rate(d, PvMode::Random, 0.08),
+            mc.error_rate(d, PvMode::Random, 0.12),
+        );
+    }
+    println!(
+        "\nAmbit under systematic PV at 12%: {:.2e} (mismatch suppressed, Fig. 11(b))",
+        mc.error_rate(Design::AmbitTra, PvMode::Systematic, 0.12)
+    );
+}

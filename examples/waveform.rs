@@ -1,0 +1,23 @@
+//! Renders the Fig. 10 waveform: two APP-AP sequences (an OR computing
+//! '1'+'0', then an AND computing '0'·'1') on the analog column model.
+//!
+//! Run with `cargo run --example waveform [csv-path]`.
+
+use elp2im::circuit::params::CircuitParams;
+use elp2im::circuit::primitive::fig10_waveform;
+
+fn main() {
+    let params = CircuitParams::long_bitline();
+    let wave = fig10_waveform(params.clone());
+    println!(
+        "Fig. 10: bitline voltage over two APP-AP sequences ({} samples, {:.0} ns)",
+        wave.len(),
+        wave.samples().last().map_or(0.0, |s| s.t_ns)
+    );
+    println!("{}", wave.ascii_plot(params.vdd, 110, 18));
+    println!("phases: precharge -> access/sense/restore -> pseudo-precharge -> half-precharge -> second activate");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, wave.to_csv()).expect("write CSV");
+        println!("full trace written to {path}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-validation between the analog circuit model (`elp2im-circuit`)
+//! and the functional engine (`elp2im-core`): the same control sequences
+//! must produce the same logic results at both abstraction levels.
+
+use elp2im::circuit::column::{CellPort, Column};
+use elp2im::circuit::params::CircuitParams;
+use elp2im::circuit::primitive::{binary_app_ap, copy_aap, not_via_dcc, BasicOp, Strategy};
+use elp2im::core::bitvec::BitVec;
+use elp2im::core::engine::SubarrayEngine;
+use elp2im::core::primitive::{Primitive, RegulateMode, RowRef};
+
+/// Runs the functional APP-AP in-place sequence on a 1-bit subarray.
+fn functional_app_ap(op: BasicOp, a: bool, b: bool) -> bool {
+    let mut e = SubarrayEngine::new(1, 4, 1);
+    e.write_row(0, BitVec::from_bools(&[a])).unwrap();
+    e.write_row(1, BitVec::from_bools(&[b])).unwrap();
+    let mode = match op {
+        BasicOp::Or => RegulateMode::Or,
+        BasicOp::And => RegulateMode::And,
+    };
+    e.run(&[
+        Primitive::App { row: RowRef::Data(0), mode },
+        Primitive::Ap { row: RowRef::Data(1) },
+    ])
+    .unwrap();
+    e.row(RowRef::Data(1)).unwrap().get(0)
+}
+
+#[test]
+fn circuit_and_engine_agree_on_all_app_ap_cases() {
+    for op in [BasicOp::Or, BasicOp::And] {
+        for a in [false, true] {
+            for b in [false, true] {
+                let functional = functional_app_ap(op, a, b);
+                for strategy in [Strategy::Regular, Strategy::Alternative] {
+                    let mut col = Column::new(CircuitParams::long_bitline());
+                    let analog = binary_app_ap(&mut col, op, a, b, strategy)
+                        .unwrap_or_else(|e| panic!("{op:?}({a},{b})/{strategy:?}: {e}"));
+                    assert_eq!(
+                        analog.result, functional,
+                        "{op:?}({a},{b}) {strategy:?}: circuit {} vs engine {}",
+                        analog.result, functional
+                    );
+                    assert_eq!(analog.result, op.eval(a, b), "both must match software");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn circuit_and_engine_agree_on_copies_and_not() {
+    for bit in [false, true] {
+        // Circuit level.
+        let mut col = Column::new(CircuitParams::long_bitline());
+        col.write_cell(0, bit);
+        let copied = copy_aap(&mut col, CellPort::Normal(0), CellPort::Normal(1));
+        let inverted = not_via_dcc(&mut col, CellPort::Normal(0), CellPort::Normal(2));
+
+        // Functional level.
+        let mut e = SubarrayEngine::new(1, 4, 1);
+        e.write_row(0, BitVec::from_bools(&[bit])).unwrap();
+        e.run(&[
+            Primitive::Aap { src: RowRef::Data(0), dst: RowRef::Data(1) },
+            Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) },
+            Primitive::OAap { src: RowRef::DccBar(0), dst: RowRef::Data(2) },
+        ])
+        .unwrap();
+
+        assert_eq!(copied, e.row(RowRef::Data(1)).unwrap().get(0));
+        assert_eq!(inverted, e.row(RowRef::Data(2)).unwrap().get(0));
+        assert_eq!(inverted, !bit);
+    }
+}
+
+/// The circuit-level TRA and the Ambit functional engine agree on the
+/// majority function for every input combination.
+#[test]
+fn circuit_tra_matches_ambit_engine() {
+    use elp2im::baselines::ambit::{AmbitCmd, AmbitEngine, AmbitRow};
+
+    for pattern in 0u8..8 {
+        let bits = [(pattern & 1) != 0, (pattern & 2) != 0, (pattern & 4) != 0];
+
+        // Analog TRA.
+        let mut col = Column::new(CircuitParams::long_bitline());
+        for (i, &b) in bits.iter().enumerate() {
+            col.write_cell(i, b);
+        }
+        col.precharge();
+        let ports = [CellPort::Normal(0), CellPort::Normal(1), CellPort::Normal(2)];
+        let analog = col.activate_multi(&ports, true).bit;
+
+        // Functional Ambit TRA.
+        let mut amb = AmbitEngine::new(1, 4);
+        for (i, &b) in bits.iter().enumerate() {
+            amb.write_row(i, BitVec::from_bools(&[b])).unwrap();
+        }
+        for i in 0..3 {
+            amb.execute(&AmbitCmd::Aap {
+                src: AmbitRow::Data(i),
+                dsts: vec![AmbitRow::T(i)],
+            })
+            .unwrap();
+        }
+        amb.execute(&AmbitCmd::Tra { rows: [AmbitRow::T(0), AmbitRow::T(1), AmbitRow::T(2)] })
+            .unwrap();
+        let functional = amb.row(AmbitRow::T(0)).unwrap().get(0);
+
+        assert_eq!(analog, functional, "TRA of {bits:?}");
+        let majority = bits.iter().filter(|&&b| b).count() >= 2;
+        assert_eq!(analog, majority);
+    }
+}
+
+/// §4.1 as an end-to-end story: short bitlines break the regular strategy
+/// at the circuit level while the functional model (which assumes correct
+/// analog behavior) still gives the logical answer — and the alternative
+/// strategy closes the gap.
+#[test]
+fn short_bitline_divergence_is_fixed_by_alternative_strategy() {
+    let functional = functional_app_ap(BasicOp::Or, true, false);
+    assert!(functional, "functional model: 1 OR 0 = 1");
+
+    let mut col = Column::new(CircuitParams::short_bitline());
+    assert!(
+        binary_app_ap(&mut col, BasicOp::Or, true, false, Strategy::Regular).is_err(),
+        "regular strategy must fail analog validation on a short bitline"
+    );
+
+    let mut col = Column::new(CircuitParams::short_bitline());
+    let fixed = binary_app_ap(&mut col, BasicOp::Or, true, false, Strategy::Alternative).unwrap();
+    assert_eq!(fixed.result, functional);
+}

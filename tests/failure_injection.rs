@@ -1,0 +1,101 @@
+//! Failure-injection tests: sensing errors (quantified by the Fig. 11
+//! Monte-Carlo) propagate silently through bitwise PIM pipelines — the
+//! §6.1.2 observation that conventional ECC cannot protect in-memory
+//! computation.
+
+use elp2im::circuit::montecarlo::{Design, MonteCarlo};
+use elp2im::circuit::variation::PvMode;
+use elp2im::core::bitvec::BitVec;
+use elp2im::core::compile::{xor_sequence, Operands};
+use elp2im::core::engine::SubarrayEngine;
+use elp2im::core::primitive::{Primitive, RegulateMode, RowRef};
+
+fn engine_with(a: &BitVec, b: &BitVec) -> SubarrayEngine {
+    let mut e = SubarrayEngine::new(a.len(), 8, 2);
+    e.write_row(0, a.clone()).unwrap();
+    e.write_row(1, b.clone()).unwrap();
+    e.write_row(2, BitVec::zeros(a.len())).unwrap();
+    e
+}
+
+#[test]
+fn single_bit_fault_flips_exactly_one_result_column() {
+    let a = BitVec::from_bools(&[true, false, true, false, true, false, true, false]);
+    let b = BitVec::from_bools(&[true, true, false, false, true, true, false, false]);
+    let prog = xor_sequence(5, Operands::standard(), 1).unwrap();
+
+    let mut clean = engine_with(&a, &b);
+    clean.run(prog.primitives()).unwrap();
+    let clean_result = clean.row(RowRef::Data(2)).unwrap();
+    assert_eq!(clean_result, a.xor(&b));
+
+    let mut faulty = engine_with(&a, &b);
+    faulty.inject_bit_error(RowRef::Data(0), 5).unwrap();
+    faulty.run(prog.primitives()).unwrap();
+    let faulty_result = faulty.row(RowRef::Data(2)).unwrap();
+
+    let diff = clean_result.xor(&faulty_result);
+    assert_eq!(diff.count_ones(), 1, "exactly the faulted column flips");
+    assert!(diff.get(5), "the flip is at the injected column");
+}
+
+#[test]
+fn fault_in_reserved_row_corrupts_dependent_ops_only() {
+    let a = BitVec::from_bools(&[true, true, false, false]);
+    let b = BitVec::from_bools(&[true, false, true, false]);
+    let mut e = engine_with(&a, &b);
+    // Stage a into the DCC, corrupt the DCC, then use it for NOT.
+    e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+    e.inject_bit_error(RowRef::DccTrue(0), 0).unwrap();
+    e.execute(&Primitive::OAap { src: RowRef::DccBar(0), dst: RowRef::Data(2) }).unwrap();
+    let not_a = e.row(RowRef::Data(2)).unwrap();
+    // Column 0 is wrong; the rest is a correct NOT.
+    assert_eq!(not_a.to_bools(), vec![true, false, true, true]);
+    // The original operand row is untouched.
+    assert_eq!(e.row(RowRef::Data(0)).unwrap(), a);
+}
+
+#[test]
+fn fault_rate_scales_with_mc_error_rate() {
+    // Tie the two layers together: draw per-column error events at the
+    // Monte-Carlo rate and check the corrupted-result fraction tracks it.
+    let mc = MonteCarlo::paper_setup().with_trials(20_000);
+    let p_err = mc.error_rate(Design::AmbitTra, PvMode::Random, 0.12);
+    assert!(p_err > 1e-3, "need a visible error rate, got {p_err}");
+
+    let width = 4096;
+    let a = BitVec::ones(width);
+    let b = BitVec::zeros(width);
+    let mut e = engine_with(&a, &b);
+    // Deterministically corrupt every ceil(1/p)th column of the operand.
+    let stride = (1.0 / p_err).ceil() as usize;
+    let mut injected = 0;
+    let mut col = 0;
+    while col < width {
+        e.inject_bit_error(RowRef::Data(0), col).unwrap();
+        injected += 1;
+        col += stride;
+    }
+    e.run(&[
+        Primitive::App { row: RowRef::Data(0), mode: RegulateMode::And },
+        Primitive::Ap { row: RowRef::Data(1) },
+    ])
+    .unwrap();
+    // AND with all-zeros b: faults on a do NOT show (0 & x = 0) — masking.
+    assert!(e.row(RowRef::Data(1)).unwrap().is_zero(), "AND masks the faults");
+
+    // OR with all-zeros b exposes every fault.
+    let mut e = engine_with(&a, &b);
+    let mut col = 0;
+    while col < width {
+        e.inject_bit_error(RowRef::Data(0), col).unwrap();
+        col += stride;
+    }
+    e.run(&[
+        Primitive::App { row: RowRef::Data(0), mode: RegulateMode::Or },
+        Primitive::Ap { row: RowRef::Data(1) },
+    ])
+    .unwrap();
+    let wrong = width - e.row(RowRef::Data(1)).unwrap().count_ones();
+    assert_eq!(wrong, injected, "every injected fault surfaces through OR");
+}

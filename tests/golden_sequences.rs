@@ -1,0 +1,72 @@
+//! Golden tests pinning the exact primitive sequences the compiler emits
+//! (in the paper's `prmt([dst],src)` notation). Any change to these
+//! strings is a change to the architecture's command stream and must be
+//! deliberate.
+
+use elp2im::core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
+use elp2im::core::parse::parse_program;
+
+fn text_of(op: LogicOp, mode: CompileMode, reserved: usize) -> String {
+    let prog = compile(op, mode, Operands::standard(), reserved).unwrap();
+    prog.primitives().iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" ; ")
+}
+
+#[test]
+fn golden_low_latency_sequences() {
+    assert_eq!(text_of(LogicOp::Not, CompileMode::LowLatency, 1), "oAAP([R0],r0) ; oAAP([r2],!R0)");
+    assert_eq!(
+        text_of(LogicOp::And, CompileMode::LowLatency, 1),
+        "oAAP([R0],r0) ; oAPP(r1)·and ; oAAP([r2],R0)"
+    );
+    assert_eq!(
+        text_of(LogicOp::Or, CompileMode::LowLatency, 1),
+        "oAAP([R0],r0) ; oAPP(r1)·or ; oAAP([r2],R0)"
+    );
+    assert_eq!(
+        text_of(LogicOp::Nand, CompileMode::LowLatency, 1),
+        "oAAP([R0],r0) ; oAPP(r1)·and ; AP(R0) ; oAAP([r2],!R0)"
+    );
+    assert_eq!(
+        text_of(LogicOp::Xor, CompileMode::LowLatency, 1),
+        "oAAP([R0],r0) ; oAPP(r1)·and ; oAAP([r2],!R0) ; oAAP([R0],r1) ; oAPP(r0)·and ; otAPP(!R0)·or ; AP(r2)"
+    );
+}
+
+#[test]
+fn golden_high_throughput_and() {
+    assert_eq!(
+        text_of(LogicOp::And, CompileMode::HighThroughput, 0),
+        "AAP([r2],r0) ; APP(r1)·and ; AP(r2)"
+    );
+}
+
+#[test]
+fn golden_in_place() {
+    let rows = Operands { a: 0, b: 2, dst: 2, scratch: None };
+    let prog = compile(LogicOp::Or, CompileMode::InPlace, rows, 0).unwrap();
+    let text: Vec<String> = prog.primitives().iter().map(|p| p.to_string()).collect();
+    assert_eq!(text.join(" ; "), "APP(r0)·or ; AP(r2)");
+}
+
+#[test]
+fn golden_xor_seq6() {
+    let prog = xor_sequence(6, Operands::standard(), 2).unwrap();
+    let text: Vec<String> = prog.primitives().iter().map(|p| p.to_string()).collect();
+    assert_eq!(
+        text.join(" ; "),
+        "oAAP([R0],r0) ; oAPP([R1],r1)·and ; oAAP([r2],!R0) ; oAPP(r0)·and ; otAPP(!R1)·or ; AP(r2)"
+    );
+}
+
+/// Every golden sequence round-trips through the §5.1 parser.
+#[test]
+fn golden_sequences_parse_back() {
+    for op in LogicOp::ALL {
+        for (mode, reserved) in [(CompileMode::LowLatency, 2usize), (CompileMode::HighThroughput, 1)] {
+            let prog = compile(op, mode, Operands::standard(), reserved).unwrap();
+            let text: Vec<String> = prog.primitives().iter().map(|p| p.to_string()).collect();
+            let reparsed = parse_program("x", &text.join(" ; ")).unwrap();
+            assert_eq!(reparsed.primitives(), prog.primitives(), "{op} {mode:?}");
+        }
+    }
+}
