@@ -71,7 +71,7 @@ pub fn popcount_slices(n: usize) -> usize {
     while planes > 2 {
         let groups = planes / 3;
         slices += groups;
-        planes = planes - groups;
+        planes -= groups;
     }
     slices + (usize::BITS - n.leading_zeros()) as usize
 }
@@ -190,8 +190,7 @@ pub fn bit_serial_negate(
     x: &[RowHandle],
 ) -> Result<Vec<RowHandle>, CoreError> {
     let lanes = dev.length(x[0])?;
-    let inverted: Vec<RowHandle> =
-        x.iter().map(|&p| dev.not(p)).collect::<Result<_, _>>()?;
+    let inverted: Vec<RowHandle> = x.iter().map(|&p| dev.not(p)).collect::<Result<_, _>>()?;
     // The constant 1: a ones plane at bit 0, zeros elsewhere.
     let mut one = vec![dev.store(&BitVec::ones(lanes))?];
     for _ in 1..x.len() {
@@ -234,11 +233,7 @@ pub fn twn_dot_product(
         if w == 0 {
             continue;
         }
-        let term: Vec<RowHandle> = if w == 1 {
-            x.clone()
-        } else {
-            bit_serial_negate(dev, x)?
-        };
+        let term: Vec<RowHandle> = if w == 1 { x.clone() } else { bit_serial_negate(dev, x)? };
         let new_acc = bit_serial_add_mod(dev, &acc, &term)?;
         for h in acc {
             dev.release(h)?;
@@ -271,8 +266,7 @@ mod tests {
         // vals[lane] little-endian; plane i holds bit i of every lane.
         (0..width)
             .map(|i| {
-                let plane: BitVec =
-                    vals.iter().map(|v| (v >> i) & 1 == 1).collect();
+                let plane: BitVec = vals.iter().map(|v| (v >> i) & 1 == 1).collect();
                 dev.store(&plane).unwrap()
             })
             .collect()
@@ -317,9 +311,9 @@ mod tests {
             .collect();
         let count = bit_serial_popcount(&mut dev, &planes).unwrap();
         let got = load_lanes(&dev, &count, 4);
-        for lane in 0..4 {
+        for (lane, &got_lane) in got.iter().enumerate().take(4) {
             let expect = planes_bits.iter().filter(|&&p| (p >> lane) & 1 == 1).count() as u64;
-            assert_eq!(got[lane], expect, "lane {lane}");
+            assert_eq!(got_lane, expect, "lane {lane}");
         }
     }
 
@@ -379,11 +373,8 @@ mod tests {
         assert_eq!(acc.len(), width as usize);
         let mask = (1u64 << width) - 1;
         for lane in 0..lanes {
-            let expect: i64 = acts
-                .iter()
-                .zip(&weights)
-                .map(|(vals, &w)| i64::from(w) * vals[lane] as i64)
-                .sum();
+            let expect: i64 =
+                acts.iter().zip(&weights).map(|(vals, &w)| i64::from(w) * vals[lane] as i64).sum();
             let got: u64 = acc
                 .iter()
                 .enumerate()
@@ -410,13 +401,13 @@ mod tests {
             })
             .collect();
         let neg = bit_serial_negate(&mut dev, &x).unwrap();
-        for lane in 0..4 {
+        for (lane, &val) in vals.iter().enumerate() {
             let got: u64 = neg
                 .iter()
                 .enumerate()
                 .map(|(i, &h)| u64::from(dev.load(h).unwrap().get(lane)) << i)
                 .sum();
-            assert_eq!(got, (vals[lane].wrapping_neg()) & 0xF, "lane {lane}");
+            assert_eq!(got, val.wrapping_neg() & 0xF, "lane {lane}");
         }
     }
 

@@ -7,7 +7,10 @@
 
 use elp2im_baselines::ambit::AmbitConfig;
 use elp2im_baselines::drisa::{DrisaModel, DRISA_BACKGROUND_FACTOR};
+use elp2im_core::batch::{BatchConfig, BatchRun, DeviceArray};
+use elp2im_core::bitvec::BitVec;
 use elp2im_core::compile::{compile, CompileMode, LogicOp, Operands};
+use elp2im_core::error::CoreError;
 use elp2im_dram::command::CommandProfile;
 use elp2im_dram::constraint::PumpBudget;
 use elp2im_dram::geometry::Geometry;
@@ -92,19 +95,14 @@ impl PimBackend {
     /// ELP2IM in the power-friendly high-throughput mode (Bitmap/TableScan
     /// studies) with the base single reserved row.
     pub fn elp2im_high_throughput() -> Self {
-        PimBackend::new(DesignKind::Elp2im {
-            mode: CompileMode::HighThroughput,
-            reserved_rows: 1,
-        })
+        PimBackend::new(DesignKind::Elp2im { mode: CompileMode::HighThroughput, reserved_rows: 1 })
     }
 
     /// ELP2IM in the reduced-latency mode with two reserved rows (the CNN
     /// accelerator configuration of §6.3.3).
     pub fn elp2im_accelerator() -> Self {
-        let mut b = PimBackend::new(DesignKind::Elp2im {
-            mode: CompileMode::LowLatency,
-            reserved_rows: 2,
-        });
+        let mut b =
+            PimBackend::new(DesignKind::Elp2im { mode: CompileMode::LowLatency, reserved_rows: 2 });
         b.budget = PumpBudget::unconstrained();
         b
     }
@@ -261,6 +259,52 @@ impl PimBackend {
     pub fn row_bits(&self) -> usize {
         self.geometry.row_bits()
     }
+
+    /// The batch-engine configuration matching this backend's substrate
+    /// (geometry and pump budget). `None` for non-ELP2IM designs — the
+    /// batch execution layer simulates ELP2IM primitives only.
+    pub fn batch_config(&self) -> Option<BatchConfig> {
+        match &self.design {
+            DesignKind::Elp2im { mode, reserved_rows } => Some(BatchConfig {
+                geometry: self.geometry,
+                reserved_rows: *reserved_rows,
+                mode: *mode,
+                budget: self.budget.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// A fresh bank-parallel [`DeviceArray`] matching this backend, for
+    /// executing bulk workloads with true interleaved scheduling rather
+    /// than the analytic [`device_time`](PimBackend::device_time)
+    /// estimate. `None` for non-ELP2IM designs.
+    pub fn device_array(&self) -> Option<DeviceArray> {
+        self.batch_config().map(DeviceArray::new)
+    }
+
+    /// Executes one bulk `op` over `a` and `b` on a fresh batch engine,
+    /// returning the result bits plus the scheduled run (makespan,
+    /// pump stalls, exact bus trace). `None` for non-ELP2IM designs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width, capacity, and compilation errors from the batch
+    /// layer.
+    pub fn simulate_binary(
+        &self,
+        op: LogicOp,
+        a: &BitVec,
+        b: &BitVec,
+    ) -> Option<Result<(BitVec, BatchRun), CoreError>> {
+        let mut array = self.device_array()?;
+        Some((|| {
+            let ha = array.store(a)?;
+            let hb = array.store(b)?;
+            let (hc, run) = array.binary(op, ha, hb)?;
+            Ok((array.load(hc)?, run))
+        })())
+    }
 }
 
 #[cfg(test)]
@@ -284,14 +328,10 @@ mod tests {
     fn fig12_average_speedups() {
         let ambit = PimBackend::ambit();
         let drisa = PimBackend::drisa();
-        let elp1 = PimBackend::new(DesignKind::Elp2im {
-            mode: CompileMode::LowLatency,
-            reserved_rows: 1,
-        });
-        let elp2 = PimBackend::new(DesignKind::Elp2im {
-            mode: CompileMode::LowLatency,
-            reserved_rows: 2,
-        });
+        let elp1 =
+            PimBackend::new(DesignKind::Elp2im { mode: CompileMode::LowLatency, reserved_rows: 1 });
+        let elp2 =
+            PimBackend::new(DesignKind::Elp2im { mode: CompileMode::LowLatency, reserved_rows: 2 });
         let mean_ratio = |base: &PimBackend, elp: &PimBackend| -> f64 {
             LogicOp::ALL
                 .iter()
@@ -371,9 +411,62 @@ mod tests {
         let t = e.device_time_mix(&mix).as_f64();
         assert!(t > 0.0);
         let energy = e.device_energy_mix(&mix).as_f64();
-        let explicit = e.op_energy(LogicOp::And).as_f64() * 10.0
-            + e.op_energy(LogicOp::Not).as_f64() * 5.0;
+        let explicit =
+            e.op_energy(LogicOp::And).as_f64() * 10.0 + e.op_energy(LogicOp::Not).as_f64() * 5.0;
         assert!((energy - explicit).abs() < 1e-6);
+    }
+
+    /// The batch engine's scheduled makespan beats the serial busy time
+    /// once operands span the module's banks, and the functional result
+    /// is exact.
+    #[test]
+    fn batch_execution_beats_serial_time() {
+        let mut backend = PimBackend::elp2im_high_throughput().without_power_constraint();
+        // Shrink the rows so the test stays quick; 8 banks remain.
+        backend.geometry =
+            Geometry { banks: 8, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 64 };
+        let bits = backend.row_bits() * 8; // one stripe per bank
+        let a: BitVec = (0..bits).map(|i| i % 3 == 0).collect();
+        let b: BitVec = (0..bits).map(|i| i % 5 == 0).collect();
+        let (got, run) = backend.simulate_binary(LogicOp::Xor, &a, &b).unwrap().unwrap();
+        assert_eq!(got, a.xor(&b));
+        let s = run.stats();
+        assert!(
+            s.makespan.as_f64() < s.busy_time.as_f64() * 0.2,
+            "makespan {} vs busy {}",
+            s.makespan,
+            s.busy_time
+        );
+    }
+
+    /// The simulated (scheduled) parallelism agrees with the analytic
+    /// steady-state estimate under the JEDEC pump budget.
+    #[test]
+    fn batch_parallelism_matches_analytic_estimate() {
+        let mut backend = PimBackend::elp2im_high_throughput();
+        backend.geometry =
+            Geometry { banks: 8, subarrays_per_bank: 4, rows_per_subarray: 64, row_bytes: 32 };
+        let analytic = backend.parallel_banks(LogicOp::And);
+        // 32 stripes (4 per bank) of back-to-back ANDs: long enough for
+        // the steady state to dominate.
+        let bits = backend.row_bits() * 32;
+        let a = BitVec::ones(bits);
+        let b: BitVec = (0..bits).map(|i| i % 2 == 0).collect();
+        let (_, run) = backend.simulate_binary(LogicOp::And, &a, &b).unwrap().unwrap();
+        let s = run.stats();
+        let effective = s.busy_time.as_f64() / s.makespan.as_f64();
+        assert!(
+            (effective - analytic).abs() / analytic < 0.2,
+            "analytic {analytic:.2} vs simulated {effective:.2}"
+        );
+        assert!(s.pump_stall.as_f64() > 0.0, "JEDEC budget must bite");
+    }
+
+    #[test]
+    fn baselines_have_no_batch_engine() {
+        assert!(PimBackend::ambit().device_array().is_none());
+        assert!(PimBackend::drisa().batch_config().is_none());
+        assert!(PimBackend::elp2im_high_throughput().device_array().is_some());
     }
 
     /// §3.3: ELP2IM's in-place AND is the two-command APP-AP (~116 ns,

@@ -13,10 +13,12 @@
 
 use crate::backend::{OpKind, PimBackend};
 use elp2im_baselines::cpu::CpuModel;
+use elp2im_core::batch::{BatchHandle, DeviceArray};
 use elp2im_core::bitvec::BitVec;
 use elp2im_core::compile::LogicOp;
 use elp2im_core::device::{Elp2imDevice, RowHandle};
 use elp2im_core::error::CoreError;
+use elp2im_dram::stats::RunStats;
 use elp2im_dram::units::Ns;
 
 /// The tracking workload of §6.3.1.
@@ -131,6 +133,51 @@ pub fn run_queries(
     Ok((all, male))
 }
 
+/// Bank-parallel execution of both queries on a [`DeviceArray`]: the
+/// bitmaps are striped across the module's banks, so every bulk AND in
+/// the chain runs as concurrent per-bank streams under the pump budget.
+/// Returns handles to (every-week-active, male-every-week-active) plus
+/// the aggregate run statistics (makespans of the sequentially dependent
+/// ANDs add up; `busy_time` is what a one-bank-at-a-time module would
+/// take).
+///
+/// # Errors
+///
+/// Propagates batch-layer errors (capacity in particular).
+///
+/// # Panics
+///
+/// Panics if `weeks` is empty.
+pub fn run_queries_batch(
+    array: &mut DeviceArray,
+    weeks: &[BatchHandle],
+    gender_male: BatchHandle,
+) -> Result<(BatchHandle, BatchHandle, RunStats), CoreError> {
+    assert!(!weeks.is_empty(), "need at least one week bitmap");
+    let mut total = RunStats::new();
+    let chain = |array: &mut DeviceArray, total: &mut RunStats, a, b| {
+        array.binary(LogicOp::And, a, b).map(|(h, run)| {
+            let prior = total.makespan;
+            total.merge(run.stats());
+            // The chain is sequentially dependent: makespans add.
+            total.makespan = prior + run.stats().makespan;
+            h
+        })
+    };
+    let mut all = weeks[0];
+    let mut owned = false;
+    for &w in &weeks[1..] {
+        let next = chain(array, &mut total, all, w)?;
+        if owned {
+            array.release(all)?;
+        }
+        all = next;
+        owned = true;
+    }
+    let male = chain(array, &mut total, all, gender_male)?;
+    Ok((all, male, total))
+}
+
 /// Software reference for the two queries.
 pub fn reference_queries(weeks: &[BitVec], gender_male: &BitVec) -> (BitVec, BitVec) {
     let mut all = weeks[0].clone();
@@ -173,6 +220,46 @@ mod tests {
     }
 
     #[test]
+    fn batch_queries_match_reference_and_overlap_banks() {
+        use elp2im_core::batch::BatchConfig;
+        use elp2im_dram::constraint::PumpBudget;
+        use elp2im_dram::geometry::Geometry;
+
+        let mut rng = workload::rng(23);
+        let mut array = DeviceArray::new(BatchConfig {
+            geometry: Geometry {
+                banks: 8,
+                subarrays_per_bank: 2,
+                rows_per_subarray: 32,
+                row_bytes: 32,
+            },
+            budget: PumpBudget::unconstrained(),
+            ..BatchConfig::default()
+        });
+        // Users span all 8 banks (one stripe per bank).
+        let n = array.row_bits() * 8;
+        let weeks: Vec<BitVec> =
+            (0..4).map(|_| workload::random_bitvec(&mut rng, n, 0.6)).collect();
+        let gender = workload::random_bitvec(&mut rng, n, 0.5);
+
+        let week_handles: Vec<_> = weeks.iter().map(|w| array.store(w).unwrap()).collect();
+        let gender_handle = array.store(&gender).unwrap();
+        let (all, male, stats) =
+            run_queries_batch(&mut array, &week_handles, gender_handle).unwrap();
+
+        let (ref_all, ref_male) = reference_queries(&weeks, &gender);
+        assert_eq!(array.load(all).unwrap(), ref_all);
+        assert_eq!(array.load(male).unwrap(), ref_male);
+        // 4 ANDs over 8 banks each: the wall clock must crush the serial sum.
+        assert!(
+            stats.makespan.as_f64() < stats.busy_time.as_f64() * 0.2,
+            "makespan {} vs busy {}",
+            stats.makespan,
+            stats.busy_time
+        );
+    }
+
+    #[test]
     fn op_counts() {
         let w = BitmapWorkload::paper_default(4);
         assert_eq!(w.bulk_and_ops(), 7);
@@ -191,10 +278,7 @@ mod tests {
             let ambit = PimBackend::ambit_with_reserved(rows);
             let imp_a = study.system_improvement(&ambit);
             assert!(imp_a > 1.0, "Ambit-{rows} must beat the CPU");
-            assert!(
-                imp_e > imp_a,
-                "ELP2IM ({imp_e:.2}) must beat Ambit-{rows} ({imp_a:.2})"
-            );
+            assert!(imp_e > imp_a, "ELP2IM ({imp_e:.2}) must beat Ambit-{rows} ({imp_a:.2})");
         }
     }
 
@@ -232,8 +316,7 @@ mod tests {
             &PimBackend::elp2im_high_throughput(),
             &PimBackend::elp2im_high_throughput().without_power_constraint(),
         );
-        let a_drop =
-            drop(&PimBackend::ambit(), &PimBackend::ambit().without_power_constraint());
+        let a_drop = drop(&PimBackend::ambit(), &PimBackend::ambit().without_power_constraint());
         assert!((0.35..=0.60).contains(&e_drop), "ELP2IM drop {e_drop:.2}");
         assert!((0.70..=0.90).contains(&a_drop), "Ambit drop {a_drop:.2}");
         assert!(a_drop > e_drop + 0.15);

@@ -15,6 +15,7 @@
 //! operation-mix counter used by the Fig. 14 cost model live here.
 
 use crate::backend::OpKind;
+use elp2im_core::batch::{BatchHandle, DeviceArray};
 use elp2im_core::bitvec::BitVec;
 use elp2im_core::compile::LogicOp;
 use elp2im_core::device::{Elp2imDevice, RowHandle};
@@ -36,11 +37,8 @@ impl VerticalLayout {
     ///
     /// Panics if `width` is 0, exceeds 63, or any value does not fit.
     pub fn from_values(values: &[u64], width: u32) -> Self {
-        assert!(width >= 1 && width <= 63, "width must be 1..=63");
-        assert!(
-            values.iter().all(|&v| v < (1 << width)),
-            "all values must fit in {width} bits"
-        );
+        assert!((1..=63).contains(&width), "width must be 1..=63");
+        assert!(values.iter().all(|&v| v < (1 << width)), "all values must fit in {width} bits");
         let planes = (0..width)
             .map(|i| {
                 let bit = width - 1 - i; // plane 0 = MSB
@@ -73,9 +71,7 @@ impl VerticalLayout {
     /// Reconstructs the original values.
     pub fn to_values(&self) -> Vec<u64> {
         (0..self.len)
-            .map(|lane| {
-                self.planes.iter().fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane)))
-            })
+            .map(|lane| self.planes.iter().fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane))))
             .collect()
     }
 
@@ -146,10 +142,7 @@ impl VerticalLayout {
         assert!(constant < (1 << self.width), "constant must fit");
         (0..self.len)
             .map(|lane| {
-                let v = self
-                    .planes
-                    .iter()
-                    .fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane)));
+                let v = self.planes.iter().fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane)));
                 pred.eval(v, constant)
             })
             .collect()
@@ -231,6 +224,104 @@ pub fn compare_on_device(
         }
     };
     Ok(result)
+}
+
+/// Executes any comparison predicate on a bank-parallel [`DeviceArray`]
+/// over striped bit-plane handles (MSB first). Identical algorithm to
+/// [`compare_on_device`], but every bulk step runs sharded across banks,
+/// so wide columns (more lanes than one row holds) execute with true
+/// bank-level parallelism. The aggregate scheduling statistics accumulate
+/// in [`DeviceArray::stats`].
+///
+/// # Errors
+///
+/// Propagates batch-layer errors.
+///
+/// # Panics
+///
+/// Panics if `planes` is empty or `constant` does not fit the plane count.
+pub fn compare_on_array(
+    array: &mut DeviceArray,
+    planes: &[BatchHandle],
+    pred: Predicate,
+    constant: u64,
+    lanes: usize,
+) -> Result<BatchHandle, CoreError> {
+    let width = planes.len() as u32;
+    assert!(width > 0 && constant < (1 << width), "constant must fit the plane count");
+    let mut lt = array.store(&BitVec::zeros(lanes))?;
+    let mut eq = array.store(&BitVec::ones(lanes))?;
+    for (i, &plane) in planes.iter().enumerate() {
+        let c_bit = (constant >> (width - 1 - i as u32)) & 1 == 1;
+        let (not_a, _) = array.not(plane)?;
+        if c_bit {
+            let (t, _) = array.binary(LogicOp::And, eq, not_a)?;
+            let (new_lt, _) = array.binary(LogicOp::Or, lt, t)?;
+            let (new_eq, _) = array.binary(LogicOp::And, eq, plane)?;
+            array.release(t)?;
+            array.release(lt)?;
+            array.release(eq)?;
+            lt = new_lt;
+            eq = new_eq;
+        } else {
+            let (new_eq, _) = array.binary(LogicOp::And, eq, not_a)?;
+            array.release(eq)?;
+            eq = new_eq;
+        }
+        array.release(not_a)?;
+    }
+    let result = match pred {
+        Predicate::Lt => {
+            array.release(eq)?;
+            lt
+        }
+        Predicate::Le => {
+            let (r, _) = array.binary(LogicOp::Or, lt, eq)?;
+            array.release(lt)?;
+            array.release(eq)?;
+            r
+        }
+        Predicate::Gt => {
+            let (le, _) = array.binary(LogicOp::Or, lt, eq)?;
+            let (r, _) = array.not(le)?;
+            array.release(le)?;
+            array.release(lt)?;
+            array.release(eq)?;
+            r
+        }
+        Predicate::Ge => {
+            let (r, _) = array.not(lt)?;
+            array.release(lt)?;
+            array.release(eq)?;
+            r
+        }
+        Predicate::Eq => {
+            array.release(lt)?;
+            eq
+        }
+        Predicate::Ne => {
+            let (r, _) = array.not(eq)?;
+            array.release(lt)?;
+            array.release(eq)?;
+            r
+        }
+    };
+    Ok(result)
+}
+
+/// Executes the `<` predicate on a bank-parallel [`DeviceArray`] over
+/// striped bit-plane handles (MSB first). Returns the `lt` result handle.
+///
+/// # Errors
+///
+/// Propagates batch-layer errors.
+pub fn less_than_on_array(
+    array: &mut DeviceArray,
+    planes: &[BatchHandle],
+    constant: u64,
+    lanes: usize,
+) -> Result<BatchHandle, CoreError> {
+    compare_on_array(array, planes, Predicate::Lt, constant, lanes)
 }
 
 /// The bulk-operation mix of one `<` predicate over `width`-bit codes with
@@ -316,6 +407,72 @@ mod tests {
     }
 
     #[test]
+    fn array_execution_matches_reference_across_banks() {
+        use elp2im_core::batch::{BatchConfig, DeviceArray};
+        use elp2im_dram::constraint::PumpBudget;
+        use elp2im_dram::geometry::Geometry;
+
+        let mut rng = workload::rng(9);
+        let mut array = DeviceArray::new(BatchConfig {
+            geometry: Geometry {
+                banks: 4,
+                subarrays_per_bank: 2,
+                rows_per_subarray: 64,
+                row_bytes: 16,
+            },
+            budget: PumpBudget::unconstrained(),
+            ..BatchConfig::default()
+        });
+        // Lanes span all four banks (one stripe each).
+        let n = array.row_bits() * 4;
+        let vals = workload::random_values(&mut rng, n, 6);
+        let layout = VerticalLayout::from_values(&vals, 6);
+        let planes: Vec<_> = layout.planes().iter().map(|p| array.store(p).unwrap()).collect();
+        for c in [0u64, 7, 31, 42, 63] {
+            let h = less_than_on_array(&mut array, &planes, c, n).unwrap();
+            assert_eq!(array.load(h).unwrap(), layout.less_than_reference(c), "c = {c}");
+            array.release(h).unwrap();
+        }
+        // The accumulated schedule overlapped the four banks.
+        let s = array.stats();
+        assert!(
+            s.makespan.as_f64() < s.busy_time.as_f64() * 0.5,
+            "makespan {} vs busy {}",
+            s.makespan,
+            s.busy_time
+        );
+    }
+
+    #[test]
+    fn all_predicates_match_scalar_on_array() {
+        use elp2im_core::batch::{BatchConfig, DeviceArray};
+        use elp2im_dram::geometry::Geometry;
+
+        let mut rng = workload::rng(29);
+        let mut array = DeviceArray::new(BatchConfig {
+            geometry: Geometry {
+                banks: 2,
+                subarrays_per_bank: 2,
+                rows_per_subarray: 64,
+                row_bytes: 16,
+            },
+            ..BatchConfig::default()
+        });
+        let n = array.row_bits() * 2 + 19; // uneven tail stripe
+        let vals = workload::random_values(&mut rng, n, 5);
+        let layout = VerticalLayout::from_values(&vals, 5);
+        let planes: Vec<_> = layout.planes().iter().map(|p| array.store(p).unwrap()).collect();
+        for pred in Predicate::ALL {
+            for c in [0u64, 5, 16, 31] {
+                let h = compare_on_array(&mut array, &planes, pred, c, n).unwrap();
+                let got = array.load(h).unwrap();
+                assert_eq!(got, layout.compare_reference(pred, c), "{pred:?} vs {c}");
+                array.release(h).unwrap();
+            }
+        }
+    }
+
+    #[test]
     fn op_mix_counts() {
         // width 4, constant 0b1010: two '1' bits, two '0' bits.
         let mix = less_than_op_mix(4, 0b1010);
@@ -328,9 +485,8 @@ mod tests {
 
     #[test]
     fn wider_codes_cost_more_ops() {
-        let total = |w: u32| -> u64 {
-            less_than_op_mix(w, (1u64 << w) - 1).iter().map(|(_, n)| n).sum()
-        };
+        let total =
+            |w: u32| -> u64 { less_than_op_mix(w, (1u64 << w) - 1).iter().map(|(_, n)| n).sum() };
         assert!(total(16) > total(8));
         assert!(total(8) > total(4));
     }

@@ -133,11 +133,8 @@ mod tests {
     fn absolute_fps_within_2x_of_table2_anchors() {
         let study = DraccStudy::paper_setup();
         let ambit = PimBackend::ambit().without_power_constraint();
-        let checks = [
-            (networks::lenet5(), 7697.4),
-            (networks::alexnet(), 84.8),
-            (networks::vgg16(), 4.8),
-        ];
+        let checks =
+            [(networks::lenet5(), 7697.4), (networks::alexnet(), 84.8), (networks::vgg16(), 4.8)];
         for (net, paper) in checks {
             let got = study.fps(&net, &ambit);
             let ratio = got / paper;

@@ -192,9 +192,6 @@ mod tests {
     fn parity_refresh_dwarfs_the_protected_operation() {
         let (dev, _) = setup(8, 16);
         let (refresh, and) = ParityGuard::refresh_overhead_vs_and(&dev, 8);
-        assert!(
-            refresh.as_f64() > 5.0 * and.as_f64(),
-            "refresh {refresh} vs and {and}"
-        );
+        assert!(refresh.as_f64() > 5.0 * and.as_f64(), "refresh {refresh} vs and {and}");
     }
 }

@@ -146,20 +146,19 @@ impl InMemoryTable {
     pub fn add_column(&mut self, name: &str, width: u32, values: &[u64]) -> Result<(), CoreError> {
         assert_eq!(values.len(), self.rows, "one value per record");
         let layout = VerticalLayout::from_values(values, width);
-        let planes = layout
-            .planes()
-            .iter()
-            .map(|p| self.dev.store(p))
-            .collect::<Result<Vec<_>, _>>()?;
-        self.columns.push(Column { name: name.to_string(), width, values: values.to_vec(), planes });
+        let planes =
+            layout.planes().iter().map(|p| self.dev.store(p)).collect::<Result<Vec<_>, _>>()?;
+        self.columns.push(Column {
+            name: name.to_string(),
+            width,
+            values: values.to_vec(),
+            planes,
+        });
         Ok(())
     }
 
     fn column(&self, name: &str) -> Result<&Column, CoreError> {
-        self.columns
-            .iter()
-            .find(|c| c.name == name)
-            .ok_or(CoreError::InvalidHandle(usize::MAX))
+        self.columns.iter().find(|c| c.name == name).ok_or(CoreError::InvalidHandle(usize::MAX))
     }
 
     /// Evaluates a predicate in-DRAM, returning the selection mask handle.
@@ -178,11 +177,8 @@ impl InMemoryTable {
                 compare_on_device(&mut self.dev, &planes, *pred, *constant, self.rows)
             }
             QueryPredicate::And(a, b) | QueryPredicate::Or(a, b) => {
-                let op = if matches!(q, QueryPredicate::And(..)) {
-                    LogicOp::And
-                } else {
-                    LogicOp::Or
-                };
+                let op =
+                    if matches!(q, QueryPredicate::And(..)) { LogicOp::And } else { LogicOp::Or };
                 let ma = self.selection_mask(a)?;
                 let mb = self.selection_mask(b)?;
                 let m = self.dev.binary(op, ma, mb)?;
@@ -323,12 +319,9 @@ mod tests {
     #[test]
     fn simple_counts_match_scalar() {
         let mut t = table(256);
-        for (pred, c) in [
-            (Predicate::Lt, 40u64),
-            (Predicate::Ge, 90),
-            (Predicate::Eq, 17),
-            (Predicate::Ne, 17),
-        ] {
+        for (pred, c) in
+            [(Predicate::Lt, 40u64), (Predicate::Ge, 90), (Predicate::Eq, 17), (Predicate::Ne, 17)]
+        {
             let q = QueryPredicate::cmp("age", pred, c);
             assert_eq!(t.count_where(&q).unwrap(), t.count_where_scalar(&q), "{q}");
         }
@@ -348,11 +341,7 @@ mod tests {
     fn sums_match_scalar() {
         let mut t = table(128);
         let q = QueryPredicate::cmp("score", Predicate::Ge, 8);
-        assert_eq!(
-            t.sum_where("age", &q).unwrap(),
-            t.sum_where_scalar("age", &q),
-            "{q}"
-        );
+        assert_eq!(t.sum_where("age", &q).unwrap(), t.sum_where_scalar("age", &q), "{q}");
         // Sum over everything (tautology).
         let all = QueryPredicate::cmp("age", Predicate::Ge, 0);
         assert_eq!(t.sum_where("score", &all).unwrap(), t.sum_where_scalar("score", &all));

@@ -149,10 +149,7 @@ mod tests {
         let a = PimBackend::ambit();
         let d = PimBackend::drisa();
         for w in TableScanStudy::widths() {
-            assert!(
-                s.device_throughput(&d, w) > s.device_throughput(&a, w),
-                "width {w}"
-            );
+            assert!(s.device_throughput(&d, w) > s.device_throughput(&a, w), "width {w}");
         }
     }
 

@@ -35,9 +35,9 @@ pub fn transpose64(m: &mut [u64; 64]) {
 pub fn transpose64_naive(m: &[u64; 64]) -> [u64; 64] {
     let mut out = [0u64; 64];
     for (i, &row) in m.iter().enumerate() {
-        for j in 0..64 {
+        for (j, col) in out.iter_mut().enumerate() {
             if (row >> j) & 1 == 1 {
-                out[j] |= 1 << i;
+                *col |= 1 << i;
             }
         }
     }
@@ -65,10 +65,8 @@ impl BitMatrix {
 
     /// Builds an `n × width` matrix from the low `width` bits of `values`.
     pub fn from_values(values: &[u64], width: u32) -> Self {
-        let rows = values
-            .iter()
-            .map(|&v| (0..width).map(|b| (v >> b) & 1 == 1).collect())
-            .collect();
+        let rows =
+            values.iter().map(|&v| (0..width).map(|b| (v >> b) & 1 == 1).collect()).collect();
         BitMatrix { rows, cols: width as usize }
     }
 

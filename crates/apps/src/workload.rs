@@ -26,7 +26,7 @@ pub fn random_bitvec<R: Rng + ?Sized>(rng: &mut R, len: usize, density: f64) -> 
 ///
 /// Panics if `width` is 0 or exceeds 63.
 pub fn random_values<R: Rng + ?Sized>(rng: &mut R, n: usize, width: u32) -> Vec<u64> {
-    assert!(width >= 1 && width <= 63, "width must be in 1..=63");
+    assert!((1..=63).contains(&width), "width must be in 1..=63");
     let max = 1u64 << width;
     (0..n).map(|_| rng.gen_range(0..max)).collect()
 }

@@ -238,10 +238,8 @@ impl AmbitEngine {
     /// Out-of-range row index.
     pub fn write_row(&mut self, index: usize, value: BitVec) -> Result<(), AmbitError> {
         assert_eq!(value.len(), self.width, "row width mismatch");
-        let slot = self
-            .rows
-            .get_mut(index)
-            .ok_or(AmbitError::RowOutOfRange(AmbitRow::Data(index)))?;
+        let slot =
+            self.rows.get_mut(index).ok_or(AmbitError::RowOutOfRange(AmbitRow::Data(index)))?;
         *slot = Some(value);
         Ok(())
     }
@@ -512,12 +510,8 @@ impl AmbitConfig {
             LogicOp::Xor | LogicOp::Xnor => 3,
         };
         // rows →        [not, and/or, nand/nor, xor/xnor]
-        let table: [(usize, [usize; 4]); 4] = [
-            (4, [3, 7, 9, 13]),
-            (6, [2, 5, 6, 12]),
-            (8, [2, 5, 6, 9]),
-            (10, [2, 4, 5, 7]),
-        ];
+        let table: [(usize, [usize; 4]); 4] =
+            [(4, [3, 7, 9, 13]), (6, [2, 5, 6, 12]), (8, [2, 5, 6, 9]), (10, [2, 4, 5, 7])];
         let mut best = table[0].1[col];
         for (rows, counts) in table {
             if self.reserved_rows >= rows {
@@ -657,9 +651,7 @@ mod tests {
     fn tra_requires_b_group() {
         let mut e = engine();
         let err = e
-            .execute(&AmbitCmd::Tra {
-                rows: [AmbitRow::Data(0), AmbitRow::T(0), AmbitRow::T(1)],
-            })
+            .execute(&AmbitCmd::Tra { rows: [AmbitRow::Data(0), AmbitRow::T(0), AmbitRow::T(1)] })
             .unwrap_err();
         assert!(matches!(err, AmbitError::RequiresBGroup(_)));
     }

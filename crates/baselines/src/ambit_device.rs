@@ -170,7 +170,11 @@ impl AmbitDevice {
     /// # Errors
     ///
     /// See [`AmbitDevice::binary`].
-    pub fn and(&mut self, a: AmbitRowHandle, b: AmbitRowHandle) -> Result<AmbitRowHandle, AmbitError> {
+    pub fn and(
+        &mut self,
+        a: AmbitRowHandle,
+        b: AmbitRowHandle,
+    ) -> Result<AmbitRowHandle, AmbitError> {
         self.binary(LogicOp::And, a, b)
     }
 
@@ -179,7 +183,11 @@ impl AmbitDevice {
     /// # Errors
     ///
     /// See [`AmbitDevice::binary`].
-    pub fn or(&mut self, a: AmbitRowHandle, b: AmbitRowHandle) -> Result<AmbitRowHandle, AmbitError> {
+    pub fn or(
+        &mut self,
+        a: AmbitRowHandle,
+        b: AmbitRowHandle,
+    ) -> Result<AmbitRowHandle, AmbitError> {
         self.binary(LogicOp::Or, a, b)
     }
 
@@ -188,7 +196,11 @@ impl AmbitDevice {
     /// # Errors
     ///
     /// See [`AmbitDevice::binary`].
-    pub fn xor(&mut self, a: AmbitRowHandle, b: AmbitRowHandle) -> Result<AmbitRowHandle, AmbitError> {
+    pub fn xor(
+        &mut self,
+        a: AmbitRowHandle,
+        b: AmbitRowHandle,
+    ) -> Result<AmbitRowHandle, AmbitError> {
         self.binary(LogicOp::Xor, a, b)
     }
 
@@ -240,11 +252,8 @@ mod tests {
             let b = d.store(&BitVec::from_bools(&b_bits)).unwrap();
             let c = if op.is_unary() { d.not(a).unwrap() } else { d.binary(op, a, b).unwrap() };
             let got = d.load(c).unwrap();
-            let want: Vec<bool> = a_bits
-                .iter()
-                .zip(&b_bits)
-                .map(|(&x, &y)| op.eval(x, y))
-                .collect();
+            let want: Vec<bool> =
+                a_bits.iter().zip(&b_bits).map(|(&x, &y)| op.eval(x, y)).collect();
             assert_eq!(got.to_bools(), want, "{op}");
         }
     }

@@ -138,24 +138,48 @@ impl DrisaEngine {
         let steps: Vec<DrisaStep> = match op {
             LogicOp::Not => vec![S::Load(a), S::NorInto(a), S::Store(dst)],
             LogicOp::Nor => vec![S::Load(a), S::NorInto(b), S::Store(dst)],
-            LogicOp::Or => vec![S::Load(a), S::NorInto(b), S::Store(tmp), S::Load(tmp), S::NorInto(tmp), S::Store(dst)],
+            LogicOp::Or => vec![
+                S::Load(a),
+                S::NorInto(b),
+                S::Store(tmp),
+                S::Load(tmp),
+                S::NorInto(tmp),
+                S::Store(dst),
+            ],
             LogicOp::And => vec![
-                S::Load(a), S::NorInto(a), S::Store(tmp),       // tmp = !a
-                S::Load(b), S::NorInto(b), S::NorInto(tmp),     // latch = !( !b | !a ) = a·b
+                S::Load(a),
+                S::NorInto(a),
+                S::Store(tmp), // tmp = !a
+                S::Load(b),
+                S::NorInto(b),
+                S::NorInto(tmp), // latch = !( !b | !a ) = a·b
                 S::Store(dst),
             ],
             LogicOp::Nand => vec![
-                S::Load(a), S::NorInto(a), S::Store(tmp),
-                S::Load(b), S::NorInto(b), S::NorInto(tmp), S::Store(dst), // dst = a·b
-                S::Load(dst), S::NorInto(dst), S::Store(dst),              // invert
+                S::Load(a),
+                S::NorInto(a),
+                S::Store(tmp),
+                S::Load(b),
+                S::NorInto(b),
+                S::NorInto(tmp),
+                S::Store(dst), // dst = a·b
+                S::Load(dst),
+                S::NorInto(dst),
+                S::Store(dst), // invert
             ],
             LogicOp::Xor | LogicOp::Xnor => {
                 // xor = !( !(a|b) | (a·b) ): build a·b in tmp, nor with nor(a,b).
                 let mut v = vec![
-                    S::Load(a), S::NorInto(a), S::Store(dst),   // dst = !a
-                    S::Load(b), S::NorInto(b), S::NorInto(dst), S::Store(tmp), // tmp = a·b
-                    S::Load(a), S::NorInto(b),                  // latch = !(a|b)
-                    S::NorInto(tmp),                            // latch = (a|b)·!(a·b) = xor
+                    S::Load(a),
+                    S::NorInto(a),
+                    S::Store(dst), // dst = !a
+                    S::Load(b),
+                    S::NorInto(b),
+                    S::NorInto(dst),
+                    S::Store(tmp), // tmp = a·b
+                    S::Load(a),
+                    S::NorInto(b),   // latch = !(a|b)
+                    S::NorInto(tmp), // latch = (a|b)·!(a·b) = xor
                 ];
                 if op == LogicOp::Xnor {
                     v.extend([S::Store(dst), S::Load(dst), S::NorInto(dst)]);
@@ -282,6 +306,6 @@ mod tests {
     #[test]
     fn constants_exposed() {
         assert!((DRISA_AREA_OVERHEAD - 0.24).abs() < 1e-12);
-        assert!(DRISA_BACKGROUND_FACTOR > 1.0);
+        const { assert!(DRISA_BACKGROUND_FACTOR > 1.0) }
     }
 }

@@ -27,10 +27,7 @@ fn bench_studies(c: &mut Criterion) {
         let study = TableScanStudy::paper_setup();
         let e = PimBackend::elp2im_high_throughput();
         b.iter(|| {
-            TableScanStudy::widths()
-                .iter()
-                .map(|&w| study.system_improvement(&e, w))
-                .sum::<f64>()
+            TableScanStudy::widths().iter().map(|&w| study.system_improvement(&e, w)).sum::<f64>()
         })
     });
     c.bench_function("dracc_table2_full", |b| {
@@ -43,8 +40,7 @@ fn bench_studies(c: &mut Criterion) {
 fn bench_controller(c: &mut Criterion) {
     c.bench_function("controller_8banks_512_commands", |b| {
         let t = Ddr3Timing::ddr3_1600();
-        let streams: Vec<_> =
-            (0..8).map(|bank| (bank, vec![CommandProfile::ap(&t); 64])).collect();
+        let streams: Vec<_> = (0..8).map(|bank| (bank, vec![CommandProfile::ap(&t); 64])).collect();
         b.iter(|| {
             let mut ctrl = Controller::new(8, PumpBudget::jedec_ddr3_1600());
             ctrl.run_streams(&streams).unwrap()

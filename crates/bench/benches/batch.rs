@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the bank-parallel batch execution engine.
+//!
+//! The headline measurement is makespan scaling: the same bulk AND over
+//! operands striped across 1, 2, 4, or 8 banks. The modeled wall-clock
+//! makespan shrinks nearly linearly with banks (printed once per run for
+//! inspection), while the host-side simulation cost per bank stays flat
+//! thanks to the scoped-thread fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elp2im_core::batch::{BatchConfig, DeviceArray};
+use elp2im_core::bitvec::BitVec;
+use elp2im_core::compile::LogicOp;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::geometry::Geometry;
+
+const STRIPES: usize = 8;
+
+fn array_with_banks(banks: usize) -> DeviceArray {
+    DeviceArray::new(BatchConfig {
+        geometry: Geometry { banks, subarrays_per_bank: 8, rows_per_subarray: 64, row_bytes: 1024 },
+        budget: PumpBudget::unconstrained(),
+        ..BatchConfig::default()
+    })
+}
+
+fn operands(bits: usize) -> (BitVec, BitVec) {
+    let a = (0..bits).map(|i| i % 3 == 0).collect();
+    let b = (0..bits).map(|i| i % 7 == 0).collect();
+    (a, b)
+}
+
+/// One bulk AND over `STRIPES` row-sized stripes, sharded over 1..=8
+/// banks. Reports both the host simulation rate (criterion timing) and
+/// the modeled DRAM makespan (printed).
+fn bench_makespan_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_bulk_and");
+    for &banks in &[1usize, 2, 4, 8] {
+        let bits = array_with_banks(banks).row_bits() * STRIPES;
+        let (a, b) = operands(bits);
+        group.throughput(Throughput::Elements(bits as u64));
+
+        // Report the modeled scaling once, outside the timed loop.
+        let mut array = array_with_banks(banks);
+        let ha = array.store(&a).unwrap();
+        let hb = array.store(&b).unwrap();
+        let (_, run) = array.binary(LogicOp::And, ha, hb).unwrap();
+        let s = run.stats();
+        println!(
+            "batch_bulk_and/{banks}-bank model: makespan {}, serial busy {}, speedup {:.2}x",
+            s.makespan,
+            s.busy_time,
+            s.busy_time.as_f64() / s.makespan.as_f64()
+        );
+
+        group.bench_with_input(BenchmarkId::new("banks", banks), &banks, |bch, &banks| {
+            bch.iter(|| {
+                let mut array = array_with_banks(banks);
+                let ha = array.store(&a).unwrap();
+                let hb = array.store(&b).unwrap();
+                let (hc, run) = array.binary(LogicOp::And, ha, hb).unwrap();
+                std::hint::black_box((hc, run.stats().makespan));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The interleaved scheduler alone (no functional simulation): per-bank
+/// streams of mixed ELP2IM commands under the JEDEC pump budget.
+fn bench_scheduler(c: &mut Criterion) {
+    use elp2im_dram::command::CommandProfile;
+    use elp2im_dram::interleave::InterleavedScheduler;
+    use elp2im_dram::timing::Ddr3Timing;
+
+    let t = Ddr3Timing::ddr3_1600();
+    let mut group = c.benchmark_group("interleaved_scheduler");
+    for &banks in &[2usize, 8] {
+        let streams: Vec<_> = (0..banks)
+            .map(|b| {
+                let mut v = Vec::new();
+                for _ in 0..64 {
+                    v.push(CommandProfile::aap(&t));
+                    v.push(CommandProfile::app(&t));
+                    v.push(CommandProfile::ap(&t));
+                }
+                (b, v)
+            })
+            .collect();
+        let total: usize = streams.iter().map(|(_, v)| v.len()).sum();
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::new("banks", banks), &banks, |bch, _| {
+            let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+            bch.iter(|| std::hint::black_box(sched.schedule(&streams).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_makespan_scaling, bench_scheduler);
+criterion_main!(benches);

@@ -8,11 +8,7 @@ use std::path::Path;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_dir = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).cloned();
     if let Some(dir) = &csv_dir {
         fs::create_dir_all(dir).expect("create CSV directory");
     }

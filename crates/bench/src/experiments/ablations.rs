@@ -140,7 +140,9 @@ pub fn pump_budget_sweep() -> Table {
             ratio(te / ta),
         ]);
     }
-    table.note("the tighter the power budget, the larger ELP2IM's advantage (fewer wordlines per op)");
+    table.note(
+        "the tighter the power budget, the larger ELP2IM's advantage (fewer wordlines per op)",
+    );
     table
 }
 
@@ -153,7 +155,8 @@ pub fn ddr_generation() -> Table {
     );
     let d3 = Ddr3Timing::ddr3_1600();
     let d4 = Ddr3Timing::ddr4_2400();
-    let rows: Vec<(&str, fn(&Ddr3Timing) -> elp2im_dram::units::Ns)> = vec![
+    type LatencyFn = fn(&Ddr3Timing) -> elp2im_dram::units::Ns;
+    let rows: Vec<(&str, LatencyFn)> = vec![
         ("AP", Ddr3Timing::ap),
         ("AAP", Ddr3Timing::aap),
         ("oAAP", Ddr3Timing::o_aap),
@@ -167,7 +170,11 @@ pub fn ddr_generation() -> Table {
     }
     let seq5_d3 = xor_sequence(5, Operands::standard(), 1).unwrap().latency(&d3);
     let seq5_d4 = xor_sequence(5, Operands::standard(), 1).unwrap().latency(&d4);
-    table.note(format!("xor-seq5: {} (DDR3) vs {} (DDR4)", ns(seq5_d3.as_f64()), ns(seq5_d4.as_f64())));
+    table.note(format!(
+        "xor-seq5: {} (DDR3) vs {} (DDR4)",
+        ns(seq5_d3.as_f64()),
+        ns(seq5_d4.as_f64())
+    ));
     table
 }
 
@@ -191,12 +198,8 @@ pub fn reserved_row_pressure() -> Table {
     for op in [LogicOp::And, LogicOp::Xor, LogicOp::Xnor] {
         // ELP2IM: count reserved-row raises in the compiled program.
         let prog = compile(op, CompileMode::LowLatency, Operands::standard(), 1).unwrap();
-        let elp: usize = prog
-            .primitives()
-            .iter()
-            .flat_map(|p| p.rows())
-            .filter(|r| r.is_reserved())
-            .count();
+        let elp: usize =
+            prog.primitives().iter().flat_map(|p| p.rows()).filter(|r| r.is_reserved()).count();
         // Ambit: raises per B-group row; report the hottest.
         let mut counts: HashMap<String, usize> = HashMap::new();
         for cmd in op_sequence(op, 0, 1, 2) {
@@ -253,9 +256,7 @@ mod tests {
     #[test]
     fn optimization_ladder_monotone() {
         let t = super::optimization_passes();
-        let lat = |i: usize| -> f64 {
-            t.rows[i][2].trim_end_matches(" ns").parse().unwrap()
-        };
+        let lat = |i: usize| -> f64 { t.rows[i][2].trim_end_matches(" ns").parse().unwrap() };
         for i in 1..t.rows.len() {
             assert!(lat(i) <= lat(i - 1) + 0.01, "row {i} regressed");
         }

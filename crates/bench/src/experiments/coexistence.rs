@@ -38,8 +38,8 @@ pub fn run_coexistence(pim: &[CommandProfile], accesses: usize) -> Coexistence {
     let mut access_done: Vec<Ps> = Vec::new();
     let mut pim_cmds = 0u64;
     let per_access_bank = accesses / 4;
-    let mut pim_cursor = vec![0usize; 4];
-    let mut issued_access = vec![0usize; 4];
+    let mut pim_cursor = [0usize; 4];
+    let mut issued_access = [0usize; 4];
     let mut last_access_finish = Ps::ZERO;
     // Issue until every access retired; PIM streams repeat indefinitely.
     while access_done.len() < per_access_bank * 4 {
@@ -73,12 +73,7 @@ pub fn run_coexistence(pim: &[CommandProfile], accesses: usize) -> Coexistence {
 pub fn run() -> Table {
     let mut table = Table::new(
         "Coexistence: regular accesses on 4 banks while 4 banks compute (JEDEC pump budget)",
-        &[
-            "PIM design",
-            "access rate (/us)",
-            "vs idle rank",
-            "PIM commands (/us)",
-        ],
+        &["PIM design", "access rate (/us)", "vs idle rank", "PIM commands (/us)"],
     );
     // Baseline: nobody computing (PIM stream = nothing ⇒ use idle filler
     // of zero-cost? Instead: run accesses alone on 4 banks).
@@ -88,23 +83,14 @@ pub fn run() -> Table {
     let streams: Vec<_> = (4..8).map(|b| (b, vec![ap.clone(); 250])).collect();
     let s = idle.run_streams(&streams).unwrap();
     let idle_rate = 1000.0 / (s.makespan.as_f64() / 1000.0);
-    table.push(vec![
-        "(idle)".into(),
-        num(idle_rate),
-        ratio(1.0),
-        num(0.0),
-    ]);
+    table.push(vec!["(idle)".into(), num(idle_rate), ratio(1.0), num(0.0)]);
 
     let designs: Vec<(&str, Vec<CommandProfile>)> = vec![
         (
             "ELP2IM (in-place AND)",
-            PimBackend::elp2im_high_throughput()
-                .kind_profiles(OpKind::InPlace(LogicOp::And)),
+            PimBackend::elp2im_high_throughput().kind_profiles(OpKind::InPlace(LogicOp::And)),
         ),
-        (
-            "ELP2IM (fresh AND)",
-            PimBackend::elp2im_high_throughput().op_profiles(LogicOp::And),
-        ),
+        ("ELP2IM (fresh AND)", PimBackend::elp2im_high_throughput().op_profiles(LogicOp::And)),
         ("Ambit (AND)", PimBackend::ambit().op_profiles(LogicOp::And)),
         ("Drisa_nor (AND)", PimBackend::drisa().op_profiles(LogicOp::And)),
     ];
@@ -117,7 +103,9 @@ pub fn run() -> Table {
             num(c.pim_rate_per_us),
         ]);
     }
-    table.note("the paper's motivation (section 1): TRA-based computation leaves regular banks starved");
+    table.note(
+        "the paper's motivation (section 1): TRA-based computation leaves regular banks starved",
+    );
     table
 }
 
@@ -127,8 +115,7 @@ mod tests {
 
     #[test]
     fn ambit_starves_regular_accesses_more_than_elp2im() {
-        let elp = PimBackend::elp2im_high_throughput()
-            .kind_profiles(OpKind::InPlace(LogicOp::And));
+        let elp = PimBackend::elp2im_high_throughput().kind_profiles(OpKind::InPlace(LogicOp::And));
         let ambit = PimBackend::ambit().op_profiles(LogicOp::And);
         let ce = run_coexistence(&elp, 400);
         let ca = run_coexistence(&ambit, 400);

@@ -9,17 +9,12 @@ use elp2im_circuit::primitive::fig10_waveform;
 pub fn run() -> Table {
     let w = fig10_waveform(CircuitParams::long_bitline());
     let p = CircuitParams::long_bitline();
-    let mut table = Table::new(
-        "Fig 10: APP-AP waveform (OR '1'+'0' then AND '0'x'1')",
-        &["quantity", "value"],
-    );
+    let mut table =
+        Table::new("Fig 10: APP-AP waveform (OR '1'+'0' then AND '0'x'1')", &["quantity", "value"]);
     let max = w.samples().iter().map(|s| s.v_bl).fold(0.0f64, f64::max);
     let min = w.samples().iter().map(|s| s.v_bl).fold(f64::MAX, f64::min);
-    let half_dwell = w
-        .samples()
-        .iter()
-        .filter(|s| (s.v_bl - p.half_vdd()).abs() < 0.03)
-        .count() as f64
+    let half_dwell = w.samples().iter().filter(|s| (s.v_bl - p.half_vdd()).abs() < 0.03).count()
+        as f64
         / w.len() as f64;
     table.push(vec!["samples".into(), w.len().to_string()]);
     table.push(vec!["duration".into(), format!("{:.1} ns", w.samples().last().unwrap().t_ns)]);

@@ -26,11 +26,7 @@ pub fn run() -> Table {
         reserved_rows(Design::Elp2im),
     )];
     for rows in [4usize, 6, 8, 10] {
-        configs.push((
-            format!("Ambit-{rows}"),
-            PimBackend::ambit_with_reserved(rows),
-            rows,
-        ));
+        configs.push((format!("Ambit-{rows}"), PimBackend::ambit_with_reserved(rows), rows));
     }
     for (name, constrained, rrows) in configs {
         let free = constrained.clone().without_power_constraint();
@@ -66,9 +62,7 @@ mod tests {
     #[test]
     fn drops_match_paper_shape() {
         let t = super::run();
-        let drop = |row: &Vec<String>| -> f64 {
-            row[6].trim_end_matches(" %").parse().unwrap()
-        };
+        let drop = |row: &Vec<String>| -> f64 { row[6].trim_end_matches(" %").parse().unwrap() };
         let elp_drop = drop(&t.rows[0]);
         assert!((35.0..=60.0).contains(&elp_drop), "elp2im drop {elp_drop}");
         // Full Ambit config is the last row.

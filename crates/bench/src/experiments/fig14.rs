@@ -35,7 +35,9 @@ pub fn run() -> Table {
         table.push(row);
     }
     table.note("paper: ELP2IM highest throughput, improvement grows with data width;");
-    table.note("paper: Drisa_nor outperforms Ambit under the power constraint despite higher latency");
+    table.note(
+        "paper: Drisa_nor outperforms Ambit under the power constraint despite higher latency",
+    );
     table
 }
 

@@ -53,7 +53,9 @@ pub fn run() -> Table {
         "paper improvements: ELP2IM {:?}, Drisa {:?}",
         PAPER_ELP2IM_IMPROVEMENT, PAPER_DRISA_IMPROVEMENT
     ));
-    table.note("absolute FPS is calibration-limited (DESIGN.md 4); ratios are the reproduction target");
+    table.note(
+        "absolute FPS is calibration-limited (DESIGN.md 4); ratios are the reproduction target",
+    );
     table
 }
 

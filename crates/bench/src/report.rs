@@ -52,17 +52,10 @@ impl Table {
             }
         };
         let mut out = format!("# {}\n", self.title);
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-            );
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         for n in &self.notes {
             let _ = writeln!(out, "# {n}");

@@ -73,8 +73,7 @@ impl ColumnArray {
     /// sense decision. Returns one outcome per column.
     pub fn activate_coupled(&mut self, ports: &[CellPort], restore: bool) -> Vec<SenseOutcome> {
         // Phase 1: every column shares charge; record the swings.
-        let swings: Vec<f64> =
-            self.columns.iter_mut().map(|c| c.open_multi(ports)).collect();
+        let swings: Vec<f64> = self.columns.iter_mut().map(|c| c.open_multi(ports)).collect();
         // Phase 2: each victim picks up a fraction of its neighbors'
         // swings (half the coupling capacitance faces each side).
         let n = self.columns.len();
@@ -132,10 +131,7 @@ mod tests {
         };
         let uniform = margin_of(&[true; 9]);
         let worst = margin_of(&alternating(9));
-        assert!(
-            worst < uniform - 0.005,
-            "alternating {worst:.4} V !< uniform {uniform:.4} V"
-        );
+        assert!(worst < uniform - 0.005, "alternating {worst:.4} V !< uniform {uniform:.4} V");
     }
 
     /// TRA aggressors couple harder than single-cell aggressors (§6.1.2's
@@ -161,10 +157,7 @@ mod tests {
         };
         let single = victim_margin(false);
         let with_tra = victim_margin(true);
-        assert!(
-            with_tra < single,
-            "TRA-coupled victim margin {with_tra:.4} !< single {single:.4}"
-        );
+        assert!(with_tra < single, "TRA-coupled victim margin {with_tra:.4} !< single {single:.4}");
     }
 
     /// Cross-validation: the structural victim noise matches the
@@ -201,8 +194,8 @@ mod tests {
         let out = arr.read_coupled(0);
         // The middle aggressor suffers from two victims' (small) swings;
         // edges couple only to the middle. All still read correctly.
-        assert_eq!(out[0].bit, false);
-        assert_eq!(out[1].bit, true);
-        assert_eq!(out[2].bit, false);
+        assert!(!out[0].bit);
+        assert!(out[1].bit);
+        assert!(!out[2].bit);
     }
 }

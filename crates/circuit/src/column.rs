@@ -588,8 +588,7 @@ mod tests {
         c.pseudo_precharge(true);
         let w = c.waveform();
         assert!(!w.is_empty());
-        let phases: std::collections::HashSet<_> =
-            w.samples().iter().map(|s| s.phase).collect();
+        let phases: std::collections::HashSet<_> = w.samples().iter().map(|s| s.phase).collect();
         assert!(phases.contains(&Phase::Precharge));
         assert!(phases.contains(&Phase::Sense));
         assert!(phases.contains(&Phase::PseudoPrecharge));

@@ -137,10 +137,7 @@ mod tests {
         let ratio = p.tau_sa_half_supply_ns() / p.tau_sa_ns;
         assert!(ratio > 1.0, "half-supply must be slower");
         // §6.1.1: 11–23 % strength loss ⇒ 1.12–1.30× slower drive.
-        assert!(
-            (1.10..=1.32).contains(&ratio),
-            "half-supply slowdown out of range: {ratio}"
-        );
+        assert!((1.10..=1.32).contains(&ratio), "half-supply slowdown out of range: {ratio}");
     }
 
     #[test]

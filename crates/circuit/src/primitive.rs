@@ -267,7 +267,7 @@ mod tests {
         let mut col = short();
         let err = or_app_ap(&mut col, true, false, Strategy::Regular)
             .expect_err("'1'+'0' with Cb<Cc must fail");
-        assert_eq!(err.got, false);
+        assert!(!err.got);
 
         let mut col = short();
         and_app_ap(&mut col, false, true, Strategy::Regular)

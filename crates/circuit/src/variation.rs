@@ -189,9 +189,7 @@ mod tests {
         let mut r = rng();
         let n = 2000;
         let mean_abs = |mode: PvMode, r: &mut SmallRng| -> f64 {
-            (0..n)
-                .map(|_| VariationSample::draw(r, mode, 0.05, &p).sa_offset_v.abs())
-                .sum::<f64>()
+            (0..n).map(|_| VariationSample::draw(r, mode, 0.05, &p).sa_offset_v.abs()).sum::<f64>()
                 / n as f64
         };
         let rnd = mean_abs(PvMode::Random, &mut r);

@@ -1,0 +1,613 @@
+//! Bank-parallel batch execution over a whole module.
+//!
+//! [`DeviceArray`] is the batch counterpart of
+//! [`Elp2imModule`](crate::module::Elp2imModule): it shards bulk bitwise
+//! operations across the module's banks so their primitive streams overlap
+//! on the rank. The differences are deliberate:
+//!
+//! * **Placement is bank-major.** A vector's row-sized stripes go to
+//!   stripe `i` → bank `i % banks`, subarray `(i / banks) %
+//!   subarrays_per_bank`, so a wide operand touches *every* bank before it
+//!   reuses one — the module's round-robin over global subarray index
+//!   instead fills one bank's subarrays in sequence. Bank-major striping
+//!   is what turns one bulk AND into eight concurrent per-bank streams
+//!   (§6.2 of the paper evaluates exactly this configuration: a bulk
+//!   operand spread over all eight banks of a DDR3-1600 module).
+//! * **Scheduling is batch-at-once.** Each operation hands the complete
+//!   per-bank command streams to the stateless
+//!   [`InterleavedScheduler`](elp2im_dram::interleave::InterleavedScheduler),
+//!   which reports the true wall-clock [`makespan`](RunStats::makespan)
+//!   and [`pump_stall`](RunStats::pump_stall) under the shared charge-pump
+//!   window, alongside the serial [`busy_time`](RunStats::busy_time) —
+//!   plus the exact bus trace for inspection.
+//! * **Functional simulation is host-parallel.** Banks are
+//!   architecturally independent, so each bank's stripes execute on its
+//!   [`SubarrayEngine`]s in a scoped thread
+//!   ([`std::thread::scope`]); results merge deterministically in bank
+//!   order, so outputs are bit-identical to a serial run.
+
+use crate::bitvec::BitVec;
+use crate::compile::{compile, CompileMode, LogicOp, Operands};
+use crate::engine::SubarrayEngine;
+use crate::error::CoreError;
+use crate::isa::Program;
+use crate::primitive::RowRef;
+use crate::rowmap::RowAllocator;
+use elp2im_dram::command::CommandProfile;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::geometry::Geometry;
+use elp2im_dram::interleave::{InterleavedScheduler, Schedule};
+use elp2im_dram::stats::RunStats;
+
+/// Batch-layer configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Bank/subarray/row geometry.
+    pub geometry: Geometry,
+    /// Reserved dual-contact rows per subarray.
+    pub reserved_rows: usize,
+    /// Compilation strategy.
+    pub mode: CompileMode,
+    /// Charge-pump budget enforced by the scheduler.
+    pub budget: PumpBudget,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            geometry: Geometry::ddr3_module(),
+            reserved_rows: 1,
+            mode: CompileMode::LowLatency,
+            budget: PumpBudget::jedec_ddr3_1600(),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The default configuration shrunk to `banks` banks (same per-bank
+    /// shape), for serial-vs-parallel comparisons.
+    pub fn with_banks(banks: usize) -> Self {
+        let mut c = BatchConfig::default();
+        c.geometry.banks = banks;
+        c
+    }
+}
+
+/// Handle to a vector striped across the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchHandle(usize);
+
+/// Location of one row-sized stripe of a stored vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stripe {
+    /// Bank holding the stripe.
+    pub bank: usize,
+    /// Subarray within the bank.
+    pub subarray: usize,
+    /// Data-row index within the subarray.
+    pub row: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BatchEntry {
+    len: usize,
+    stripes: Vec<Stripe>,
+}
+
+/// One bank: its subarray engines and row allocators.
+#[derive(Debug)]
+struct BankUnit {
+    engines: Vec<SubarrayEngine>,
+    allocs: Vec<RowAllocator>,
+}
+
+/// The outcome of one batch operation: scheduling plus placement info.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Exact interleaved schedule of the operation's command streams.
+    pub schedule: Schedule,
+    /// Banks that carried at least one stripe of this operation.
+    pub banks_used: usize,
+}
+
+impl BatchRun {
+    /// Aggregate statistics: `busy_time` is the serial sum, `makespan`
+    /// the scheduled wall clock, `pump_stall` the summed deferrals.
+    pub fn stats(&self) -> &RunStats {
+        &self.schedule.stats
+    }
+}
+
+/// A bank-parallel batch execution engine over a multi-bank module.
+///
+/// ```
+/// use elp2im_core::batch::{BatchConfig, DeviceArray};
+/// use elp2im_core::bitvec::BitVec;
+/// use elp2im_core::compile::LogicOp;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut array = DeviceArray::new(BatchConfig::default());
+/// // One stripe per bank: the whole module works on one bulk AND.
+/// let bits = array.row_bits() * array.banks();
+/// let a = array.store(&BitVec::ones(bits))?;
+/// let b = array.store(&BitVec::zeros(bits))?;
+/// let (c, run) = array.binary(LogicOp::And, a, b)?;
+/// assert!(array.load(c)?.is_zero());
+/// assert_eq!(run.banks_used, array.banks());
+/// // Eight overlapping banks: wall clock beats the serial sum.
+/// assert!(run.stats().makespan < run.stats().busy_time);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DeviceArray {
+    config: BatchConfig,
+    banks: Vec<BankUnit>,
+    vectors: Vec<Option<BatchEntry>>,
+    scheduler: InterleavedScheduler,
+    totals: RunStats,
+}
+
+impl DeviceArray {
+    /// Creates an array with every subarray empty.
+    pub fn new(config: BatchConfig) -> Self {
+        let g = &config.geometry;
+        let banks = (0..g.banks)
+            .map(|_| BankUnit {
+                engines: (0..g.subarrays_per_bank)
+                    .map(|_| {
+                        SubarrayEngine::new(g.row_bits(), g.rows_per_subarray, config.reserved_rows)
+                    })
+                    .collect(),
+                allocs: (0..g.subarrays_per_bank)
+                    .map(|_| RowAllocator::new(g.rows_per_subarray))
+                    .collect(),
+            })
+            .collect();
+        let scheduler = InterleavedScheduler::new(config.budget.clone());
+        DeviceArray { config, banks, vectors: Vec::new(), scheduler, totals: RunStats::new() }
+    }
+
+    /// Bits per row (stripe granularity).
+    pub fn row_bits(&self) -> usize {
+        self.config.geometry.row_bits()
+    }
+
+    /// Number of banks in the array.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The array's configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics over every operation so far (makespans add:
+    /// operations are sequentially dependent at this layer).
+    pub fn stats(&self) -> &RunStats {
+        &self.totals
+    }
+
+    /// The stripe placement of a stored vector, in stripe order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for dead handles.
+    pub fn placement(&self, h: BatchHandle) -> Result<Vec<Stripe>, CoreError> {
+        Ok(self.entry(h)?.stripes.clone())
+    }
+
+    fn entry(&self, h: BatchHandle) -> Result<&BatchEntry, CoreError> {
+        self.vectors.get(h.0).and_then(Option::as_ref).ok_or(CoreError::InvalidHandle(h.0))
+    }
+
+    /// Bank-major stripe placement: stripe `i` lands on bank `i % banks`.
+    /// The allocator picks the row; the subarray advances only after every
+    /// bank has taken a stripe, so wide operands span all banks first.
+    fn place(&mut self, stripe: usize) -> Result<Stripe, CoreError> {
+        let nbanks = self.banks.len();
+        let nsubs = self.config.geometry.subarrays_per_bank;
+        let bank = stripe % nbanks;
+        let subarray = (stripe / nbanks) % nsubs;
+        let row = self.banks[bank].allocs[subarray].alloc()?;
+        Ok(Stripe { bank, subarray, row })
+    }
+
+    /// Stores a vector of any length, striped bank-major across the array.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CapacityExceeded`] if a target subarray is full.
+    pub fn store(&mut self, value: &BitVec) -> Result<BatchHandle, CoreError> {
+        let rb = self.row_bits();
+        let n = value.len().div_ceil(rb).max(1);
+        let mut stripes = Vec::with_capacity(n);
+        for c in 0..n {
+            let stripe = self.place(c)?;
+            let mut chunk = BitVec::zeros(rb);
+            for i in 0..rb {
+                let bit = c * rb + i;
+                if bit < value.len() {
+                    chunk.set(i, value.get(bit));
+                }
+            }
+            self.banks[stripe.bank].engines[stripe.subarray].write_row(stripe.row, chunk)?;
+            stripes.push(stripe);
+        }
+        let id = self.vectors.len();
+        self.vectors.push(Some(BatchEntry { len: value.len(), stripes }));
+        Ok(BatchHandle(id))
+    }
+
+    /// Loads a vector back, merging stripes in bank-major order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for dead handles.
+    pub fn load(&self, h: BatchHandle) -> Result<BitVec, CoreError> {
+        let entry = self.entry(h)?;
+        let rb = self.row_bits();
+        let mut out = BitVec::zeros(entry.len);
+        for (c, s) in entry.stripes.iter().enumerate() {
+            let chunk = self.banks[s.bank].engines[s.subarray].row(RowRef::Data(s.row))?;
+            for i in 0..rb {
+                let bit = c * rb + i;
+                if bit < entry.len {
+                    out.set(bit, chunk.get(i));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Releases a vector's rows.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for dead handles.
+    pub fn release(&mut self, h: BatchHandle) -> Result<(), CoreError> {
+        let entry = self
+            .vectors
+            .get_mut(h.0)
+            .and_then(Option::take)
+            .ok_or(CoreError::InvalidHandle(h.0))?;
+        for s in entry.stripes {
+            self.banks[s.bank].allocs[s.subarray].free(s.row)?;
+        }
+        Ok(())
+    }
+
+    /// Flips one stored bit in place (fault-injection hook): the error
+    /// lands in exactly one stripe of one bank, so cross-bank isolation is
+    /// testable end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for dead handles or a `bit` beyond the
+    /// vector's length.
+    pub fn inject_bit_error(&mut self, h: BatchHandle, bit: usize) -> Result<Stripe, CoreError> {
+        let entry = self.entry(h)?;
+        if bit >= entry.len {
+            return Err(CoreError::InvalidHandle(bit));
+        }
+        let rb = self.row_bits();
+        let s = entry.stripes[bit / rb];
+        self.banks[s.bank].engines[s.subarray].inject_bit_error(RowRef::Data(s.row), bit % rb)?;
+        Ok(s)
+    }
+
+    /// Compiles `op` over every stripe of `a` (and `b`), allocating
+    /// destination rows with the same bank-major placement. Returns the
+    /// new entry plus per-bank work (programs to execute) and per-bank
+    /// command streams (profiles to schedule).
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &mut self,
+        op: LogicOp,
+        a: BatchHandle,
+        b: Option<BatchHandle>,
+    ) -> Result<
+        (BatchEntry, Vec<Vec<(usize, Program)>>, Vec<(usize, Vec<CommandProfile>)>),
+        CoreError,
+    > {
+        let ea = self.entry(a)?.clone();
+        if let Some(b) = b {
+            let eb = self.entry(b)?;
+            if ea.len != eb.len {
+                return Err(CoreError::WidthMismatch { expected: ea.len, got: eb.len });
+            }
+        }
+        let eb = b.map(|b| self.entry(b).cloned()).transpose()?;
+
+        let mut stripes = Vec::with_capacity(ea.stripes.len());
+        let mut work: Vec<Vec<(usize, Program)>> =
+            (0..self.banks.len()).map(|_| Vec::new()).collect();
+        let mut streams: Vec<(usize, Vec<CommandProfile>)> = Vec::new();
+        for (ci, sa) in ea.stripes.iter().enumerate() {
+            let rb = match &eb {
+                Some(eb) => {
+                    let sb = eb.stripes[ci];
+                    debug_assert_eq!(
+                        (sa.bank, sa.subarray),
+                        (sb.bank, sb.subarray),
+                        "bank-major placement keeps operand stripes co-located"
+                    );
+                    sb.row
+                }
+                None => sa.row,
+            };
+            let dst = self.banks[sa.bank].allocs[sa.subarray].alloc()?;
+            let rows = Operands { a: sa.row, b: rb, dst, scratch: None };
+            let prog = compile(op, self.config.mode, rows, self.config.reserved_rows)?;
+            let timing = self.banks[sa.bank].engines[sa.subarray].timing();
+            let profiles = prog.profiles(timing);
+            match streams.iter_mut().find(|(bk, _)| *bk == sa.bank) {
+                Some((_, v)) => v.extend(profiles),
+                None => streams.push((sa.bank, profiles)),
+            }
+            work[sa.bank].push((sa.subarray, prog));
+            stripes.push(Stripe { bank: sa.bank, subarray: sa.subarray, row: dst });
+        }
+        Ok((BatchEntry { len: ea.len, stripes }, work, streams))
+    }
+
+    /// Executes every bank's programs on its engines, one scoped thread
+    /// per bank with work. Banks touch disjoint state, and results are
+    /// collected in bank order, so the outcome is identical to running the
+    /// programs serially.
+    fn run_banks(&mut self, work: Vec<Vec<(usize, Program)>>) -> Result<(), CoreError> {
+        let results: Vec<Result<(), CoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .banks
+                .iter_mut()
+                .zip(work.iter())
+                .map(|(unit, programs)| {
+                    if programs.is_empty() {
+                        None
+                    } else {
+                        Some(scope.spawn(move || -> Result<(), CoreError> {
+                            for (subarray, prog) in programs {
+                                unit.engines[*subarray].run(prog.primitives())?;
+                            }
+                            Ok(())
+                        }))
+                    }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h {
+                    // A panicking engine thread is a bug in the functional
+                    // model itself; propagate the panic.
+                    Some(h) => h.join().expect("bank engine thread panicked"),
+                    None => Ok(()),
+                })
+                .collect()
+        });
+        // Deterministic error reporting: the lowest failing bank wins.
+        results.into_iter().collect()
+    }
+
+    fn run_op(
+        &mut self,
+        op: LogicOp,
+        a: BatchHandle,
+        b: Option<BatchHandle>,
+    ) -> Result<(BatchHandle, BatchRun), CoreError> {
+        let (entry, work, streams) = self.prepare(op, a, b)?;
+        self.run_banks(work)?;
+        let schedule =
+            self.scheduler.schedule(&streams).map_err(|_| CoreError::InvalidHandle(usize::MAX))?;
+        let banks_used = streams.len();
+        let prior = self.totals.makespan;
+        self.totals.merge(&schedule.stats);
+        // Sequential composition across operations: makespans add.
+        self.totals.makespan = prior + schedule.stats.makespan;
+        let id = self.vectors.len();
+        self.vectors.push(Some(entry));
+        Ok((BatchHandle(id), BatchRun { schedule, banks_used }))
+    }
+
+    /// Executes `dst := op(a, b)` over whole vectors: functionally on
+    /// every stripe (banks in parallel on the host), and scheduled as one
+    /// interleaved batch for timing.
+    ///
+    /// # Errors
+    ///
+    /// Handle, width, capacity, and compilation errors.
+    pub fn binary(
+        &mut self,
+        op: LogicOp,
+        a: BatchHandle,
+        b: BatchHandle,
+    ) -> Result<(BatchHandle, BatchRun), CoreError> {
+        self.run_op(op, a, Some(b))
+    }
+
+    /// Executes `dst := !a` over a whole vector.
+    ///
+    /// # Errors
+    ///
+    /// Handle, capacity, and compilation errors.
+    pub fn not(&mut self, a: BatchHandle) -> Result<(BatchHandle, BatchRun), CoreError> {
+        self.run_op(LogicOp::Not, a, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(bits: usize, period: usize) -> BitVec {
+        (0..bits).map(|i| i % period == 0).collect()
+    }
+
+    fn small(banks: usize) -> DeviceArray {
+        DeviceArray::new(BatchConfig {
+            geometry: Geometry {
+                banks,
+                subarrays_per_bank: 2,
+                rows_per_subarray: 32,
+                row_bytes: 32,
+            },
+            reserved_rows: 1,
+            mode: CompileMode::LowLatency,
+            budget: PumpBudget::unconstrained(),
+        })
+    }
+
+    #[test]
+    fn placement_is_bank_major() {
+        let mut a = small(4);
+        let bits = a.row_bits() * 6;
+        let h = a.store(&BitVec::ones(bits)).unwrap();
+        let p = a.placement(h).unwrap();
+        let banks: Vec<usize> = p.iter().map(|s| s.bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 0, 1]);
+        // Subarray advances only after all banks took a stripe.
+        let subs: Vec<usize> = p.iter().map(|s| s.subarray).collect();
+        assert_eq!(subs, vec![0, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn store_load_roundtrip_with_uneven_tail() {
+        let mut a = small(4);
+        let bits = a.row_bits() * 5 + 13;
+        let v = pattern(bits, 7);
+        let h = a.store(&v).unwrap();
+        assert_eq!(a.load(h).unwrap(), v);
+    }
+
+    #[test]
+    fn binary_ops_match_software() {
+        for op in [LogicOp::And, LogicOp::Or, LogicOp::Xor, LogicOp::Nand, LogicOp::Nor] {
+            let mut m = small(4);
+            let bits = m.row_bits() * 7 + 5;
+            let a = pattern(bits, 2);
+            let b = pattern(bits, 3);
+            let ha = m.store(&a).unwrap();
+            let hb = m.store(&b).unwrap();
+            let (hc, _) = m.binary(op, ha, hb).unwrap();
+            let got = m.load(hc).unwrap();
+            let want: BitVec = (0..bits).map(|i| op.eval(a.get(i), b.get(i))).collect();
+            assert_eq!(got, want, "{op}");
+        }
+    }
+
+    #[test]
+    fn not_matches_software() {
+        let mut m = small(2);
+        let bits = m.row_bits() * 3 + 1;
+        let a = pattern(bits, 3);
+        let ha = m.store(&a).unwrap();
+        let (hc, run) = m.not(ha).unwrap();
+        let want: BitVec = (0..bits).map(|i| !a.get(i)).collect();
+        assert_eq!(m.load(hc).unwrap(), want);
+        assert_eq!(run.banks_used, 2);
+    }
+
+    #[test]
+    fn makespan_beats_serial_busy_time_across_banks() {
+        let mut m = small(8);
+        let bits = m.row_bits() * 8;
+        let a = m.store(&BitVec::ones(bits)).unwrap();
+        let b = m.store(&pattern(bits, 2)).unwrap();
+        let (_, run) = m.binary(LogicOp::And, a, b).unwrap();
+        let s = run.stats();
+        assert_eq!(run.banks_used, 8);
+        assert!(
+            s.makespan.as_f64() < s.busy_time.as_f64() * 0.2,
+            "8 banks must overlap: makespan {} vs busy {}",
+            s.makespan,
+            s.busy_time
+        );
+    }
+
+    #[test]
+    fn single_bank_makespan_equals_busy_time() {
+        let mut m = small(1);
+        let bits = m.row_bits() * 2;
+        let a = m.store(&BitVec::ones(bits)).unwrap();
+        let b = m.store(&BitVec::ones(bits)).unwrap();
+        let (_, run) = m.binary(LogicOp::Xor, a, b).unwrap();
+        let s = run.stats();
+        assert!((s.makespan.as_f64() - s.busy_time.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_result_matches_single_bank_array() {
+        let bits = 32 * 8 * 6 + 11;
+        let a = pattern(bits, 5);
+        let b = pattern(bits, 3);
+        let mut wide = small(8);
+        let mut narrow = small(1);
+        for op in [LogicOp::And, LogicOp::Or, LogicOp::Xor] {
+            let (wx, wy) = (wide.store(&a).unwrap(), wide.store(&b).unwrap());
+            let (hw, _) = wide.binary(op, wx, wy).unwrap();
+            let (nx, ny) = (narrow.store(&a).unwrap(), narrow.store(&b).unwrap());
+            let (hn, _) = narrow.binary(op, nx, ny).unwrap();
+            assert_eq!(wide.load(hw).unwrap(), narrow.load(hn).unwrap(), "{op}");
+            for h in [wx, wy, hw] {
+                wide.release(h).unwrap();
+            }
+            for h in [nx, ny, hn] {
+                narrow.release(h).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn injected_error_corrupts_exactly_one_stripe() {
+        let mut m = small(4);
+        let bits = m.row_bits() * 4;
+        let v = BitVec::zeros(bits);
+        let h = m.store(&v).unwrap();
+        let flipped = m.row_bits() + 3; // second stripe → bank 1
+        let s = m.inject_bit_error(h, flipped).unwrap();
+        assert_eq!(s.bank, 1);
+        let got = m.load(h).unwrap();
+        for i in 0..bits {
+            assert_eq!(got.get(i), i == flipped, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn release_frees_rows_for_reuse() {
+        let mut m = small(2);
+        let bits = m.row_bits() * 4;
+        for _ in 0..40 {
+            let h = m.store(&BitVec::ones(bits)).unwrap();
+            m.release(h).unwrap();
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut m = small(2);
+        let a = m.store(&BitVec::ones(10)).unwrap();
+        let b = m.store(&BitVec::ones(20)).unwrap();
+        assert!(matches!(m.binary(LogicOp::And, a, b), Err(CoreError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn dead_handle_errors() {
+        let mut m = small(2);
+        let h = m.store(&BitVec::ones(4)).unwrap();
+        m.release(h).unwrap();
+        assert!(matches!(m.load(h), Err(CoreError::InvalidHandle(_))));
+        assert!(matches!(m.inject_bit_error(h, 0), Err(CoreError::InvalidHandle(_))));
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate_makespan() {
+        let mut m = small(2);
+        let bits = m.row_bits() * 2;
+        let a = m.store(&BitVec::ones(bits)).unwrap();
+        let b = m.store(&BitVec::ones(bits)).unwrap();
+        let (_, r1) = m.binary(LogicOp::And, a, b).unwrap();
+        let (_, r2) = m.binary(LogicOp::Or, a, b).unwrap();
+        let expect = r1.stats().makespan.as_f64() + r2.stats().makespan.as_f64();
+        assert!((m.stats().makespan.as_f64() - expect).abs() < 1e-9);
+    }
+}

@@ -171,10 +171,7 @@ pub fn compile(
                 }
                 Ok(Program::new(
                     name,
-                    vec![
-                        Primitive::App { row: a, mode: mode_of(op) },
-                        Primitive::Ap { row: dst },
-                    ],
+                    vec![Primitive::App { row: a, mode: mode_of(op) }, Primitive::Ap { row: dst }],
                 ))
             }
             other => Err(CoreError::UnsupportedInPlace { op: other.name() }),
@@ -184,10 +181,7 @@ pub fn compile(
                 need_reserved(1)?;
                 Ok(Program::new(
                     name,
-                    vec![
-                        Primitive::Aap { src: a, dst: R0T },
-                        Primitive::Aap { src: R0B, dst },
-                    ],
+                    vec![Primitive::Aap { src: a, dst: R0T }, Primitive::Aap { src: R0B, dst }],
                 ))
             }
             LogicOp::And | LogicOp::Or => Ok(Program::new(
@@ -247,10 +241,7 @@ pub fn compile(
                 need_reserved(1)?;
                 Ok(Program::new(
                     name,
-                    vec![
-                        Primitive::OAap { src: a, dst: R0T },
-                        Primitive::OAap { src: R0B, dst },
-                    ],
+                    vec![Primitive::OAap { src: a, dst: R0T }, Primitive::OAap { src: R0B, dst }],
                 ))
             }
             LogicOp::And | LogicOp::Or => {
@@ -458,8 +449,7 @@ mod tests {
         }
         e.run(prog.primitives()).unwrap_or_else(|err| panic!("{}: {err}", prog.name()));
         let got = e.row(RowRef::Data(rows.dst)).unwrap();
-        let want: Vec<bool> =
-            a_bits.iter().zip(&b_bits).map(|(&x, &y)| op.eval(x, y)).collect();
+        let want: Vec<bool> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| op.eval(x, y)).collect();
         assert_eq!(got.to_bools(), want, "{}", prog);
         assert!(!e.has_pending_regulation(), "{} leaks regulation", prog.name());
     }

@@ -111,10 +111,7 @@ impl Elp2imDevice {
 
     fn pad(&self, value: &BitVec) -> Result<BitVec, CoreError> {
         if value.len() > self.config.width {
-            return Err(CoreError::WidthMismatch {
-                expected: self.config.width,
-                got: value.len(),
-            });
+            return Err(CoreError::WidthMismatch { expected: self.config.width, got: value.len() });
         }
         if value.len() == self.config.width {
             return Ok(value.clone());
@@ -185,7 +182,12 @@ impl Elp2imDevice {
     /// # Errors
     ///
     /// Handle, capacity, and compilation errors propagate.
-    pub fn binary(&mut self, op: LogicOp, a: RowHandle, b: RowHandle) -> Result<RowHandle, CoreError> {
+    pub fn binary(
+        &mut self,
+        op: LogicOp,
+        a: RowHandle,
+        b: RowHandle,
+    ) -> Result<RowHandle, CoreError> {
         let (ra, la) = self.lookup(a)?;
         let (rb, lb) = self.lookup(b)?;
         if la != lb {
@@ -335,15 +337,16 @@ mod tests {
     fn all_binary_ops_match_software() {
         let a_val = 0b1100u64;
         let b_val = 0b1010u64;
-        for op in [LogicOp::And, LogicOp::Or, LogicOp::Nand, LogicOp::Nor, LogicOp::Xor, LogicOp::Xnor] {
+        for op in
+            [LogicOp::And, LogicOp::Or, LogicOp::Nand, LogicOp::Nor, LogicOp::Xor, LogicOp::Xnor]
+        {
             let mut d = dev();
             let a = d.store(&bools(a_val, 4)).unwrap();
             let b = d.store(&bools(b_val, 4)).unwrap();
             let c = d.binary(op, a, b).unwrap();
             let got = d.load(c).unwrap();
-            let want: BitVec = (0..4)
-                .map(|i| op.eval((a_val >> i) & 1 == 1, (b_val >> i) & 1 == 1))
-                .collect();
+            let want: BitVec =
+                (0..4).map(|i| op.eval((a_val >> i) & 1 == 1, (b_val >> i) & 1 == 1)).collect();
             assert_eq!(got, want, "{op}");
             // Operands must survive the operation.
             assert_eq!(d.load(a).unwrap(), bools(a_val, 4), "{op} clobbered a");

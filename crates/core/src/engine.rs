@@ -184,10 +184,11 @@ impl SubarrayEngine {
             return Err(CoreError::WidthMismatch { expected: self.width, got: value.len() });
         }
         let (rows, dcc_rows) = (self.rows.len(), self.dcc.len());
-        let slot = self
-            .rows
-            .get_mut(index)
-            .ok_or(CoreError::RowOutOfRange { row: RowRef::Data(index), rows, dcc_rows })?;
+        let slot = self.rows.get_mut(index).ok_or(CoreError::RowOutOfRange {
+            row: RowRef::Data(index),
+            rows,
+            dcc_rows,
+        })?;
         *slot = Some(value);
         Ok(())
     }
@@ -453,9 +454,8 @@ mod tests {
     #[test]
     fn oaap_requires_different_domains() {
         let mut e = engine();
-        let err = e
-            .execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::Data(2) })
-            .unwrap_err();
+        let err =
+            e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::Data(2) }).unwrap_err();
         assert!(matches!(err, CoreError::DualDecoderViolation { .. }));
         // Data ↔ reserved is fine.
         e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
@@ -536,10 +536,7 @@ mod tests {
             e.execute(&Primitive::Ap { row: RowRef::Data(99) }),
             Err(CoreError::RowOutOfRange { .. })
         ));
-        assert!(matches!(
-            e.row(RowRef::DccTrue(5)),
-            Err(CoreError::RowOutOfRange { .. })
-        ));
+        assert!(matches!(e.row(RowRef::DccTrue(5)), Err(CoreError::RowOutOfRange { .. })));
     }
 
     #[test]

@@ -83,10 +83,9 @@ impl fmt::Display for CoreError {
             CoreError::WidthMismatch { expected, got } => {
                 write!(f, "row width mismatch: subarray rows are {expected} bits, got {got}")
             }
-            CoreError::DualDecoderViolation { a, b } => write!(
-                f,
-                "overlapped activation of {a} and {b} requires different decoder domains"
-            ),
+            CoreError::DualDecoderViolation { a, b } => {
+                write!(f, "overlapped activation of {a} and {b} requires different decoder domains")
+            }
             CoreError::InvalidHandle(h) => write!(f, "invalid row handle {h}"),
             CoreError::CapacityExceeded { rows } => {
                 write!(f, "no free rows (subarray capacity {rows})")

@@ -318,9 +318,8 @@ mod tests {
 
     fn check(expr: &Expr, n_vars: usize) -> Program {
         let width = 1 << n_vars; // enumerate the whole truth table
-        let inputs: Vec<BitVec> = (0..n_vars)
-            .map(|v| (0..width).map(|row| (row >> v) & 1 == 1).collect())
-            .collect();
+        let inputs: Vec<BitVec> =
+            (0..n_vars).map(|v| (0..width).map(|row| (row >> v) & 1 == 1).collect()).collect();
         let rows = ExprOperands {
             inputs: (0..n_vars).collect(),
             dst: n_vars,
@@ -374,11 +373,7 @@ mod tests {
         // with one buffer; 6–7 here). With CSE: one XOR + AND + XOR + OR +
         // final copy.
         let naive_commands = 7 + 3 + 7 + 3 + 1 + 7; // duplicate xor
-        assert!(
-            prog.len() < naive_commands,
-            "CSE should save commands: got {}",
-            prog.len()
-        );
+        assert!(prog.len() < naive_commands, "CSE should save commands: got {}", prog.len());
     }
 
     /// Deep chains recycle temporaries instead of exhausting them.
@@ -401,8 +396,7 @@ mod tests {
     fn exhausting_temps_is_reported() {
         let v = Expr::var;
         // Keep many subexpressions alive at once with a wide OR tree.
-        let wide = ((v(0) & v(1)) ^ (v(0) | v(1)))
-            ^ ((v(0) ^ v(1)) & (!(v(0)) | !(v(1))));
+        let wide = ((v(0) & v(1)) ^ (v(0) | v(1))) ^ ((v(0) ^ v(1)) & (!(v(0)) | !(v(1))));
         let rows = ExprOperands { inputs: vec![0, 1], dst: 2, temps: vec![3] };
         let err = compile_expr(&wide, &rows, CompileMode::LowLatency, 1).unwrap_err();
         assert!(matches!(err, CoreError::CapacityExceeded { .. }), "{err}");
@@ -411,8 +405,7 @@ mod tests {
     #[test]
     fn unknown_variable_rejected() {
         let rows = ExprOperands { inputs: vec![0], dst: 1, temps: vec![2, 3] };
-        let err =
-            compile_expr(&Expr::var(5), &rows, CompileMode::LowLatency, 1).unwrap_err();
+        let err = compile_expr(&Expr::var(5), &rows, CompileMode::LowLatency, 1).unwrap_err();
         assert!(matches!(err, CoreError::InvalidHandle(5)));
     }
 

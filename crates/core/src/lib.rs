@@ -16,6 +16,10 @@
 //! * [`rowmap`] — subarray row allocation with reserved-row bookkeeping.
 //! * [`device`] — [`device::Elp2imDevice`], the user-facing bulk bitwise
 //!   device.
+//! * [`batch`] — [`batch::DeviceArray`], the bank-parallel batch
+//!   execution engine: bank-major striping across the whole module, with
+//!   per-bank host-parallel functional simulation and interleaved
+//!   scheduling under the charge-pump budget.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bitvec;
 pub mod compile;
 pub mod device;
@@ -50,6 +55,7 @@ pub mod primitive;
 pub mod rowmap;
 pub mod validate;
 
+pub use batch::{BatchConfig, BatchHandle, BatchRun, DeviceArray, Stripe};
 pub use bitvec::BitVec;
 pub use compile::{CompileMode, LogicOp};
 pub use device::{DeviceConfig, Elp2imDevice};

@@ -106,12 +106,7 @@ pub fn trim_restores(prog: &Program, preserve: &[PhysRow]) -> Program {
     Program::new(format!("{}+trim", prog.name()), out)
 }
 
-fn row_is_dead(
-    prims: &[Primitive],
-    at: usize,
-    row: RowRef,
-    preserve: &HashSet<PhysRow>,
-) -> bool {
+fn row_is_dead(prims: &[Primitive], at: usize, row: RowRef, preserve: &HashSet<PhysRow>) -> bool {
     let phys: PhysRow = row.into();
     if preserve.contains(&phys) {
         return false;

@@ -42,16 +42,10 @@ fn err(token: &str, reason: &'static str) -> ParsePrmtError {
 fn parse_row(s: &str) -> Result<RowRef, ParsePrmtError> {
     let s = s.trim();
     if let Some(rest) = s.strip_prefix("!R") {
-        return rest
-            .parse()
-            .map(RowRef::DccBar)
-            .map_err(|_| err(s, "bad reserved-row index"));
+        return rest.parse().map(RowRef::DccBar).map_err(|_| err(s, "bad reserved-row index"));
     }
     if let Some(rest) = s.strip_prefix('R') {
-        return rest
-            .parse()
-            .map(RowRef::DccTrue)
-            .map_err(|_| err(s, "bad reserved-row index"));
+        return rest.parse().map(RowRef::DccTrue).map_err(|_| err(s, "bad reserved-row index"));
     }
     if let Some(rest) = s.strip_prefix('r') {
         return rest.parse().map(RowRef::Data).map_err(|_| err(s, "bad data-row index"));
@@ -77,7 +71,7 @@ pub fn parse_primitive(s: &str) -> Result<Primitive, ParsePrmtError> {
     // Split the optional ·mode suffix (accept ASCII '.' as well).
     let (head, mode) = if let Some((h, m)) = s.rsplit_once('·') {
         (h, Some(parse_mode(m)?))
-    } else if let Some((h, m)) = s.rsplit_once(")." ).map(|(h, m)| (h, m)) {
+    } else if let Some((h, m)) = s.rsplit_once(").") {
         // "APP(r1).and" form: restore the ')' eaten by the split.
         (&s[..h.len() + 1], Some(parse_mode(m)?))
     } else {

@@ -28,11 +28,7 @@ pub struct RowAllocator {
 impl RowAllocator {
     /// An allocator over `rows` data rows, all initially free.
     pub fn new(rows: usize) -> Self {
-        RowAllocator {
-            total: rows,
-            free: (0..rows).rev().collect(),
-            allocated: vec![false; rows],
-        }
+        RowAllocator { total: rows, free: (0..rows).rev().collect(), allocated: vec![false; rows] }
     }
 
     /// Total data rows managed.

@@ -78,7 +78,10 @@ impl fmt::Display for Violation {
                 write!(f, "primitive #{at}: row {row} out of range")
             }
             Violation::SameDecoderOverlap { at, a, b } => {
-                write!(f, "primitive #{at}: overlapped activation of {a} and {b} in one decoder domain")
+                write!(
+                    f,
+                    "primitive #{at}: overlapped activation of {a} and {b} in one decoder domain"
+                )
             }
             Violation::ReadOfDestroyedRow { at, row, destroyed_at } => write!(
                 f,
@@ -149,9 +152,7 @@ pub fn validate(prog: &Program, shape: SubarrayShape, live_in: &[PhysRow]) -> Ve
         }
         for row in reads_of(p) {
             let phys: PhysRow = row.into();
-            if let Some(&(_, destroyed_at)) =
-                destroyed.iter().rev().find(|(r, _)| *r == phys)
-            {
+            if let Some(&(_, destroyed_at)) = destroyed.iter().rev().find(|(r, _)| *r == phys) {
                 violations.push(Violation::ReadOfDestroyedRow { at, row, destroyed_at });
             } else if !defined.contains(&phys) {
                 violations.push(Violation::ReadOfUndefinedRow { at, row });
@@ -249,10 +250,7 @@ mod tests {
         );
         let v = validate(&prog, SHAPE, &live_in());
         assert_eq!(v.len(), 1, "{v:?}");
-        assert!(matches!(
-            v[0],
-            Violation::ReadOfDestroyedRow { at: 2, destroyed_at: 0, .. }
-        ));
+        assert!(matches!(v[0], Violation::ReadOfDestroyedRow { at: 2, destroyed_at: 0, .. }));
     }
 
     #[test]
@@ -295,11 +293,7 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = Violation::ReadOfDestroyedRow {
-            at: 3,
-            row: RowRef::DccBar(0),
-            destroyed_at: 1,
-        };
+        let v = Violation::ReadOfDestroyedRow { at: 3, row: RowRef::DccBar(0), destroyed_at: 1 };
         let s = v.to_string();
         assert!(s.contains("#3") && s.contains("#1"), "{s}");
     }

@@ -142,11 +142,7 @@ impl CommandProfile {
 
     /// Overlapped APP.
     pub fn o_app(t: &Ddr3Timing) -> Self {
-        CommandProfile {
-            class: CommandClass::OApp,
-            duration: t.o_app(),
-            ..CommandProfile::app(t)
-        }
+        CommandProfile { class: CommandClass::OApp, duration: t.o_app(), ..CommandProfile::app(t) }
     }
 
     /// Trimmed APP (no restore; the accessed row is destroyed).
@@ -205,11 +201,7 @@ impl CommandProfile {
 
 impl fmt::Display for CommandProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} ({}, {} wl)",
-            self.class, self.duration, self.total_wordline_events
-        )
+        write!(f, "{} ({}, {} wl)", self.class, self.duration, self.total_wordline_events)
     }
 }
 
@@ -234,10 +226,7 @@ mod tests {
         let t = Ddr3Timing::ddr3_1600();
         assert_eq!(CommandProfile::ap(&t).extra_simultaneous_wordlines(), 0);
         assert_eq!(CommandProfile::o_aap(&t).extra_simultaneous_wordlines(), 1);
-        assert_eq!(
-            CommandProfile::ambit_tra_aap(&t).extra_simultaneous_wordlines(),
-            2
-        );
+        assert_eq!(CommandProfile::ambit_tra_aap(&t).extra_simultaneous_wordlines(), 2);
         // A sequential AAP never drives two wordlines at once.
         assert_eq!(CommandProfile::aap(&t).max_simultaneous_wordlines, 1);
         assert_eq!(CommandProfile::aap(&t).total_wordline_events, 2);

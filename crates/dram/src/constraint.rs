@@ -68,10 +68,7 @@ impl PumpBudget {
     /// An effectively unlimited budget (the paper's "without power
     /// constraint" configuration, §6.3.1 and §6.3.3).
     pub fn unconstrained() -> Self {
-        PumpBudget {
-            tokens_per_window: f64::INFINITY,
-            ..PumpBudget::jedec_ddr3_1600()
-        }
+        PumpBudget { tokens_per_window: f64::INFINITY, ..PumpBudget::jedec_ddr3_1600() }
     }
 
     /// Whether this budget actually constrains anything.
@@ -261,7 +258,9 @@ mod tests {
         assert!((b.command_cost(&CommandProfile::o_aap(&t)) - 2.22).abs() < 1e-12);
         assert!((b.command_cost(&CommandProfile::app(&t)) - 1.31).abs() < 1e-12);
         // TRA-AAP: 2 regular + 2 extra-simultaneous wordlines.
-        assert!((b.command_cost(&CommandProfile::ambit_tra_aap(&t)) - (2.0 + 2.0 * 1.22)).abs() < 1e-12);
+        assert!(
+            (b.command_cost(&CommandProfile::ambit_tra_aap(&t)) - (2.0 + 2.0 * 1.22)).abs() < 1e-12
+        );
     }
 
     /// The paper's headline parallelism result: under the power constraint
@@ -271,11 +270,7 @@ mod tests {
     fn parallel_banks_elp2im_vs_ambit() {
         let b = PumpBudget::jedec_ddr3_1600();
         let t = timing();
-        let elp2im = vec![
-            CommandProfile::aap(&t),
-            CommandProfile::app(&t),
-            CommandProfile::ap(&t),
-        ];
+        let elp2im = vec![CommandProfile::aap(&t), CommandProfile::app(&t), CommandProfile::ap(&t)];
         let ambit = vec![
             CommandProfile::o_aap(&t),
             CommandProfile::o_aap(&t),
@@ -324,7 +319,8 @@ mod tests {
 
     #[test]
     fn oversized_command_is_admitted_saturating() {
-        let mut w = PumpWindow::new(PumpBudget { tokens_per_window: 2.0, ..PumpBudget::jedec_ddr3_1600() });
+        let mut w =
+            PumpWindow::new(PumpBudget { tokens_per_window: 2.0, ..PumpBudget::jedec_ddr3_1600() });
         // Cost larger than the whole budget: admit rather than deadlock.
         assert!(w.try_admit(Ps(0), 3.0).is_ok());
         // But the window is now saturated.

@@ -138,12 +138,7 @@ impl Controller {
         let stall = start.saturating_sub(requested);
         let done = self.banks[bank].occupy(start, profile.duration.to_ps());
         let energy = self.power.command_energy(profile);
-        self.stats.record(
-            profile.class,
-            profile.duration,
-            profile.total_wordline_events,
-            energy,
-        );
+        self.stats.record(profile.class, profile.duration, profile.total_wordline_events, energy);
         self.stats.pump_stall += stall.to_ns();
         if done > self.now {
             self.now = done;
@@ -184,7 +179,7 @@ impl Controller {
                     .get(*bank)
                     .ok_or(DramError::BankOutOfRange { bank: *bank, banks: self.banks.len() })?;
                 let t = state.next_free(ready[i]);
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((i, t));
                 }
             }
@@ -256,8 +251,12 @@ mod tests {
         let mut tight = Controller::new(8, PumpBudget::jedec_ddr3_1600());
         let st = tight.run_streams(&streams).unwrap();
 
-        assert!(st.makespan.as_f64() > sf.makespan.as_f64() * 1.5,
-            "constrained {} vs free {}", st.makespan, sf.makespan);
+        assert!(
+            st.makespan.as_f64() > sf.makespan.as_f64() * 1.5,
+            "constrained {} vs free {}",
+            st.makespan,
+            sf.makespan
+        );
         assert!(st.pump_stall.as_f64() > 0.0);
     }
 
@@ -326,8 +325,7 @@ mod tests {
         let streams: Vec<_> = (0..4).map(|b| (b, vec![ap.clone(); 400])).collect();
         let mut plain = Controller::new(4, PumpBudget::unconstrained());
         let sp = plain.run_streams(&streams).unwrap();
-        let mut refreshed =
-            Controller::new(4, PumpBudget::unconstrained()).with_refresh(&timing);
+        let mut refreshed = Controller::new(4, PumpBudget::unconstrained()).with_refresh(&timing);
         let sr = refreshed.run_streams(&streams).unwrap();
         let overhead = sr.makespan.as_f64() / sp.makespan.as_f64() - 1.0;
         assert!((0.0..=0.08).contains(&overhead), "refresh overhead {overhead}");
@@ -347,11 +345,15 @@ mod tests {
         let analytic = budget.max_parallel_banks(&stream, 8);
 
         let reps = 64;
-        let streams: Vec<_> = (0..8).map(|b| {
-            let mut v = Vec::new();
-            for _ in 0..reps { v.extend(stream.iter().cloned()); }
-            (b, v)
-        }).collect();
+        let streams: Vec<_> = (0..8)
+            .map(|b| {
+                let mut v = Vec::new();
+                for _ in 0..reps {
+                    v.extend(stream.iter().cloned());
+                }
+                (b, v)
+            })
+            .collect();
         let mut c = Controller::new(8, budget.clone());
         let s = c.run_streams(&streams).unwrap();
         // Effective parallelism = total busy time / makespan.

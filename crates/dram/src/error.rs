@@ -40,10 +40,9 @@ impl fmt::Display for DramError {
             DramError::BankBusy { bank, free_at } => {
                 write!(f, "bank {bank} busy until {free_at}")
             }
-            DramError::CommandExceedsPumpBudget { cost, budget } => write!(
-                f,
-                "command pump cost {cost:.2} exceeds the whole window budget {budget:.2}"
-            ),
+            DramError::CommandExceedsPumpBudget { cost, budget } => {
+                write!(f, "command pump cost {cost:.2} exceeds the whole window budget {budget:.2}")
+            }
         }
     }
 }

@@ -30,22 +30,12 @@ pub struct Geometry {
 impl Geometry {
     /// The 8-bank DDR3 module configuration used in §6.3.
     pub fn ddr3_module() -> Self {
-        Geometry {
-            banks: 8,
-            subarrays_per_bank: 64,
-            rows_per_subarray: 512,
-            row_bytes: 8192,
-        }
+        Geometry { banks: 8, subarrays_per_bank: 64, rows_per_subarray: 512, row_bytes: 8192 }
     }
 
     /// A deliberately tiny geometry for fast tests.
     pub fn tiny() -> Self {
-        Geometry {
-            banks: 2,
-            subarrays_per_bank: 2,
-            rows_per_subarray: 32,
-            row_bytes: 32,
-        }
+        Geometry { banks: 2, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 32 }
     }
 
     /// Bits per row.

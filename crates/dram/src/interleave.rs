@@ -1,0 +1,346 @@
+//! Deterministic interleaved scheduling of per-bank command streams.
+//!
+//! The batch execution layer (`elp2im-core::batch`) shards a bulk bitwise
+//! operation across banks and needs to know what the module's command bus
+//! actually does with the resulting per-bank primitive streams: the true
+//! wall-clock **makespan** under the shared charge-pump/tFAW window
+//! (§6.3), not the per-bank serial `busy_time`. [`InterleavedScheduler`]
+//! produces exactly that, plus an exact per-command trace
+//! ([`ScheduledCommand`]) a logic analyzer on the bus would record —
+//! which the golden-sequence tests pin down cycle by cycle.
+//!
+//! Unlike [`crate::controller::Controller`], the scheduler is stateless:
+//! every [`InterleavedScheduler::schedule`] call starts from an idle rank
+//! at t = 0 and is a pure function of its inputs, so results are
+//! reproducible and comparable across runs.
+//!
+//! # Determinism
+//!
+//! The issue order is fully deterministic:
+//!
+//! 1. Streams are processed in ascending **bank index** (duplicate bank
+//!    entries are merged in input order).
+//! 2. At every step, the pending command with the earliest legal start
+//!    time (its bank's free time, clamped by in-order bus issue) is
+//!    chosen; ties go to the **lowest bank index**.
+//! 3. The charge-pump sliding window then defers the start further if the
+//!    rank-wide activation budget is exhausted; the deferral is recorded
+//!    as that command's `pump_stall`.
+
+use crate::bank::BankState;
+use crate::command::{CommandClass, CommandProfile};
+use crate::constraint::{PumpBudget, PumpWindow};
+use crate::error::DramError;
+use crate::power::PowerModel;
+use crate::stats::RunStats;
+use crate::units::{Ns, Ps};
+
+/// One command as actually issued on the shared bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCommand {
+    /// Global issue order (0-based).
+    pub seq: usize,
+    /// Bank the command executes on.
+    pub bank: usize,
+    /// Position within that bank's stream.
+    pub index_in_bank: usize,
+    /// Command classification.
+    pub class: CommandClass,
+    /// Issue instant.
+    pub start: Ps,
+    /// Completion instant.
+    pub done: Ps,
+    /// Delay inserted before this command because the charge-pump/tFAW
+    /// window was exhausted (zero when the bank or bus was the limiter).
+    pub pump_stall: Ps,
+}
+
+/// The full outcome of scheduling one batch of per-bank streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Exact bus trace, in issue order.
+    pub commands: Vec<ScheduledCommand>,
+    /// Aggregate statistics: `busy_time` is the per-bank serial sum,
+    /// `makespan` the true wall clock, `pump_stall` the summed deferrals.
+    pub stats: RunStats,
+    /// Completion time of each bank that appeared in the input, keyed by
+    /// bank index (banks without work are absent).
+    pub bank_done: Vec<(usize, Ps)>,
+}
+
+impl Schedule {
+    /// Wall-clock makespan of the batch.
+    pub fn makespan(&self) -> Ns {
+        self.stats.makespan
+    }
+
+    /// The trace restricted to one bank, in issue order.
+    pub fn bank_trace(&self, bank: usize) -> Vec<&ScheduledCommand> {
+        self.commands.iter().filter(|c| c.bank == bank).collect()
+    }
+
+    /// The first command that was stalled by the pump window, if any.
+    pub fn first_stall(&self) -> Option<&ScheduledCommand> {
+        self.commands.iter().find(|c| c.pump_stall > Ps::ZERO)
+    }
+}
+
+/// Deterministic, stateless scheduler for per-bank command streams under
+/// the shared charge-pump budget.
+///
+/// ```
+/// use elp2im_dram::command::CommandProfile;
+/// use elp2im_dram::constraint::PumpBudget;
+/// use elp2im_dram::interleave::InterleavedScheduler;
+/// use elp2im_dram::timing::Ddr3Timing;
+///
+/// let t = Ddr3Timing::ddr3_1600();
+/// let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+/// let streams: Vec<_> = (0..4).map(|b| (b, vec![CommandProfile::ap(&t); 2])).collect();
+/// let s = sched.schedule(&streams).unwrap();
+/// // Four banks fully overlap: makespan = one bank's serial time.
+/// assert!((s.makespan().as_f64() - 2.0 * t.ap().as_f64()).abs() < 0.01);
+/// assert_eq!(s.stats.total_commands(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterleavedScheduler {
+    budget: PumpBudget,
+    power: PowerModel,
+}
+
+impl InterleavedScheduler {
+    /// A scheduler enforcing `budget` with the default Micron power model.
+    pub fn new(budget: PumpBudget) -> Self {
+        InterleavedScheduler { budget, power: PowerModel::micron_ddr3_1600() }
+    }
+
+    /// Replaces the power model used for energy accounting.
+    pub fn with_power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// The enforced budget.
+    pub fn budget(&self) -> &PumpBudget {
+        &self.budget
+    }
+
+    /// Schedules `streams` (pairs of bank index and that bank's in-order
+    /// command stream) from an idle rank at t = 0 and returns the exact
+    /// trace plus aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankOutOfRange`] if a stream names a bank at or above
+    /// `usize::MAX / 2` (a sentinel for obviously corrupt indices); any
+    /// bank index is otherwise legal — the scheduler sizes itself to the
+    /// largest one named.
+    pub fn schedule(
+        &self,
+        streams: &[(usize, Vec<CommandProfile>)],
+    ) -> Result<Schedule, DramError> {
+        // Merge duplicate bank entries and sort by bank index so the
+        // tie-break below is by bank, not input order.
+        let mut merged: Vec<(usize, Vec<&CommandProfile>)> = Vec::new();
+        for (bank, cmds) in streams {
+            if *bank >= usize::MAX / 2 {
+                return Err(DramError::BankOutOfRange { bank: *bank, banks: usize::MAX / 2 });
+            }
+            match merged.iter_mut().find(|(b, _)| b == bank) {
+                Some((_, v)) => v.extend(cmds.iter()),
+                None => merged.push((*bank, cmds.iter().collect())),
+            }
+        }
+        merged.sort_by_key(|&(bank, _)| bank);
+
+        let mut banks: Vec<BankState> = (0..merged.len()).map(|_| BankState::new()).collect();
+        let mut pump = PumpWindow::new(self.budget.clone());
+        let mut cursors = vec![0usize; merged.len()];
+        let mut last_issue = Ps::ZERO;
+        let mut stats = RunStats::new();
+        let mut commands = Vec::with_capacity(merged.iter().map(|(_, v)| v.len()).sum());
+
+        loop {
+            // Earliest-bank-free-first among unfinished streams; ties go
+            // to the lowest bank index (merged is sorted by bank, and the
+            // strict `<` keeps the first/lowest candidate). The shared-bus
+            // clamp by `last_issue` applies at issue, not selection —
+            // matching `Controller::run_streams`.
+            let mut best: Option<(usize, Ps)> = None;
+            for (i, (_, cmds)) in merged.iter().enumerate() {
+                if cursors[i] >= cmds.len() {
+                    continue;
+                }
+                let t = banks[i].next_free(Ps::ZERO);
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+            let Some((i, bank_free)) = best else { break };
+            let (bank, cmds) = &merged[i];
+            let profile = cmds[cursors[i]];
+            let requested = bank_free.max(last_issue);
+
+            // Admit against the rank-wide pump window, deferring as needed.
+            let cost = self.budget.command_cost(profile);
+            let mut start = requested;
+            loop {
+                match pump.try_admit(start, cost) {
+                    Ok(()) => break,
+                    Err(retry) => start = retry,
+                }
+            }
+            let stall = start.saturating_sub(requested);
+            last_issue = start;
+            let done = banks[i].occupy(start, profile.duration.to_ps());
+
+            let energy = self.power.command_energy(profile);
+            stats.record(profile.class, profile.duration, profile.total_wordline_events, energy);
+            stats.pump_stall += stall.to_ns();
+            stats.makespan = Ns(stats.makespan.as_f64().max(done.to_ns().as_f64()));
+
+            commands.push(ScheduledCommand {
+                seq: commands.len(),
+                bank: *bank,
+                index_in_bank: cursors[i],
+                class: profile.class,
+                start,
+                done,
+                pump_stall: stall,
+            });
+            cursors[i] += 1;
+        }
+
+        let bank_done = merged
+            .iter()
+            .enumerate()
+            .map(|(i, (bank, _))| (*bank, banks[i].busy_until()))
+            .collect();
+        Ok(Schedule { commands, stats, bank_done })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::Ddr3Timing;
+
+    fn t() -> Ddr3Timing {
+        Ddr3Timing::ddr3_1600()
+    }
+
+    #[test]
+    fn single_bank_serializes_and_makespan_equals_busy() {
+        let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+        let s = sched.schedule(&[(0, vec![CommandProfile::ap(&t()); 5])]).unwrap();
+        assert_eq!(s.commands.len(), 5);
+        assert!((s.stats.makespan.as_f64() - s.stats.busy_time.as_f64()).abs() < 1e-9);
+        // Back-to-back, no gaps.
+        for w in s.commands.windows(2) {
+            assert_eq!(w[0].done, w[1].start);
+        }
+    }
+
+    #[test]
+    fn banks_overlap_when_unconstrained() {
+        let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+        let streams: Vec<_> = (0..8).map(|b| (b, vec![CommandProfile::ap(&t()); 4])).collect();
+        let s = sched.schedule(&streams).unwrap();
+        let expect = CommandProfile::ap(&t()).duration.as_f64() * 4.0;
+        assert!((s.stats.makespan.as_f64() - expect).abs() < 0.01);
+        assert!((s.stats.busy_time.as_f64() - expect * 8.0).abs() < 0.01);
+        assert_eq!(s.stats.pump_stall, Ns::ZERO);
+    }
+
+    #[test]
+    fn issue_order_round_robins_by_bank_index() {
+        let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+        // Input deliberately out of order: the schedule must not care.
+        let streams = vec![
+            (2, vec![CommandProfile::ap(&t()); 2]),
+            (0, vec![CommandProfile::ap(&t()); 2]),
+            (1, vec![CommandProfile::ap(&t()); 2]),
+        ];
+        let s = sched.schedule(&streams).unwrap();
+        let order: Vec<usize> = s.commands.iter().map(|c| c.bank).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn identical_inputs_produce_identical_schedules() {
+        let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let streams: Vec<_> = (0..8).map(|b| (b, vec![CommandProfile::aap(&t()); 6])).collect();
+        let a = sched.schedule(&streams).unwrap();
+        let b = sched.schedule(&streams).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pump_constraint_inserts_recorded_stalls() {
+        let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let streams: Vec<_> = (0..8).map(|b| (b, vec![CommandProfile::ap(&t()); 8])).collect();
+        let s = sched.schedule(&streams).unwrap();
+        assert!(s.stats.pump_stall.as_f64() > 0.0);
+        let first = s.first_stall().expect("8 concurrent AP streams must stall");
+        // The JEDEC budget admits 4 activates per 40 ns window; the fifth
+        // command is the first deferred one.
+        assert_eq!(first.seq, 4);
+        // Sum of per-command stalls must equal the aggregate.
+        let total: f64 = s.commands.iter().map(|c| c.pump_stall.to_ns().as_f64()).sum();
+        assert!((total - s.stats.pump_stall.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_bank_entries_merge_in_order() {
+        let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+        let ap = CommandProfile::ap(&t());
+        let app = CommandProfile::app(&t());
+        let s = sched.schedule(&[(0, vec![ap.clone()]), (0, vec![app.clone()])]).unwrap();
+        assert_eq!(s.commands.len(), 2);
+        assert_eq!(s.commands[0].class, CommandClass::Ap);
+        assert_eq!(s.commands[1].class, CommandClass::App);
+        // One bank: fully serialized.
+        assert_eq!(s.commands[1].start, s.commands[0].done);
+    }
+
+    #[test]
+    fn agrees_with_event_driven_controller() {
+        // The stateless scheduler and the stateful controller implement
+        // the same issue rules; from an idle rank they must agree on the
+        // makespan.
+        use crate::controller::Controller;
+        for budget in [PumpBudget::unconstrained(), PumpBudget::jedec_ddr3_1600()] {
+            let streams: Vec<_> = (0..8)
+                .map(|b| {
+                    (
+                        b,
+                        vec![
+                            CommandProfile::aap(&t()),
+                            CommandProfile::app(&t()),
+                            CommandProfile::ap(&t()),
+                        ],
+                    )
+                })
+                .collect();
+            let s = InterleavedScheduler::new(budget.clone()).schedule(&streams).unwrap();
+            let mut c = Controller::new(8, budget);
+            let cs = c.run_streams(&streams).unwrap();
+            assert!(
+                (s.stats.makespan.as_f64() - cs.makespan.as_f64()).abs() < 1e-6,
+                "scheduler {} vs controller {}",
+                s.stats.makespan,
+                cs.makespan
+            );
+            assert!((s.stats.pump_stall.as_f64() - cs.pump_stall.as_f64()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_schedule() {
+        let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let s = sched.schedule(&[]).unwrap();
+        assert!(s.commands.is_empty());
+        assert_eq!(s.stats.total_commands(), 0);
+        assert_eq!(s.stats.makespan, Ns::ZERO);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`bank`] and [`controller`] — an event-driven multi-bank simulator that
 //!   issues command streams under the pump constraint and accounts time,
 //!   energy and row activations.
+//! * [`interleave`] — a stateless, deterministic scheduler over per-bank
+//!   command streams, producing an exact bus trace and the true wall-clock
+//!   makespan for the batch execution layer.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ pub mod constraint;
 pub mod controller;
 pub mod error;
 pub mod geometry;
+pub mod interleave;
 pub mod power;
 pub mod stats;
 pub mod timing;
@@ -47,6 +51,7 @@ pub use constraint::PumpBudget;
 pub use controller::Controller;
 pub use error::DramError;
 pub use geometry::{Geometry, RowAddr};
+pub use interleave::{InterleavedScheduler, Schedule, ScheduledCommand};
 pub use power::PowerModel;
 pub use stats::RunStats;
 pub use timing::Ddr3Timing;

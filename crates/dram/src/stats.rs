@@ -30,13 +30,7 @@ impl RunStats {
     }
 
     /// Records one command.
-    pub fn record(
-        &mut self,
-        class: CommandClass,
-        duration: Ns,
-        wordlines: u8,
-        energy: Picojoules,
-    ) {
+    pub fn record(&mut self, class: CommandClass, duration: Ns, wordlines: u8, energy: Picojoules) {
         *self.commands.entry(class.to_string()).or_insert(0) += 1;
         self.wordline_activations += u64::from(wordlines);
         self.busy_time += duration;
@@ -75,13 +69,15 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} commands, {} wordline activations, busy {}, makespan {}, {}",
+            "{} commands, {} wordline activations, busy {}, {}",
             self.total_commands(),
             self.wordline_activations,
             self.busy_time,
-            self.makespan,
             self.energy
         )?;
+        if self.makespan.as_f64() > 0.0 {
+            write!(f, ", makespan {}", self.makespan)?;
+        }
         if self.pump_stall.as_f64() > 0.0 {
             write!(f, ", pump stall {}", self.pump_stall)?;
         }

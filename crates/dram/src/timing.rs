@@ -201,10 +201,7 @@ mod tests {
         let app_ap = t.app() + t.ap();
         let ap_ap = t.ap() + t.ap();
         let overhead = app_ap / ap_ap - 1.0;
-        assert!(
-            (0.15..=0.20).contains(&overhead),
-            "APP-AP overhead = {overhead:.3}"
-        );
+        assert!((0.15..=0.20).contains(&overhead), "APP-AP overhead = {overhead:.3}");
     }
 
     /// §4.2.1: oAPP saves ~21 % vs APP; §4.2.2: tAPP saves ~31 %.
@@ -214,10 +211,7 @@ mod tests {
         let o_saving = 1.0 - t.o_app() / t.app();
         let trim_saving = 1.0 - t.t_app() / t.app();
         assert!((0.18..=0.24).contains(&o_saving), "oAPP saving {o_saving}");
-        assert!(
-            (0.28..=0.34).contains(&trim_saving),
-            "tAPP saving {trim_saving}"
-        );
+        assert!((0.28..=0.34).contains(&trim_saving), "tAPP saving {trim_saving}");
     }
 
     #[test]

@@ -36,10 +36,7 @@ impl Ns {
     ///
     /// Panics if the duration is negative or not finite.
     pub fn to_ps(self) -> Ps {
-        assert!(
-            self.0.is_finite() && self.0 >= 0.0,
-            "cannot convert {self} to picoseconds"
-        );
+        assert!(self.0.is_finite() && self.0 >= 0.0, "cannot convert {self} to picoseconds");
         Ps((self.0 * 1000.0).round() as u64)
     }
 

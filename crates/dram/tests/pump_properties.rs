@@ -28,7 +28,7 @@ proptest! {
         let mut w = PumpWindow::new(budget());
         let mut now = Ps::ZERO;
         for (d, c) in deltas.iter().zip(&costs) {
-            now = now + Ps(*d);
+            now += Ps(*d);
             let mut t = now;
             // Retry until admitted; each deferral must move time forward.
             for _ in 0..1000 {
@@ -55,7 +55,7 @@ proptest! {
         let mut now = Ps::ZERO;
         for c in costs {
             prop_assert!(w.try_admit(now, c).is_ok());
-            now = now + window;
+            now += window;
         }
     }
 

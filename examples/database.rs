@@ -22,8 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let queries = [
         QueryPredicate::cmp("age", Predicate::Lt, 30),
-        QueryPredicate::cmp("age", Predicate::Ge, 18)
-            .and(QueryPredicate::cmp("score", Predicate::Gt, 40)),
+        QueryPredicate::cmp("age", Predicate::Ge, 18).and(QueryPredicate::cmp(
+            "score",
+            Predicate::Gt,
+            40,
+        )),
         QueryPredicate::cmp("region", Predicate::Eq, 2)
             .or(QueryPredicate::cmp("region", Predicate::Eq, 5))
             .and(QueryPredicate::cmp("age", Predicate::Ge, 65).negate()),

@@ -7,8 +7,8 @@ use elp2im::core::bitvec::BitVec;
 use elp2im::core::compile::CompileMode;
 use elp2im::core::expr::{compile_expr, Expr, ExprOperands};
 use elp2im::core::module::{Elp2imModule, ModuleConfig};
-use elp2im::core::validate::{validate, SubarrayShape};
 use elp2im::core::optimizer::PhysRow;
+use elp2im::core::validate::{validate, SubarrayShape};
 use elp2im::dram::timing::Ddr3Timing;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

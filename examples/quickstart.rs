@@ -44,9 +44,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The substrate accounting shows what the DRAM actually did.
     let stats = dev.stats();
     println!("\nsubstrate: {stats}");
-    println!(
-        "average latency per operation: {:.1} ns",
-        stats.busy_time.as_f64() / 7.0
-    );
+    println!("average latency per operation: {:.1} ns", stats.busy_time.as_f64() / 7.0);
     Ok(())
 }

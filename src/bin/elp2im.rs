@@ -119,10 +119,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if trace {
         println!("trace:");
         for entry in e.trace() {
-            println!(
-                "  #{:<3} t={:>8}  {}",
-                entry.index, entry.start, entry.primitive
-            );
+            println!("  #{:<3} t={:>8}  {}", entry.index, entry.start, entry.primitive);
         }
     }
     eprintln!("[{}]", e.stats());
@@ -146,10 +143,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 };
             }
             "--buffers" => {
-                buffers = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .ok_or("bad --buffers value")?;
+                buffers = it.next().and_then(|n| n.parse().ok()).ok_or("bad --buffers value")?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

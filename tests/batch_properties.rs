@@ -1,0 +1,145 @@
+//! Property-based tests over the bank-parallel batch execution layer:
+//! sharded execution is bit-identical to single-bank execution (and to
+//! software Boolean logic) for arbitrary widths, bank counts, and data,
+//! and the scheduled wall-clock makespan never exceeds what serial
+//! execution would take.
+
+use elp2im::core::batch::{BatchConfig, DeviceArray};
+use elp2im::core::bitvec::BitVec;
+use elp2im::core::compile::{CompileMode, LogicOp};
+use elp2im::dram::constraint::PumpBudget;
+use elp2im::dram::geometry::Geometry;
+use proptest::prelude::*;
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+fn binary_ops() -> impl Strategy<Value = LogicOp> {
+    prop_oneof![
+        Just(LogicOp::And),
+        Just(LogicOp::Or),
+        Just(LogicOp::Nand),
+        Just(LogicOp::Nor),
+        Just(LogicOp::Xor),
+        Just(LogicOp::Xnor),
+    ]
+}
+
+fn array(banks: usize, budget: PumpBudget) -> DeviceArray {
+    DeviceArray::new(BatchConfig {
+        // 64-bit rows keep vectors multi-stripe even at small lengths.
+        geometry: Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 64, row_bytes: 8 },
+        reserved_rows: 1,
+        mode: CompileMode::LowLatency,
+        budget,
+    })
+}
+
+fn run_once(
+    banks: usize,
+    budget: PumpBudget,
+    op: LogicOp,
+    a: &BitVec,
+    b: &BitVec,
+) -> (BitVec, elp2im::core::batch::BatchRun) {
+    let mut m = array(banks, budget);
+    let ha = m.store(a).unwrap();
+    let hb = m.store(b).unwrap();
+    let (hc, run) = m.binary(op, ha, hb).unwrap();
+    (m.load(hc).unwrap(), run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharding across 2..=8 banks produces exactly the bits a
+    /// single-bank (fully serial placement) array produces, which in turn
+    /// match software Boolean logic.
+    #[test]
+    fn sharded_execution_is_bit_identical_to_single_bank(
+        banks in 2usize..=8,
+        bits in 1usize..=700,
+        op in binary_ops(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut data = bitvec_strategy(2 * bits)
+            .sample(&mut proptest::test_runner::TestRng::deterministic(&seed.to_string()));
+        let b = BitVec::from_bools(&data.to_bools()[bits..]);
+        data = BitVec::from_bools(&data.to_bools()[..bits]);
+        let a = data;
+
+        let (wide, _) = run_once(banks, PumpBudget::unconstrained(), op, &a, &b);
+        let (narrow, _) = run_once(1, PumpBudget::unconstrained(), op, &a, &b);
+        prop_assert_eq!(&wide, &narrow, "{} banks vs 1 bank", banks);
+
+        let software: BitVec = (0..bits).map(|i| op.eval(a.get(i), b.get(i))).collect();
+        prop_assert_eq!(wide, software);
+    }
+
+    /// The scheduled makespan never exceeds serial execution: without the
+    /// pump constraint `makespan <= busy_time` outright, and under the
+    /// JEDEC window the excess is exactly bounded by the recorded stalls.
+    #[test]
+    fn makespan_never_exceeds_serial_time(
+        banks in 1usize..=8,
+        stripes in 1usize..=12,
+        op in binary_ops(),
+    ) {
+        let bits = 64 * stripes;
+        let a = BitVec::ones(bits);
+        let b: BitVec = (0..bits).map(|i| i % 3 == 0).collect();
+
+        let (_, free) = run_once(banks, PumpBudget::unconstrained(), op, &a, &b);
+        let fs = free.stats();
+        prop_assert!(fs.pump_stall.as_f64() == 0.0);
+        prop_assert!(
+            fs.makespan.as_f64() <= fs.busy_time.as_f64() * (1.0 + 1e-9),
+            "makespan {} > busy {}", fs.makespan, fs.busy_time
+        );
+
+        let (_, tight) = run_once(banks, PumpBudget::jedec_ddr3_1600(), op, &a, &b);
+        let ts = tight.stats();
+        prop_assert!(
+            ts.makespan.as_f64()
+                <= (ts.busy_time.as_f64() + ts.pump_stall.as_f64()) * (1.0 + 1e-9),
+            "makespan {} > busy {} + stalls {}", ts.makespan, ts.busy_time, ts.pump_stall
+        );
+        // Constraining the pump can only slow the batch down.
+        prop_assert!(ts.makespan.as_f64() >= fs.makespan.as_f64() * (1.0 - 1e-9));
+    }
+
+    /// Striping round-trips exactly for arbitrary lengths and bank counts.
+    #[test]
+    fn store_load_roundtrip(
+        banks in 1usize..=8,
+        bits in 1usize..=700,
+        seed in 0u64..u64::MAX,
+    ) {
+        let v = bitvec_strategy(bits)
+            .sample(&mut proptest::test_runner::TestRng::deterministic(&seed.to_string()));
+        let mut m = array(banks, PumpBudget::unconstrained());
+        let h = m.store(&v).unwrap();
+        prop_assert_eq!(m.load(h).unwrap(), v);
+    }
+
+    /// With more stripes than banks, every bank carries work and the
+    /// unconstrained makespan shrinks by the full bank count.
+    #[test]
+    fn makespan_scales_with_banks(
+        banks in 2usize..=8,
+        waves in 1usize..=4,
+    ) {
+        let bits = 64 * banks * waves;
+        let a = BitVec::ones(bits);
+        let b = BitVec::zeros(bits);
+        let (_, run) = run_once(banks, PumpBudget::unconstrained(), LogicOp::And, &a, &b);
+        let s = run.stats();
+        prop_assert_eq!(run.banks_used, banks);
+        let speedup = s.busy_time.as_f64() / s.makespan.as_f64();
+        prop_assert!(
+            (speedup - banks as f64).abs() < 1e-6,
+            "expected {}x speedup, got {:.4}x", banks, speedup
+        );
+    }
+}

@@ -18,11 +18,8 @@ fn functional_app_ap(op: BasicOp, a: bool, b: bool) -> bool {
         BasicOp::Or => RegulateMode::Or,
         BasicOp::And => RegulateMode::And,
     };
-    e.run(&[
-        Primitive::App { row: RowRef::Data(0), mode },
-        Primitive::Ap { row: RowRef::Data(1) },
-    ])
-    .unwrap();
+    e.run(&[Primitive::App { row: RowRef::Data(0), mode }, Primitive::Ap { row: RowRef::Data(1) }])
+        .unwrap();
     e.row(RowRef::Data(1)).unwrap().get(0)
 }
 
@@ -97,11 +94,8 @@ fn circuit_tra_matches_ambit_engine() {
             amb.write_row(i, BitVec::from_bools(&[b])).unwrap();
         }
         for i in 0..3 {
-            amb.execute(&AmbitCmd::Aap {
-                src: AmbitRow::Data(i),
-                dsts: vec![AmbitRow::T(i)],
-            })
-            .unwrap();
+            amb.execute(&AmbitCmd::Aap { src: AmbitRow::Data(i), dsts: vec![AmbitRow::T(i)] })
+                .unwrap();
         }
         amb.execute(&AmbitCmd::Tra { rows: [AmbitRow::T(0), AmbitRow::T(1), AmbitRow::T(2)] })
             .unwrap();

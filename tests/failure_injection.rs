@@ -5,10 +5,13 @@
 
 use elp2im::circuit::montecarlo::{Design, MonteCarlo};
 use elp2im::circuit::variation::PvMode;
+use elp2im::core::batch::{BatchConfig, DeviceArray};
 use elp2im::core::bitvec::BitVec;
-use elp2im::core::compile::{xor_sequence, Operands};
+use elp2im::core::compile::{xor_sequence, CompileMode, LogicOp, Operands};
 use elp2im::core::engine::SubarrayEngine;
 use elp2im::core::primitive::{Primitive, RegulateMode, RowRef};
+use elp2im::dram::constraint::PumpBudget;
+use elp2im::dram::geometry::Geometry;
 
 fn engine_with(a: &BitVec, b: &BitVec) -> SubarrayEngine {
     let mut e = SubarrayEngine::new(a.len(), 8, 2);
@@ -98,4 +101,90 @@ fn fault_rate_scales_with_mc_error_rate() {
     .unwrap();
     let wrong = width - e.row(RowRef::Data(1)).unwrap().count_ones();
     assert_eq!(wrong, injected, "every injected fault surfaces through OR");
+}
+
+fn four_bank_array() -> DeviceArray {
+    DeviceArray::new(BatchConfig {
+        geometry: Geometry { banks: 4, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 8 },
+        reserved_rows: 1,
+        mode: CompileMode::LowLatency,
+        budget: PumpBudget::unconstrained(),
+    })
+}
+
+/// Banks are physically independent: a sensing fault injected into one
+/// bank's stripe of a sharded operand corrupts only that stripe of the
+/// merged result — every bit served by the other banks is exact.
+#[test]
+fn bank_fault_corrupts_only_its_stripe_of_merged_result() {
+    let mut clean = four_bank_array();
+    let mut faulty = four_bank_array();
+    let rb = clean.row_bits();
+    let bits = rb * 8; // two stripes per bank
+    let a: BitVec = (0..bits).map(|i| i % 3 == 0).collect();
+    let b: BitVec = (0..bits).map(|i| i % 5 != 0).collect();
+
+    let run = |m: &mut DeviceArray, fault: Option<usize>| -> BitVec {
+        let ha = m.store(&a).unwrap();
+        let hb = m.store(&b).unwrap();
+        if let Some(bit) = fault {
+            let stripe = m.inject_bit_error(ha, bit).unwrap();
+            // Bit `rb + 7` lives in the second stripe → bank 1.
+            assert_eq!(stripe.bank, 1, "fault must land in bank 1's stripe");
+        }
+        let (hc, _) = m.binary(LogicOp::Xor, ha, hb).unwrap();
+        m.load(hc).unwrap()
+    };
+
+    let fault_bit = rb + 7;
+    let clean_result = run(&mut clean, None);
+    assert_eq!(clean_result, a.xor(&b));
+    let faulty_result = run(&mut faulty, Some(fault_bit));
+
+    let diff = clean_result.xor(&faulty_result);
+    assert_eq!(diff.count_ones(), 1, "exactly one result bit flips");
+    assert!(diff.get(fault_bit), "the flip is at the faulted bit");
+    // Every bit outside bank 1's stripes is untouched — in particular the
+    // whole of banks 0, 2, and 3.
+    for i in 0..bits {
+        let bank = (i / rb) % 4;
+        if bank != 1 {
+            assert_eq!(faulty_result.get(i), clean_result.get(i), "bit {i} (bank {bank})");
+        }
+    }
+}
+
+/// Faults in different banks are independent: injecting into two banks
+/// corrupts exactly the two faulted stripes, and re-running the operation
+/// with fresh operands on the same array is clean again (fault state does
+/// not leak across stored vectors).
+#[test]
+fn bank_faults_are_independent_and_do_not_leak() {
+    let mut m = four_bank_array();
+    let rb = m.row_bits();
+    let bits = rb * 4; // one stripe per bank
+    let a = BitVec::ones(bits);
+    let b = BitVec::zeros(bits);
+
+    let ha = m.store(&a).unwrap();
+    let hb = m.store(&b).unwrap();
+    let s0 = m.inject_bit_error(ha, 3).unwrap(); // stripe 0 → bank 0
+    let s2 = m.inject_bit_error(ha, 2 * rb + 5).unwrap(); // stripe 2 → bank 2
+    assert_eq!((s0.bank, s2.bank), (0, 2));
+    let (hc, _) = m.binary(LogicOp::And, ha, hb).unwrap();
+    let result = m.load(hc).unwrap();
+    // AND with zeros masks the faults entirely (0 & x = 0)...
+    assert!(result.is_zero(), "AND with zeros masks both faults");
+    // ...but OR exposes exactly the two faulted columns, one per bank.
+    let (ho, _) = m.binary(LogicOp::Or, ha, hb).unwrap();
+    let exposed = m.load(ho).unwrap();
+    let diff = a.xor(&exposed);
+    assert_eq!(diff.count_ones(), 2, "exactly the two injected faults surface");
+    assert!(diff.get(3) && diff.get(2 * rb + 5));
+
+    // Fresh operands on the same array are unaffected by the old faults.
+    let hx = m.store(&a).unwrap();
+    let hy = m.store(&b).unwrap();
+    let (hz, _) = m.binary(LogicOp::Or, hx, hy).unwrap();
+    assert_eq!(m.load(hz).unwrap(), a, "fault state must not leak to new vectors");
 }

@@ -1,10 +1,16 @@
 //! Golden tests pinning the exact primitive sequences the compiler emits
-//! (in the paper's `prmt([dst],src)` notation). Any change to these
-//! strings is a change to the architecture's command stream and must be
-//! deliberate.
+//! (in the paper's `prmt([dst],src)` notation) and the exact interleaved
+//! bus schedules the batch layer produces from them. Any change to these
+//! strings or instants is a change to the architecture's command stream
+//! and must be deliberate.
 
+use elp2im::core::batch::{BatchConfig, DeviceArray};
+use elp2im::core::bitvec::BitVec;
 use elp2im::core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
 use elp2im::core::parse::parse_program;
+use elp2im::dram::constraint::PumpBudget;
+use elp2im::dram::geometry::Geometry;
+use elp2im::dram::units::Ps;
 
 fn text_of(op: LogicOp, mode: CompileMode, reserved: usize) -> String {
     let prog = compile(op, mode, Operands::standard(), reserved).unwrap();
@@ -58,11 +64,108 @@ fn golden_xor_seq6() {
     );
 }
 
+/// A two-bank DeviceArray with one stripe per bank, for schedule goldens.
+fn two_bank_array(budget: PumpBudget) -> DeviceArray {
+    DeviceArray::new(BatchConfig {
+        geometry: Geometry { banks: 2, subarrays_per_bank: 1, rows_per_subarray: 32, row_bytes: 8 },
+        reserved_rows: 1,
+        mode: CompileMode::LowLatency,
+        budget,
+    })
+}
+
+/// Runs one binary op over operands spanning both banks and returns the
+/// bus trace as `(bank, class, start, stall)` tuples plus the makespan.
+fn traced_op(budget: PumpBudget, op: LogicOp) -> (Vec<(usize, String, Ps, Ps)>, Ps) {
+    let mut array = two_bank_array(budget);
+    let bits = array.row_bits() * 2;
+    let a = array.store(&BitVec::ones(bits)).unwrap();
+    let b = array.store(&BitVec::zeros(bits)).unwrap();
+    let (_, run) = array.binary(op, a, b).unwrap();
+    let trace = run
+        .schedule
+        .commands
+        .iter()
+        .map(|c| (c.bank, c.class.to_string(), c.start, c.pump_stall))
+        .collect();
+    (trace, run.schedule.stats.makespan.to_ps())
+}
+
+/// Two banks each run the low-latency AND stream oAAP-oAPP-oAAP
+/// (Table 1: oAAP = 52.75 ns, oAPP = 52.875 ns). Without the pump
+/// constraint the banks proceed in lockstep — both issue each command at
+/// the same instant — and the makespan is one bank's serial 158.375 ns.
+#[test]
+fn golden_two_bank_and_schedule_unconstrained() {
+    let (trace, makespan) = traced_op(PumpBudget::unconstrained(), LogicOp::And);
+    let z = Ps::ZERO;
+    assert_eq!(
+        trace,
+        vec![
+            (0, "oAAP".into(), Ps(0), z),
+            (1, "oAAP".into(), Ps(0), z),
+            (0, "oAPP".into(), Ps(52_750), z),
+            (1, "oAPP".into(), Ps(52_750), z),
+            (0, "oAAP".into(), Ps(105_625), z),
+            (1, "oAAP".into(), Ps(105_625), z),
+        ]
+    );
+    assert_eq!(makespan, Ps(158_375));
+}
+
+/// The same AND workload under the JEDEC four-activate window. The two
+/// concurrent oAAPs at t = 0 would draw 2 × 2.22 = 4.44 tokens > 4, so
+/// the scheduler inserts the stall exactly at the second command (seq 1),
+/// deferring bank 1 by one full tFAW (40 ns); every later command fits in
+/// the staggered window and the streams never re-align.
+#[test]
+fn golden_two_bank_and_schedule_jedec_stall() {
+    let (trace, makespan) = traced_op(PumpBudget::jedec_ddr3_1600(), LogicOp::And);
+    let z = Ps::ZERO;
+    assert_eq!(
+        trace,
+        vec![
+            (0, "oAAP".into(), Ps(0), z),
+            // The stall: admitted only once the t = 0 draw leaves the
+            // 40 ns window.
+            (1, "oAAP".into(), Ps(40_000), Ps(40_000)),
+            (0, "oAPP".into(), Ps(52_750), z),
+            (1, "oAPP".into(), Ps(92_750), z),
+            (0, "oAAP".into(), Ps(105_625), z),
+            (1, "oAAP".into(), Ps(145_625), z),
+        ]
+    );
+    // Bank 1 finishes at 145.625 + 52.75 = 198.375 ns.
+    assert_eq!(makespan, Ps(198_375));
+}
+
+/// Two banks each run the seven-command low-latency XOR stream
+/// (oAAP-oAPP-oAAP-oAAP-oAPP-otAPP-AP; otAPP = 31.875 ns, AP = 48.75 ns).
+/// Unconstrained, the banks stay in lockstep for all seven commands and
+/// the makespan is one bank's serial 344.625 ns.
+#[test]
+fn golden_two_bank_xor_schedule_unconstrained() {
+    let (trace, makespan) = traced_op(PumpBudget::unconstrained(), LogicOp::Xor);
+    let expected_classes = ["oAAP", "oAPP", "oAAP", "oAAP", "oAPP", "otAPP", "AP"];
+    let expected_starts =
+        [Ps(0), Ps(52_750), Ps(105_625), Ps(158_375), Ps(211_125), Ps(264_000), Ps(295_875)];
+    let mut expected = Vec::new();
+    for (cls, start) in expected_classes.iter().zip(expected_starts) {
+        for bank in 0..2 {
+            expected.push((bank, (*cls).to_string(), start, Ps::ZERO));
+        }
+    }
+    assert_eq!(trace, expected);
+    assert_eq!(makespan, Ps(344_625));
+}
+
 /// Every golden sequence round-trips through the §5.1 parser.
 #[test]
 fn golden_sequences_parse_back() {
     for op in LogicOp::ALL {
-        for (mode, reserved) in [(CompileMode::LowLatency, 2usize), (CompileMode::HighThroughput, 1)] {
+        for (mode, reserved) in
+            [(CompileMode::LowLatency, 2usize), (CompileMode::HighThroughput, 1)]
+        {
             let prog = compile(op, mode, Operands::standard(), reserved).unwrap();
             let text: Vec<String> = prog.primitives().iter().map(|p| p.to_string()).collect();
             let reparsed = parse_program("x", &text.join(" ; ")).unwrap();

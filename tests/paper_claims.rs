@@ -23,10 +23,7 @@ fn abstract_claim_power_efficiency() {
         profiles.iter().map(|p| elp.power.command_energy(p).as_f64()).sum::<f64>()
     };
     let e_ambit = ambit.op_energy(LogicOp::And).as_f64();
-    assert!(
-        e_ambit / e_elp > 2.0,
-        "energy per AND: ambit {e_ambit:.0} pJ vs elp2im {e_elp:.0} pJ"
-    );
+    assert!(e_ambit / e_elp > 2.0, "energy per AND: ambit {e_ambit:.0} pJ vs elp2im {e_elp:.0} pJ");
 }
 
 /// §1: "we shorten the average latency by up to 1.23×" (basic ops, with
@@ -75,8 +72,8 @@ fn conclusion_claim_constrained_throughput() {
     let ts = TableScanStudy::paper_setup();
     let elp = PimBackend::elp2im_high_throughput();
     let ambit = PimBackend::ambit();
-    let bitmap_gain = bitmap.device_throughput_bits_per_ns(&elp)
-        / bitmap.device_throughput_bits_per_ns(&ambit);
+    let bitmap_gain =
+        bitmap.device_throughput_bits_per_ns(&elp) / bitmap.device_throughput_bits_per_ns(&ambit);
     let scan_gain = ts.device_throughput(&elp, 16) / ts.device_throughput(&ambit, 16);
     let best = bitmap_gain.max(scan_gain);
     assert!(

@@ -53,7 +53,9 @@ fn random_primitive() -> impl Strategy<Value = elp2im::core::primitive::Primitiv
     ]
 }
 
-fn random_program(max_len: usize) -> impl Strategy<Value = Vec<elp2im::core::primitive::Primitive>> {
+fn random_program(
+    max_len: usize,
+) -> impl Strategy<Value = Vec<elp2im::core::primitive::Primitive>> {
     proptest::collection::vec(random_primitive(), 1..max_len)
 }
 

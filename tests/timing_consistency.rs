@@ -78,10 +78,7 @@ fn analytic_parallelism_matches_event_driven_simulation() {
             err < tolerance,
             "{label}: analytic {analytic:.2} banks vs simulated {effective:.2}"
         );
-        assert!(
-            effective <= analytic * 1.05,
-            "{label}: simulation must not beat the fluid bound"
-        );
+        assert!(effective <= analytic * 1.05, "{label}: simulation must not beat the fluid bound");
     }
 }
 

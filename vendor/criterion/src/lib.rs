@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: `Criterion::{bench_function, benchmark_group}`, groups with
+//! `throughput`/`bench_with_input`/`bench_function`/`finish`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/
+//! `criterion_main!` macros. Each benchmark is timed with
+//! `std::time::Instant` over an adaptively chosen iteration count and the
+//! median per-iteration time is printed as text (no statistics engine, no
+//! HTML reports).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration workload metric, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    /// Measured per-iteration wall-clock time.
+    sample: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median-of-samples per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single-iteration cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~20 ms of measurement, capped to keep suites quick.
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.sample = samples[samples.len() / 2];
+        self.iters_done = iters * 5;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, sample: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} {:>12}/iter", fmt_duration(sample));
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| n as f64 / sample.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.3} Melem/s", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { sample: Duration::ZERO, iters_done: 0 };
+    f(&mut b);
+    report(name, b.sample, throughput);
+}
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: R) -> &mut Self {
+        run_one(name, None, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: R,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        trivial(&mut Criterion::default());
+    }
+}
