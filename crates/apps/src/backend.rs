@@ -15,6 +15,7 @@ use elp2im_dram::command::CommandProfile;
 use elp2im_dram::constraint::PumpBudget;
 use elp2im_dram::geometry::Geometry;
 use elp2im_dram::power::PowerModel;
+use elp2im_dram::telemetry::TraceSink;
 use elp2im_dram::timing::Ddr3Timing;
 use elp2im_dram::units::{Ns, Picojoules};
 use std::fmt;
@@ -305,6 +306,35 @@ impl PimBackend {
             Ok((array.load(hc)?, run))
         })())
     }
+
+    /// Like [`PimBackend::simulate_binary`], but records every scheduled
+    /// command into `sink` and hands the sink back along with the result,
+    /// so callers can export the trace (see `elp2im-dram::telemetry`).
+    /// `None` for non-ELP2IM designs.
+    ///
+    /// # Errors
+    ///
+    /// The inner result propagates width, capacity, and compilation errors
+    /// from the batch layer; the sink is returned in either case.
+    #[allow(clippy::type_complexity)]
+    pub fn simulate_binary_traced(
+        &self,
+        op: LogicOp,
+        a: &BitVec,
+        b: &BitVec,
+        sink: Box<dyn TraceSink>,
+    ) -> Option<(Result<(BitVec, BatchRun), CoreError>, Box<dyn TraceSink>)> {
+        let mut array = self.device_array()?;
+        array.set_trace_sink(sink);
+        let result = (|| {
+            let ha = array.store(a)?;
+            let hb = array.store(b)?;
+            let (hc, run) = array.binary(op, ha, hb)?;
+            Ok((array.load(hc)?, run))
+        })();
+        let sink = array.take_trace_sink().expect("sink installed above");
+        Some((result, sink))
+    }
 }
 
 #[cfg(test)]
@@ -460,6 +490,29 @@ mod tests {
             "analytic {analytic:.2} vs simulated {effective:.2}"
         );
         assert!(s.pump_stall.as_f64() > 0.0, "JEDEC budget must bite");
+    }
+
+    /// The traced run must match the untraced one bit-for-bit and hand
+    /// back a sink holding one event per scheduled command.
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        use elp2im_dram::telemetry::MemorySink;
+        let mut backend = PimBackend::elp2im_high_throughput().without_power_constraint();
+        backend.geometry =
+            Geometry { banks: 8, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 64 };
+        let bits = backend.row_bits() * 8;
+        let a: BitVec = (0..bits).map(|i| i % 3 == 0).collect();
+        let b: BitVec = (0..bits).map(|i| i % 5 == 0).collect();
+        let (plain, run) = backend.simulate_binary(LogicOp::Xor, &a, &b).unwrap().unwrap();
+        let (traced, sink) = backend
+            .simulate_binary_traced(LogicOp::Xor, &a, &b, Box::new(MemorySink::new()))
+            .unwrap();
+        let (got, run_traced) = traced.unwrap();
+        assert_eq!(got, plain);
+        assert_eq!(run.stats(), run_traced.stats());
+        let mem = sink.as_any().downcast_ref::<MemorySink>().unwrap();
+        assert_eq!(mem.len(), run_traced.schedule.commands.len());
+        assert_eq!(mem.metrics.total_commands(), run_traced.stats().total_commands());
     }
 
     #[test]

@@ -157,10 +157,8 @@ pub fn run_queries_batch(
     let mut total = RunStats::new();
     let chain = |array: &mut DeviceArray, total: &mut RunStats, a, b| {
         array.binary(LogicOp::And, a, b).map(|(h, run)| {
-            let prior = total.makespan;
-            total.merge(run.stats());
             // The chain is sequentially dependent: makespans add.
-            total.makespan = prior + run.stats().makespan;
+            total.merge_sequential(run.stats());
             h
         })
     };

@@ -96,5 +96,51 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_makespan_scaling, bench_scheduler);
+/// Telemetry overhead on the hot scheduling path: the same 8-bank mixed
+/// stream scheduled with no sink argument, with the zero-cost
+/// [`NullSink`], and with a recording [`MemorySink`]. The first two must
+/// be indistinguishable (the generic `schedule_with` monomorphizes the
+/// no-op recorder away); the third pays for event storage.
+fn bench_sink_overhead(c: &mut Criterion) {
+    use elp2im_dram::command::CommandProfile;
+    use elp2im_dram::interleave::InterleavedScheduler;
+    use elp2im_dram::telemetry::{MemorySink, NullSink};
+    use elp2im_dram::timing::Ddr3Timing;
+
+    let t = Ddr3Timing::ddr3_1600();
+    let streams: Vec<_> = (0..8usize)
+        .map(|b| {
+            let mut v = Vec::new();
+            for _ in 0..64 {
+                v.push(CommandProfile::aap(&t));
+                v.push(CommandProfile::app(&t));
+                v.push(CommandProfile::ap(&t));
+            }
+            (b, v)
+        })
+        .collect();
+    let total: usize = streams.iter().map(|(_, v)| v.len()).sum();
+    let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+
+    let mut group = c.benchmark_group("scheduler_sink");
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("untraced", |bch| {
+        bch.iter(|| std::hint::black_box(sched.schedule(&streams).unwrap()));
+    });
+    group.bench_function("null_sink", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(sched.schedule_with(&streams, &mut NullSink).unwrap());
+        });
+    });
+    group.bench_function("memory_sink", |bch| {
+        bch.iter(|| {
+            let mut sink = MemorySink::new();
+            let s = sched.schedule_with(&streams, &mut sink).unwrap();
+            std::hint::black_box((s, sink.len()));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_makespan_scaling, bench_scheduler, bench_sink_overhead);
 criterion_main!(benches);

@@ -1,29 +1,62 @@
 //! Runs every table/figure experiment in paper order.
 //!
-//! Flags: `--quick` shrinks Monte-Carlo trial counts; `--csv <dir>` also
-//! writes one CSV file per experiment into `<dir>`.
+//! Flags:
+//!
+//! * `--quick` shrinks Monte-Carlo trial counts;
+//! * `--csv <dir>` also writes one CSV file per experiment into `<dir>`;
+//! * `--json <dir>` writes one `elp2im-report-v1` JSON document per
+//!   experiment into `<dir>`;
+//! * `--smoke` implies `--quick` and round-trip-validates every report
+//!   against the schema (exits non-zero on the first violation).
+use elp2im_bench::report::validate_report;
+use elp2im_dram::json::Json;
 use std::fs;
 use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = smoke || args.iter().any(|a| a == "--quick");
     let csv_dir = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).cloned();
-    if let Some(dir) = &csv_dir {
-        fs::create_dir_all(dir).expect("create CSV directory");
+    let json_dir = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    for dir in [&csv_dir, &json_dir].into_iter().flatten() {
+        fs::create_dir_all(dir).expect("create output directory");
     }
+    let mut validated = 0usize;
     for (i, table) in elp2im_bench::experiments::run_all(quick).into_iter().enumerate() {
         println!("{table}");
+        let slug: String = table
+            .title
+            .chars()
+            .take_while(|&c| c != ':')
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
         if let Some(dir) = &csv_dir {
-            let slug: String = table
-                .title
-                .chars()
-                .take_while(|&c| c != ':')
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-                .collect();
             let path = Path::new(dir).join(format!("{i:02}_{slug}.csv"));
             fs::write(&path, table.to_csv()).expect("write CSV");
             eprintln!("wrote {}", path.display());
         }
+        let rendered = table.to_json().pretty();
+        if let Some(dir) = &json_dir {
+            let path = Path::new(dir).join(format!("{i:02}_{slug}.json"));
+            fs::write(&path, &rendered).expect("write JSON");
+            eprintln!("wrote {}", path.display());
+        }
+        if smoke {
+            // Full round trip: render, re-parse, then schema-check, so the
+            // validated document is exactly what a consumer would read.
+            let doc = Json::parse(&rendered).unwrap_or_else(|e| {
+                eprintln!("report '{}' does not re-parse: {e}", table.title);
+                std::process::exit(1);
+            });
+            if let Err(e) = validate_report(&doc) {
+                eprintln!("report '{}' fails schema validation: {e}", table.title);
+                std::process::exit(1);
+            }
+            validated += 1;
+        }
+    }
+    if smoke {
+        println!("validated {validated} reports against {}", elp2im_bench::report::REPORT_SCHEMA);
     }
 }

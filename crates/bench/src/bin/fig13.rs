@@ -1,4 +1,45 @@
 //! Regenerates Fig. 13 (bitmap case study).
+//!
+//! `--trace-json <path>` additionally executes the w = 4 AND chain on the
+//! batch engine with a recording trace sink and writes a JSON document
+//! holding the per-command events, the aggregated metrics registry, and
+//! the run statistics.
+use elp2im_apps::backend::PimBackend;
+use elp2im_apps::bitmap::run_queries_batch;
+use elp2im_core::bitvec::BitVec;
+use elp2im_dram::json::Json;
+use elp2im_dram::telemetry::{events_to_json, stats_to_json, MemorySink};
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path =
+        args.iter().position(|a| a == "--trace-json").and_then(|i| args.get(i + 1)).cloned();
+
     println!("{}", elp2im_bench::experiments::fig13::run());
+
+    let Some(path) = trace_path else { return };
+    let backend = PimBackend::elp2im_high_throughput();
+    let mut array = backend.device_array().expect("ELP2IM backend has a batch engine");
+    array.set_trace_sink(Box::new(MemorySink::new()));
+    let bits = array.row_bits() * array.banks();
+    let weeks: Vec<_> = (0..4)
+        .map(|w| {
+            let v: BitVec = (0..bits).map(|i| (i + w) % 7 != 0).collect();
+            array.store(&v).expect("store week bitmap")
+        })
+        .collect();
+    let gender: BitVec = (0..bits).map(|i| i % 2 == 0).collect();
+    let gender = array.store(&gender).expect("store gender bitmap");
+    let (_, _, stats) = run_queries_batch(&mut array, &weeks, gender).expect("batch query chain");
+    let sink = array.take_trace_sink().expect("sink installed above");
+    let mem = sink.as_any().downcast_ref::<MemorySink>().expect("memory sink");
+
+    let doc = Json::obj()
+        .with("schema", Json::str("elp2im-trace-v1"))
+        .with("experiment", Json::str("fig13_batch_chain"))
+        .with("stats", stats_to_json(&stats))
+        .with("metrics", mem.metrics.to_json())
+        .with("events", events_to_json(&mem.events));
+    std::fs::write(&path, doc.pretty()).expect("write trace JSON");
+    eprintln!("wrote {} ({} events)", path, mem.len());
 }

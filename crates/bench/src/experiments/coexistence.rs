@@ -106,6 +106,9 @@ pub fn run() -> Table {
     table.note(
         "the paper's motivation (section 1): TRA-based computation leaves regular banks starved",
     );
+    // Raw numbers for the idle-rank reference run (makespan, pump stalls,
+    // dynamic + background energy) back the formatted rates above.
+    table.attach_stats(&s);
     table
 }
 

@@ -1,6 +1,64 @@
-//! Plain-text report tables (paper value vs measured value).
+//! Plain-text report tables (paper value vs measured value) and their
+//! machine-readable JSON form (`elp2im-report-v1`).
 
+use elp2im_dram::json::Json;
+use elp2im_dram::stats::RunStats;
 use std::fmt;
+
+/// Schema identifier stamped into every exported report document.
+pub const REPORT_SCHEMA: &str = "elp2im-report-v1";
+
+/// Run-level measurement summary attached to a table, exported alongside
+/// the formatted rows so downstream tooling gets raw numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSummary {
+    /// Total commands issued.
+    pub total_commands: u64,
+    /// Serial per-bank busy time (ns).
+    pub busy_ns: f64,
+    /// Wall-clock makespan (ns).
+    pub makespan_ns: f64,
+    /// Summed pump-window deferrals (ns).
+    pub pump_stall_ns: f64,
+    /// Dynamic energy (pJ).
+    pub dynamic_energy_pj: f64,
+    /// Background (standby) energy over the makespan (pJ).
+    pub background_energy_pj: f64,
+    /// Dynamic-only average power (mW).
+    pub dynamic_power_mw: f64,
+    /// Average power including the background term (mW).
+    pub average_power_mw: f64,
+}
+
+impl From<&RunStats> for StatsSummary {
+    fn from(s: &RunStats) -> Self {
+        StatsSummary {
+            total_commands: s.total_commands(),
+            busy_ns: s.busy_time.as_f64(),
+            makespan_ns: s.makespan.as_f64(),
+            pump_stall_ns: s.pump_stall.as_f64(),
+            dynamic_energy_pj: s.energy.as_f64(),
+            background_energy_pj: s.background_energy.as_f64(),
+            dynamic_power_mw: s.dynamic_power_mw(),
+            average_power_mw: s.average_power_mw(),
+        }
+    }
+}
+
+impl StatsSummary {
+    /// JSON object view, key per field.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("total_commands", Json::Num(self.total_commands as f64))
+            .with("busy_ns", Json::Num(self.busy_ns))
+            .with("makespan_ns", Json::Num(self.makespan_ns))
+            .with("pump_stall_ns", Json::Num(self.pump_stall_ns))
+            .with("dynamic_energy_pj", Json::Num(self.dynamic_energy_pj))
+            .with("background_energy_pj", Json::Num(self.background_energy_pj))
+            .with("dynamic_power_mw", Json::Num(self.dynamic_power_mw))
+            .with("average_power_mw", Json::Num(self.average_power_mw))
+    }
+}
 
 /// A printable experiment report.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +71,8 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form footnotes.
     pub notes: Vec<String>,
+    /// Optional raw measurement summary backing the formatted rows.
+    pub stats: Option<StatsSummary>,
 }
 
 impl Table {
@@ -23,7 +83,46 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            stats: None,
         }
+    }
+
+    /// Attaches raw run statistics to the table for JSON export.
+    pub fn attach_stats(&mut self, stats: &RunStats) {
+        self.stats = Some(StatsSummary::from(stats));
+    }
+
+    /// Filesystem-friendly identifier derived from the title: everything
+    /// before the first `:`, lowercased, spaces as underscores.
+    pub fn slug(&self) -> String {
+        self.title
+            .chars()
+            .take_while(|&c| c != ':')
+            .map(|c| if c == ' ' { '_' } else { c.to_ascii_lowercase() })
+            .collect()
+    }
+
+    /// Renders the table as an `elp2im-report-v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let headers = Json::Arr(self.headers.iter().map(Json::str).collect());
+        let rows = Json::Arr(
+            self.rows.iter().map(|r| Json::Arr(r.iter().map(Json::str).collect())).collect(),
+        );
+        let notes = Json::Arr(self.notes.iter().map(Json::str).collect());
+        Json::obj()
+            .with("schema", Json::str(REPORT_SCHEMA))
+            .with("experiment", Json::str(self.slug()))
+            .with("title", Json::str(&self.title))
+            .with("headers", headers)
+            .with("rows", rows)
+            .with("notes", notes)
+            .with(
+                "stats",
+                match &self.stats {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            )
     }
 
     /// Appends a row.
@@ -101,6 +200,78 @@ impl fmt::Display for Table {
     }
 }
 
+/// Validates a parsed JSON document against the `elp2im-report-v1` schema.
+///
+/// Checks: the schema constant, string title/experiment, string headers,
+/// rows of matching width, string notes, and — when `stats` is present —
+/// numeric non-negative fields with `average_power_mw` at least the
+/// dynamic-only figure (the background term can only add power).
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(REPORT_SCHEMA) {
+        return Err(format!("schema must be {REPORT_SCHEMA:?}, got {schema:?}"));
+    }
+    for key in ["experiment", "title"] {
+        if doc.get(key).and_then(Json::as_str).is_none_or(str::is_empty) {
+            return Err(format!("{key} must be a non-empty string"));
+        }
+    }
+    let headers = doc.get("headers").and_then(Json::as_array).ok_or("headers must be an array")?;
+    if headers.iter().any(|h| h.as_str().is_none()) {
+        return Err("headers must all be strings".into());
+    }
+    let rows = doc.get("rows").and_then(Json::as_array).ok_or("rows must be an array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_array().ok_or_else(|| format!("row {i} must be an array"))?;
+        if cells.len() != headers.len() {
+            return Err(format!("row {i} width {} != header width {}", cells.len(), headers.len()));
+        }
+        if cells.iter().any(|c| c.as_str().is_none()) {
+            return Err(format!("row {i} must contain only strings"));
+        }
+    }
+    let notes = doc.get("notes").and_then(Json::as_array).ok_or("notes must be an array")?;
+    if notes.iter().any(|n| n.as_str().is_none()) {
+        return Err("notes must all be strings".into());
+    }
+    match doc.get("stats") {
+        None => return Err("stats key missing (may be null)".into()),
+        Some(Json::Null) => {}
+        Some(stats) => {
+            for key in [
+                "total_commands",
+                "busy_ns",
+                "makespan_ns",
+                "pump_stall_ns",
+                "dynamic_energy_pj",
+                "background_energy_pj",
+                "dynamic_power_mw",
+                "average_power_mw",
+            ] {
+                let v = stats
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("stats.{key} must be a number"))?;
+                if v < 0.0 {
+                    return Err(format!("stats.{key} must be non-negative, got {v}"));
+                }
+            }
+            let avg = stats.get("average_power_mw").and_then(Json::as_f64).unwrap_or(0.0);
+            let dynamic = stats.get("dynamic_power_mw").and_then(Json::as_f64).unwrap_or(0.0);
+            if avg + 1e-9 < dynamic {
+                return Err(format!(
+                    "average_power_mw ({avg}) must include the background term and so be >= dynamic_power_mw ({dynamic})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Formats a nanosecond quantity.
 pub fn ns(v: f64) -> String {
     format!("{v:.1} ns")
@@ -167,6 +338,62 @@ mod tests {
         assert!(csv.contains("a,b\n"));
         assert!(csv.contains("\"x,y\",1"), "{csv}");
         assert!(csv.trim_end().ends_with("# footnote"));
+    }
+
+    #[test]
+    fn json_round_trip_validates() {
+        use elp2im_dram::command::CommandClass;
+        use elp2im_dram::units::{Ns, Picojoules};
+        let mut t = Table::new("Fig. 10: waveforms", &["phase", "t"]);
+        t.push(vec!["sense".into(), "17.5 ns".into()]);
+        t.note("one note");
+        let mut s = RunStats::new();
+        s.record(CommandClass::Ap, Ns(50.0), 1, Picojoules(100.0));
+        s.makespan = Ns(100.0);
+        s.background_energy = Picojoules(25.0);
+        t.attach_stats(&s);
+        let doc = Json::parse(&t.to_json().pretty()).unwrap();
+        validate_report(&doc).unwrap();
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("fig._10"));
+        let stats = doc.get("stats").unwrap();
+        let avg = stats.get("average_power_mw").and_then(Json::as_f64).unwrap();
+        let dynamic = stats.get("dynamic_power_mw").and_then(Json::as_f64).unwrap();
+        assert!(avg > dynamic, "background term must raise average power");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let good = t.to_json();
+        validate_report(&good).unwrap();
+
+        let bad_schema = good.clone().with("schema", Json::str("nope"));
+        assert!(validate_report(&bad_schema).is_err());
+
+        let bad_rows = good.clone().with("rows", Json::Arr(vec![Json::Arr(vec![Json::str("x")])]));
+        assert!(validate_report(&bad_rows).unwrap_err().contains("width"));
+
+        let bad_stats = good.with(
+            "stats",
+            Json::obj()
+                .with("total_commands", Json::Num(1.0))
+                .with("busy_ns", Json::Num(1.0))
+                .with("makespan_ns", Json::Num(1.0))
+                .with("pump_stall_ns", Json::Num(0.0))
+                .with("dynamic_energy_pj", Json::Num(10.0))
+                .with("background_energy_pj", Json::Num(0.0))
+                .with("dynamic_power_mw", Json::Num(10.0))
+                .with("average_power_mw", Json::Num(5.0)),
+        );
+        assert!(validate_report(&bad_stats).unwrap_err().contains("background"));
+    }
+
+    #[test]
+    fn slug_is_filesystem_friendly() {
+        let t = Table::new("Fig. 13: bitmap index study", &[]);
+        assert_eq!(t.slug(), "fig._13");
+        assert_eq!(Table::new("coexistence", &[]).slug(), "coexistence");
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Golden-file test for the JSON report exporter.
+//!
+//! Fig. 10 is the one fully deterministic experiment (a circuit-level
+//! waveform with no Monte-Carlo trials and no scheduler state), so its
+//! rendered `elp2im-report-v1` document is pinned byte-for-byte. Any
+//! change to the exporter format or the waveform summary shows up as a
+//! readable diff against `tests/golden/fig10.json`.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p elp2im-bench --test json_golden
+//! ```
+
+use elp2im_bench::experiments::fig10;
+use elp2im_bench::report::validate_report;
+use elp2im_dram::json::Json;
+use std::path::Path;
+
+const GOLDEN: &str = include_str!("golden/fig10.json");
+
+#[test]
+fn fig10_json_export_matches_golden() {
+    let rendered = fig10::run().to_json().pretty();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig10.json");
+        std::fs::write(&path, &rendered).expect("rewrite golden file");
+        return;
+    }
+
+    // The golden document must itself be schema-valid...
+    let doc = Json::parse(GOLDEN).expect("golden file parses");
+    validate_report(&doc).expect("golden file passes schema validation");
+    // ...and the live export must match it exactly.
+    assert_eq!(
+        rendered, GOLDEN,
+        "fig10 JSON export drifted from tests/golden/fig10.json \
+         (rerun with UPDATE_GOLDEN=1 if the change is intentional)"
+    );
+}

@@ -38,6 +38,7 @@ use elp2im_dram::constraint::PumpBudget;
 use elp2im_dram::geometry::Geometry;
 use elp2im_dram::interleave::{InterleavedScheduler, Schedule};
 use elp2im_dram::stats::RunStats;
+use elp2im_dram::telemetry::TraceSink;
 
 /// Batch-layer configuration.
 #[derive(Debug, Clone)]
@@ -146,6 +147,9 @@ pub struct DeviceArray {
     vectors: Vec<Option<BatchEntry>>,
     scheduler: InterleavedScheduler,
     totals: RunStats,
+    /// Optional per-command trace receiver shared by every scheduled
+    /// operation; `None` keeps scheduling on the untraced fast path.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl DeviceArray {
@@ -165,7 +169,25 @@ impl DeviceArray {
             })
             .collect();
         let scheduler = InterleavedScheduler::new(config.budget.clone());
-        DeviceArray { config, banks, vectors: Vec::new(), scheduler, totals: RunStats::new() }
+        DeviceArray {
+            config,
+            banks,
+            vectors: Vec::new(),
+            scheduler,
+            totals: RunStats::new(),
+            sink: None,
+        }
+    }
+
+    /// Installs (or replaces) a trace sink observing every command the
+    /// batch scheduler issues from now on.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the trace sink, if one was installed.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     /// Bits per row (stripe granularity).
@@ -397,13 +419,15 @@ impl DeviceArray {
     ) -> Result<(BatchHandle, BatchRun), CoreError> {
         let (entry, work, streams) = self.prepare(op, a, b)?;
         self.run_banks(work)?;
-        let schedule =
-            self.scheduler.schedule(&streams).map_err(|_| CoreError::InvalidHandle(usize::MAX))?;
+        let schedule = match self.sink.as_mut() {
+            Some(sink) => self.scheduler.schedule_traced(&streams, sink.as_mut()),
+            None => self.scheduler.schedule(&streams),
+        }
+        .map_err(|_| CoreError::InvalidHandle(usize::MAX))?;
         let banks_used = streams.len();
-        let prior = self.totals.makespan;
-        self.totals.merge(&schedule.stats);
-        // Sequential composition across operations: makespans add.
-        self.totals.makespan = prior + schedule.stats.makespan;
+        // Operations are sequentially dependent at this layer: makespans
+        // (and the background energy accrued over them) add.
+        self.totals.merge_sequential(&schedule.stats);
         let id = self.vectors.len();
         self.vectors.push(Some(entry));
         Ok((BatchHandle(id), BatchRun { schedule, banks_used }))

@@ -323,6 +323,12 @@ impl SubarrayEngine {
             });
         }
         self.stats.record(profile.class, profile.duration, profile.total_wordline_events, energy);
+        // A single subarray executes strictly serially, so the wall clock
+        // equals the busy time; stamping it here keeps serial runs from
+        // reporting a zero makespan. Background (standby) energy accrues
+        // over that same window.
+        self.stats.makespan = self.stats.busy_time;
+        self.stats.background_energy = self.power.background_energy(self.stats.busy_time, 1.0);
     }
 
     /// Executes one primitive.

@@ -308,11 +308,9 @@ impl Elp2imModule {
                     m.binary(op, hx, hy)?
                 }
             };
-            // Sequential composition: makespans add (merge alone would
+            // Sequential composition: makespans add (merge_parallel would
             // take the max, which models parallel composition).
-            let prior = total.makespan;
-            total.merge(&stats);
-            total.makespan = prior + stats.makespan;
+            total.merge_sequential(&stats);
             cache.insert(e.clone(), h);
             Ok(h)
         }
@@ -433,9 +431,8 @@ impl Elp2imModule {
                 .controller
                 .run_streams(&level_streams)
                 .map_err(|_| CoreError::InvalidHandle(usize::MAX))?;
-            let prior = total.makespan;
-            total.merge(&stats);
-            total.makespan = prior + stats.makespan;
+            // Levels execute one after another: sequential composition.
+            total.merge_sequential(&stats);
         }
         let result = match expr {
             Expr::Var(i) => inputs[*i],
@@ -567,7 +564,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_eval_matches_sequential_and_is_faster() {
+    fn parallel_eval_matches_sequential_and_never_loses() {
         use crate::expr::Expr;
         // Four independent ANDs feeding a balanced OR tree over 8 inputs.
         let v = Expr::var;
@@ -590,12 +587,18 @@ mod tests {
         let (rp, stats_par) = par.eval_expr_parallel(&expr, &hp).unwrap();
         assert_eq!(seq.load(rs).unwrap(), par.load(rp).unwrap());
         assert_eq!(stats_seq.total_commands(), stats_par.total_commands());
+        // With the round-robin placement every operand spans the same
+        // banks, so the bottleneck bank is saturated either way: level
+        // batching must never be slower, and here the wall clocks tie.
+        // (Earlier accounting summed cumulative end timestamps per op,
+        // which inflated the sequential figure and faked a speedup.)
         assert!(
-            stats_par.makespan.as_f64() < stats_seq.makespan.as_f64() * 0.85,
-            "parallel {} !< sequential {}",
+            stats_par.makespan.as_f64() <= stats_seq.makespan.as_f64() + 1e-9,
+            "parallel {} must not exceed sequential {}",
             stats_par.makespan,
             stats_seq.makespan
         );
+        assert!(stats_par.makespan.as_f64() > 0.0);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::constraint::{PumpBudget, PumpWindow};
 use crate::error::DramError;
 use crate::power::PowerModel;
 use crate::stats::RunStats;
-use crate::units::{Ns, Ps};
+use crate::telemetry::{CommandEvent, StallReason, TraceSink};
+use crate::units::{Ns, Picojoules, Ps};
 
 /// Event-driven controller over the banks of one rank.
 ///
@@ -45,6 +46,11 @@ pub struct Controller {
     /// refresh at the start of each interval).
     refresh: Option<(Ps, Ps)>,
     stats: RunStats,
+    /// Optional per-command trace receiver. `None` keeps the hot path
+    /// branch-predictable; the telemetry layer installs a sink on demand.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Monotonic sequence number for emitted [`CommandEvent`]s.
+    next_seq: u64,
 }
 
 impl Controller {
@@ -58,6 +64,8 @@ impl Controller {
             last_issue: Ps::ZERO,
             refresh: None,
             stats: RunStats::new(),
+            sink: None,
+            next_seq: 0,
         }
     }
 
@@ -65,6 +73,23 @@ impl Controller {
     pub fn with_power_model(mut self, power: PowerModel) -> Self {
         self.power = power;
         self
+    }
+
+    /// Installs a trace sink that observes every issued command
+    /// (builder form of [`Controller::set_sink`]).
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Installs (or replaces) the trace sink.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the trace sink, if one was installed.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     /// Enables periodic all-bank refresh from a timing set (tREFI/tRFC).
@@ -127,11 +152,18 @@ impl Controller {
         let mut start = bank_free.max(self.last_issue);
         let cost = self.pump.budget().command_cost(profile);
         let requested = start;
+        let mut pump_deferred = false;
+        let mut refresh_moved = false;
         loop {
-            start = self.align_refresh(start);
+            let aligned = self.align_refresh(start);
+            refresh_moved |= aligned > start;
+            start = aligned;
             match self.pump.try_admit(start, cost) {
                 Ok(()) => break,
-                Err(retry) => start = retry,
+                Err(retry) => {
+                    pump_deferred = true;
+                    start = retry;
+                }
             }
         }
         self.last_issue = start;
@@ -144,6 +176,35 @@ impl Controller {
             self.now = done;
         }
         self.stats.makespan = Ns(self.stats.makespan.as_f64().max(done.to_ns().as_f64()));
+        // Background energy accrues over the whole simulated wall clock;
+        // restamping from the cumulative makespan keeps it linear, so the
+        // per-run delta in `run_streams` subtracts cleanly.
+        self.stats.background_energy = self.power.background_energy(self.stats.makespan, 1.0);
+        if let Some(sink) = self.sink.as_mut() {
+            let reason = if pump_deferred {
+                StallReason::Pump
+            } else if refresh_moved {
+                StallReason::Refresh
+            } else if requested > bank_free {
+                StallReason::Bus
+            } else if bank_free > earliest {
+                StallReason::Bank
+            } else {
+                StallReason::None
+            };
+            sink.record(&CommandEvent {
+                seq: self.next_seq,
+                bank,
+                class: profile.class,
+                issue: earliest,
+                start,
+                done,
+                stall: start.saturating_sub(earliest),
+                reason,
+                energy,
+            });
+        }
+        self.next_seq += 1;
         Ok(done)
     }
 
@@ -162,6 +223,7 @@ impl Controller {
         streams: &[(usize, Vec<CommandProfile>)],
     ) -> Result<RunStats, DramError> {
         let before = self.stats.clone();
+        let run_start = self.now;
         // Cursor per stream; issue in global earliest-first order so the
         // sliding pump window sees commands in time order.
         let mut cursors: Vec<usize> = vec![0; streams.len()];
@@ -195,6 +257,11 @@ impl Controller {
         delta.busy_time = delta.busy_time - before.busy_time;
         delta.energy = Picojoules(delta.energy.as_f64() - before.energy.as_f64());
         delta.pump_stall = delta.pump_stall - before.pump_stall;
+        // The cumulative makespan is an absolute timestamp; this run's
+        // makespan is measured from where the clock stood when it began.
+        delta.makespan = self.now.saturating_sub(run_start).to_ns();
+        delta.background_energy =
+            Picojoules(delta.background_energy.as_f64() - before.background_energy.as_f64());
         for (k, v) in &before.commands {
             if let Some(cur) = delta.commands.get_mut(k) {
                 *cur -= v;
@@ -204,8 +271,6 @@ impl Controller {
         Ok(delta)
     }
 }
-
-use crate::units::Picojoules;
 
 #[cfg(test)]
 mod tests {
@@ -296,6 +361,46 @@ mod tests {
         assert_eq!(s1.total_commands(), 2);
         assert_eq!(s2.total_commands(), 3);
         assert_eq!(c.stats().total_commands(), 5);
+        // Each run's makespan covers only its own commands, not the
+        // cumulative clock.
+        let dur = ap.duration.as_f64();
+        assert!((s1.makespan.as_f64() - 2.0 * dur).abs() < 0.01, "{s1}");
+        assert!((s2.makespan.as_f64() - 3.0 * dur).abs() < 0.01, "{s2}");
+        assert!((c.stats().makespan.as_f64() - 5.0 * dur).abs() < 0.01, "cumulative {}", c.stats());
+    }
+
+    #[test]
+    fn background_energy_tracks_makespan() {
+        let mut c = Controller::new(1, PumpBudget::unconstrained());
+        let ap = CommandProfile::ap(&t());
+        let s1 = c.run_streams(&[(0, vec![ap.clone(); 2])]).unwrap();
+        let s2 = c.run_streams(&[(0, vec![ap.clone(); 2])]).unwrap();
+        let model = PowerModel::micron_ddr3_1600();
+        let expect = model.background_energy(s1.makespan, 1.0).as_f64();
+        assert!((s1.background_energy.as_f64() - expect).abs() < 1e-6, "{s1}");
+        // Identical back-to-back runs accrue identical background energy.
+        assert!((s2.background_energy.as_f64() - expect).abs() < 1e-6, "{s2}");
+        // Average power now exceeds the dynamic-only figure.
+        assert!(s1.average_power_mw() > s1.dynamic_power_mw());
+    }
+
+    #[test]
+    fn sink_observes_every_command_with_reasons() {
+        use crate::telemetry::MemorySink;
+
+        let ap = CommandProfile::ap(&t());
+        let streams: Vec<_> = (0..8).map(|b| (b, vec![ap.clone(); 8])).collect();
+        let mut c = Controller::new(8, PumpBudget::jedec_ddr3_1600())
+            .with_sink(Box::new(MemorySink::new()));
+        let stats = c.run_streams(&streams).unwrap();
+        let sink = c.take_sink().unwrap();
+        let mem = sink.as_any().downcast_ref::<MemorySink>().unwrap();
+        assert_eq!(mem.len() as u64, stats.total_commands());
+        assert!(mem.metrics.stalls_by_reason.contains_key("pump"), "{:?}", mem.metrics);
+        for e in &mem.events {
+            assert!(e.done > e.start);
+            assert_eq!(e.stall, e.start.saturating_sub(e.issue));
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::constraint::{PumpBudget, PumpWindow};
 use crate::error::DramError;
 use crate::power::PowerModel;
 use crate::stats::RunStats;
+use crate::telemetry::{CommandEvent, NullSink, StallReason, TraceSink};
 use crate::units::{Ns, Ps};
 
 /// One command as actually issued on the shared bus.
@@ -139,6 +140,37 @@ impl InterleavedScheduler {
         &self,
         streams: &[(usize, Vec<CommandProfile>)],
     ) -> Result<Schedule, DramError> {
+        // Monomorphized with the no-op sink: compiles to the untraced path.
+        self.schedule_with(streams, &mut NullSink)
+    }
+
+    /// [`InterleavedScheduler::schedule`] with a dynamic trace sink, for
+    /// callers that hold a `Box<dyn TraceSink>`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InterleavedScheduler::schedule`].
+    pub fn schedule_traced(
+        &self,
+        streams: &[(usize, Vec<CommandProfile>)],
+        sink: &mut dyn TraceSink,
+    ) -> Result<Schedule, DramError> {
+        self.schedule_with(streams, sink)
+    }
+
+    /// Schedules `streams` while reporting every issued command to `sink`.
+    ///
+    /// Generic over the sink so the [`NullSink`] instantiation is zero
+    /// cost (verified by the criterion bench in `elp2im-bench`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InterleavedScheduler::schedule`].
+    pub fn schedule_with<S: TraceSink + ?Sized>(
+        &self,
+        streams: &[(usize, Vec<CommandProfile>)],
+        sink: &mut S,
+    ) -> Result<Schedule, DramError> {
         // Merge duplicate bank entries and sort by bank index so the
         // tie-break below is by bank, not input order.
         let mut merged: Vec<(usize, Vec<&CommandProfile>)> = Vec::new();
@@ -199,6 +231,27 @@ impl InterleavedScheduler {
             stats.pump_stall += stall.to_ns();
             stats.makespan = Ns(stats.makespan.as_f64().max(done.to_ns().as_f64()));
 
+            // The request instant here is the bank-free time itself, so a
+            // wait is either the pump window or the shared-bus clamp.
+            let reason = if stall > Ps::ZERO {
+                StallReason::Pump
+            } else if requested > bank_free {
+                StallReason::Bus
+            } else {
+                StallReason::None
+            };
+            sink.record(&CommandEvent {
+                seq: commands.len() as u64,
+                bank: *bank,
+                class: profile.class,
+                issue: bank_free,
+                start,
+                done,
+                stall: start.saturating_sub(bank_free),
+                reason,
+                energy,
+            });
+
             commands.push(ScheduledCommand {
                 seq: commands.len(),
                 bank: *bank,
@@ -210,6 +263,10 @@ impl InterleavedScheduler {
             });
             cursors[i] += 1;
         }
+
+        // Stamp the standby accrual over the schedule's wall clock so
+        // average-power figures include the background term (Fig. 13).
+        stats.background_energy = self.power.background_energy(stats.makespan, 1.0);
 
         let bank_done = merged
             .iter()
@@ -333,6 +390,35 @@ mod tests {
             );
             assert!((s.stats.pump_stall.as_f64() - cs.pump_stall.as_f64()).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn traced_schedule_matches_untraced_and_fills_sink() {
+        use crate::telemetry::MemorySink;
+        let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let streams: Vec<_> = (0..8).map(|b| (b, vec![CommandProfile::ap(&t()); 6])).collect();
+        let plain = sched.schedule(&streams).unwrap();
+        let mut sink = MemorySink::new();
+        let traced = sched.schedule_traced(&streams, &mut sink).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(sink.len(), traced.commands.len());
+        for (event, cmd) in sink.events.iter().zip(traced.commands.iter()) {
+            assert_eq!(event.seq as usize, cmd.seq);
+            assert_eq!(event.bank, cmd.bank);
+            assert_eq!(event.start, cmd.start);
+            assert_eq!(event.done, cmd.done);
+        }
+        // The pump-constrained run must attribute some stalls to the pump.
+        assert!(sink.metrics.stalls_by_reason.contains_key("pump"));
+    }
+
+    #[test]
+    fn schedule_stamps_background_energy() {
+        let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+        let s = sched.schedule(&[(0, vec![CommandProfile::ap(&t()); 4])]).unwrap();
+        let expect = PowerModel::micron_ddr3_1600().background_energy(s.stats.makespan, 1.0);
+        assert!((s.stats.background_energy.as_f64() - expect.as_f64()).abs() < 1e-6);
+        assert!(s.stats.average_power_mw() > s.stats.dynamic_power_mw());
     }
 
     #[test]

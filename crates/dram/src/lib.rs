@@ -20,6 +20,11 @@
 //! * [`interleave`] — a stateless, deterministic scheduler over per-bank
 //!   command streams, producing an exact bus trace and the true wall-clock
 //!   makespan for the batch execution layer.
+//! * [`telemetry`] — per-command trace sinks ([`telemetry::TraceSink`]),
+//!   counters/histograms ([`telemetry::MetricsRegistry`]), and JSON/CSV
+//!   exporters; the default [`telemetry::NullSink`] keeps the hot path free.
+//! * [`json`] — a minimal self-contained JSON document model (build,
+//!   render, parse) backing the exporters in this offline workspace.
 //!
 //! # Example
 //!
@@ -41,8 +46,10 @@ pub mod controller;
 pub mod error;
 pub mod geometry;
 pub mod interleave;
+pub mod json;
 pub mod power;
 pub mod stats;
+pub mod telemetry;
 pub mod timing;
 pub mod units;
 
@@ -52,7 +59,9 @@ pub use controller::Controller;
 pub use error::DramError;
 pub use geometry::{Geometry, RowAddr};
 pub use interleave::{InterleavedScheduler, Schedule, ScheduledCommand};
+pub use json::Json;
 pub use power::PowerModel;
 pub use stats::RunStats;
+pub use telemetry::{CommandEvent, MemorySink, MetricsRegistry, NullSink, StallReason, TraceSink};
 pub use timing::Ddr3Timing;
 pub use units::{Ns, Picojoules, Ps};

@@ -13,4 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> bench binaries (--smoke: render -> parse -> schema-validate every report)"
+cargo run -q --release -p elp2im-bench --bin all_experiments -- --smoke > /dev/null
+
+echo "==> fig13 --trace-json round trip"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q --release -p elp2im-bench --bin fig13 -- --trace-json "$trace_dir/trace.json" > /dev/null
+grep -q '"elp2im-trace-v1"' "$trace_dir/trace.json"
+
 echo "All checks passed."
