@@ -23,7 +23,9 @@ fn bench_app_ap(c: &mut Criterion) {
 }
 
 fn bench_montecarlo(c: &mut Criterion) {
-    let mc = MonteCarlo::paper_setup().with_trials(10_000);
+    // Serial single-point microbench; thread scaling lives in the
+    // dedicated `montecarlo` bench group (benches/montecarlo.rs).
+    let mc = MonteCarlo::paper_setup().with_trials(10_000).with_threads(1);
     c.bench_function("montecarlo_10k_trials_ambit", |b| {
         b.iter(|| mc.error_rate(Design::AmbitTra, PvMode::Random, 0.08))
     });

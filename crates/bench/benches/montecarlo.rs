@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks of the chunked parallel Monte-Carlo engine:
+//! one 100 k-trial Fig. 11 point, serial vs chunk-parallel at 1→8 worker
+//! threads. The acceptance target is ≥3× over the serial path at 8
+//! threads on an 8-core host (results are bit-identical regardless).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elp2im_circuit::montecarlo::{Design, EarlyStop, MonteCarlo};
+use elp2im_circuit::variation::PvMode;
+
+const TRIALS: usize = 100_000;
+
+fn bench_montecarlo_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo");
+    g.throughput(Throughput::Elements(TRIALS as u64));
+    g.bench_function("fig11_point_100k/serial", |b| {
+        let mc = MonteCarlo::paper_setup().with_trials(TRIALS).with_threads(1);
+        b.iter(|| mc.error_rate_point(Design::AmbitTra, PvMode::Random, 0.08))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let mc = MonteCarlo::paper_setup().with_trials(TRIALS).with_threads(threads);
+        g.bench_with_input(BenchmarkId::new("fig11_point_100k", threads), &mc, |b, mc| {
+            b.iter(|| mc.error_rate_point(Design::AmbitTra, PvMode::Random, 0.08))
+        });
+    }
+    g.finish();
+}
+
+fn bench_montecarlo_early_stop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo");
+    // A decision threshold far above the true rate: the CI excludes it
+    // after one wave, so the point costs a fraction of the full budget.
+    let mc = MonteCarlo::paper_setup()
+        .with_trials(TRIALS)
+        .with_threads(1)
+        .with_early_stop(EarlyStop::at(0.5));
+    g.bench_function("fig11_point_100k/early_stop", |b| {
+        b.iter(|| mc.error_rate_point(Design::AmbitTra, PvMode::Random, 0.08))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_montecarlo_point, bench_montecarlo_early_stop);
+criterion_main!(benches);

@@ -1,5 +1,97 @@
 //! Regenerates the Fig. 11 Monte-Carlo reliability sweep.
+//!
+//! Flags:
+//!
+//! * `--quick` — 20 k trials/point instead of 200 k;
+//! * `--trials <n>` — explicit trial count per point;
+//! * `--threads <n>` — worker threads per point (default: all cores);
+//! * `--early-stop <rate>` — abandon a point once its 3-sigma Wilson
+//!   interval excludes `<rate>`;
+//! * `--json <path>` — also write the `elp2im-report-v1` document;
+//! * `--selftest` — run a reduced serial-vs-parallel agreement check
+//!   instead of the sweep and exit non-zero on any mismatch (used by
+//!   `scripts/check.sh` and CI).
+use elp2im_bench::experiments::fig11::{self, engine, Fig11Options, DESIGNS, SIGMAS};
+use elp2im_circuit::montecarlo::{Design, EarlyStop};
+use elp2im_circuit::variation::PvMode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("{}", elp2im_bench::experiments::fig11::run(quick));
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--selftest") {
+        selftest();
+        return;
+    }
+    let mut opts = Fig11Options::new(args.iter().any(|a| a == "--quick"));
+    opts.progress = true;
+    if let Some(v) = arg_value(&args, "--trials") {
+        opts.trials = v.parse().expect("--trials takes a positive integer");
+    }
+    if let Some(v) = arg_value(&args, "--threads") {
+        opts.threads = v.parse().expect("--threads takes an integer (0 = all cores)");
+    }
+    if let Some(v) = arg_value(&args, "--early-stop") {
+        opts.early_stop =
+            Some(EarlyStop::at(v.parse().expect("--early-stop takes an error-rate threshold")));
+    }
+    let table = fig11::run_with(&opts);
+    println!("{table}");
+    if let Some(path) = arg_value(&args, "--json") {
+        std::fs::write(&path, table.to_json().pretty()).expect("write report JSON");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Reduced-grid agreement check: every sweep point must be bit-identical
+/// across thread counts, with and without early stop.
+fn selftest() {
+    let opts = Fig11Options { trials: 20_000, threads: 1, early_stop: None, progress: false };
+    let serial = engine(&opts);
+    let mut points = 0usize;
+    for threads in [2usize, 4, 8] {
+        let parallel = engine(&opts).with_threads(threads);
+        for mode in [PvMode::Random, PvMode::Systematic] {
+            for d in DESIGNS {
+                for &sigma in &SIGMAS[..2] {
+                    let a = serial.error_rate_point(d, mode, sigma);
+                    let b = parallel.error_rate_point(d, mode, sigma);
+                    if a != b {
+                        eprintln!(
+                            "fig11 selftest FAILED: {}/{mode:?} sigma {sigma} diverges at \
+                             {threads} threads: {a:?} vs {b:?}",
+                            d.label()
+                        );
+                        std::process::exit(1);
+                    }
+                    points += 1;
+                }
+            }
+        }
+    }
+    // Early stop must agree too (same stopping wave on every thread count).
+    let stopping = |threads| {
+        engine(&opts)
+            .with_trials(400_000)
+            .with_threads(threads)
+            .with_early_stop(EarlyStop::at(0.5))
+            .error_rate_point(Design::AmbitTra, PvMode::Random, 0.10)
+    };
+    let a = stopping(1);
+    let b = stopping(8);
+    if a != b {
+        eprintln!("fig11 selftest FAILED: early-stop diverges: {a:?} vs {b:?}");
+        std::process::exit(1);
+    }
+    if a.trials >= 400_000 {
+        eprintln!("fig11 selftest FAILED: early-stop never fired ({} trials)", a.trials);
+        std::process::exit(1);
+    }
+    println!(
+        "fig11 selftest: {points} points bit-identical across thread counts 1/2/4/8; \
+         early-stop agreed at {} trials",
+        a.trials
+    );
 }

@@ -1,41 +1,56 @@
-//! Golden-file test for the JSON report exporter.
+//! Golden-file tests for the JSON report exporter.
 //!
-//! Fig. 10 is the one fully deterministic experiment (a circuit-level
-//! waveform with no Monte-Carlo trials and no scheduler state), so its
-//! rendered `elp2im-report-v1` document is pinned byte-for-byte. Any
-//! change to the exporter format or the waveform summary shows up as a
-//! readable diff against `tests/golden/fig10.json`.
+//! Fig. 10 (a circuit-level waveform, no Monte-Carlo, no scheduler
+//! state) pins the exporter format. Fig. 11 pins the chunked parallel
+//! Monte-Carlo engine: its RNG streams are a pure function of the
+//! configuration — thread count included — so a reduced-trial sweep is
+//! byte-stable too, and any unintended reseeding (the label-length
+//! collision class of bug) shows up as a readable diff against
+//! `tests/golden/fig11.json`.
 //!
-//! Regenerate after an intentional format change with:
+//! Regenerate after an intentional change with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p elp2im-bench --test json_golden
 //! ```
 
 use elp2im_bench::experiments::fig10;
+use elp2im_bench::experiments::fig11::{self, Fig11Options};
 use elp2im_bench::report::validate_report;
 use elp2im_dram::json::Json;
 use std::path::Path;
 
-const GOLDEN: &str = include_str!("golden/fig10.json");
-
-#[test]
-fn fig10_json_export_matches_golden() {
-    let rendered = fig10::run().to_json().pretty();
-
+fn check_golden(name: &str, golden: &str, rendered: &str) {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig10.json");
-        std::fs::write(&path, &rendered).expect("rewrite golden file");
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"));
+        std::fs::write(&path, rendered).expect("rewrite golden file");
         return;
     }
 
     // The golden document must itself be schema-valid...
-    let doc = Json::parse(GOLDEN).expect("golden file parses");
+    let doc = Json::parse(golden).expect("golden file parses");
     validate_report(&doc).expect("golden file passes schema validation");
     // ...and the live export must match it exactly.
     assert_eq!(
-        rendered, GOLDEN,
-        "fig10 JSON export drifted from tests/golden/fig10.json \
+        rendered, golden,
+        "JSON export drifted from tests/golden/{name} \
          (rerun with UPDATE_GOLDEN=1 if the change is intentional)"
+    );
+}
+
+#[test]
+fn fig10_json_export_matches_golden() {
+    check_golden("fig10.json", include_str!("golden/fig10.json"), &fig10::run().to_json().pretty());
+}
+
+#[test]
+fn fig11_json_export_matches_golden() {
+    // Reduced trials keep the pin fast; `threads: 0` (all cores) is
+    // deliberate — determinism across hosts is exactly what's pinned.
+    let opts = Fig11Options { trials: 2_048, threads: 0, early_stop: None, progress: false };
+    check_golden(
+        "fig11.json",
+        include_str!("golden/fig11.json"),
+        &fig11::run_with(&opts).to_json().pretty(),
     );
 }

@@ -19,11 +19,30 @@
 //! change the decision, which is latched at sense-enable), which keeps a
 //! million-trial sweep fast. The [`crate::column`] stepping simulator
 //! cross-validates the same scenarios in the integration tests.
+//!
+//! # Chunked parallel engine
+//!
+//! Every `(design, mode, sigma)` point is evaluated in fixed-size trial
+//! chunks of [`CHUNK_TRIALS`]. Chunk `c` draws from its own RNG stream
+//! seeded by [`chunk_key`] over the point's [`stream_key`] — a SplitMix64
+//! mix of `{seed, design id, PV mode, sigma bits, chunk index}` — so the
+//! trial sequence is a pure function of the configuration, never of the
+//! host's thread schedule. Worker threads claim chunks from an atomic
+//! cursor and the integer error counts merge commutatively, which makes
+//! the result bit-identical at any thread count, including 1.
+//!
+//! On top of the chunk grid, [`SweepPoint`] reports Wilson score
+//! confidence intervals, and an optional [`EarlyStop`] rule abandons a
+//! point once the interval excludes a decision threshold. Early stop is
+//! only consulted at fixed wave boundaries (every [`CHUNK_TRIALS`] ×
+//! `WAVE_CHUNKS` trials), so adaptively-stopped results stay
+//! deterministic too.
 
 use crate::params::CircuitParams;
 use crate::variation::{CouplingModel, PvMode, VariationSample};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Residual coupling amplification seen by ELP2IM's *regular* strategy
 /// during the access after a pseudo-precharge (neighbor regulation swings).
@@ -53,6 +72,204 @@ impl Design {
             Design::AmbitTra => "Ambit",
         }
     }
+
+    /// Stable per-design discriminant mixed into [`stream_key`].
+    ///
+    /// This is part of the RNG-stream identity: it must stay distinct per
+    /// variant and must never be derived from presentation strings (the
+    /// old `label().len()` seed gave any two designs with same-length
+    /// labels — and every design across PV modes — correlated streams).
+    pub fn id(self) -> u64 {
+        match self {
+            Design::RegularDram => 0,
+            Design::Elp2im { alternative: false } => 1,
+            Design::Elp2im { alternative: true } => 2,
+            Design::AmbitTra => 3,
+        }
+    }
+}
+
+/// Trials per deterministic RNG chunk (the parallel work unit).
+pub const CHUNK_TRIALS: u64 = 4096;
+
+/// Chunks between two early-stop evaluations. A wave is the determinism
+/// barrier: stopping decisions only look at whole waves, so the trial
+/// count at which a point stops cannot depend on thread scheduling.
+const WAVE_CHUNKS: u64 = 16;
+
+/// Critical value of the reported 95 % Wilson intervals.
+pub const WILSON_Z95: f64 = 1.959_963_984_540_054;
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer (the `mix64` of Steele et al.'s splittable RNG).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// RNG-stream identity of one sweep point: the base seed with the design
+/// discriminant ([`Design::id`]), PV mode ([`PvMode::id`]) and the raw
+/// sigma bits absorbed through one SplitMix64 step each.
+///
+/// Proper integer mixing (rather than XOR of ad-hoc values) guarantees
+/// distinct coordinates give decorrelated streams; a regression test
+/// pins pairwise-distinct keys for every design × mode pair.
+pub fn stream_key(seed: u64, design: Design, mode: PvMode, sigma: f64) -> u64 {
+    let mut h = seed;
+    for coord in [design.id(), mode.id(), sigma.to_bits()] {
+        h = mix64(h.wrapping_add(GOLDEN_GAMMA).wrapping_add(coord));
+    }
+    h
+}
+
+/// Seed of chunk `chunk` within the stream identified by `point_key`.
+pub fn chunk_key(point_key: u64, chunk: u64) -> u64 {
+    mix64(point_key.wrapping_add(GOLDEN_GAMMA).wrapping_add(chunk))
+}
+
+/// Wilson score interval for `errors` successes out of `trials` Bernoulli
+/// trials at critical value `z`, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn wilson_interval(errors: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson_interval needs at least one trial");
+    let n = trials as f64;
+    let p = errors as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (((center - half) / denom).max(0.0), ((center + half) / denom).min(1.0))
+}
+
+/// Result of one Monte-Carlo sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Trials whose sensing margin came out ≤ 0.
+    pub errors: u64,
+    /// Trials actually run (less than configured when early-stopped).
+    pub trials: u64,
+    /// Point estimate `errors / trials`.
+    pub rate: f64,
+    /// 95 % Wilson score interval around [`rate`](Self::rate).
+    pub wilson_ci: (f64, f64),
+}
+
+impl SweepPoint {
+    fn from_counts(errors: u64, trials: u64) -> Self {
+        SweepPoint {
+            errors,
+            trials,
+            rate: errors as f64 / trials as f64,
+            wilson_ci: wilson_interval(errors, trials, WILSON_Z95),
+        }
+    }
+}
+
+/// Adaptive early-stop rule: abandon a point once its Wilson interval at
+/// critical value [`z`](Self::z) excludes [`threshold`](Self::threshold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Decision threshold (error-rate units) the interval must exclude.
+    pub threshold: f64,
+    /// Critical value of the stopping interval.
+    pub z: f64,
+}
+
+impl EarlyStop {
+    /// Stop once the 3-sigma (≈99.7 %) interval excludes `threshold`.
+    pub fn at(threshold: f64) -> Self {
+        EarlyStop { threshold, z: 3.0 }
+    }
+
+    fn decided(&self, errors: u64, trials: u64) -> bool {
+        let (lo, hi) = wilson_interval(errors, trials, self.z);
+        lo > self.threshold || hi < self.threshold
+    }
+}
+
+/// Runs `trials` Bernoulli trials of `trial` over the chunk grid of
+/// stream `point_key`, fanning chunks out over `threads` scoped worker
+/// threads (`0` and `1` both mean serial).
+///
+/// `trial` receives the chunk's own [`SmallRng`] and must consume a fixed
+/// number of draws per call (see
+/// [`VariationSample::draw`](crate::variation::VariationSample::draw)).
+/// The returned [`SweepPoint`] is bit-identical for any `threads`: chunk
+/// seeds depend only on `(point_key, chunk index)` and the per-chunk
+/// error counts merge by integer addition, which is exact and
+/// order-independent. With `early_stop`, the point is abandoned at the
+/// first wave boundary whose interval excludes the threshold.
+///
+/// This is the engine under [`MonteCarlo::error_rate_point`]; it is
+/// public so tests can drive it with closed-form trial functions.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, or if a worker thread panics.
+pub fn run_chunked<F>(
+    trials: u64,
+    threads: usize,
+    point_key: u64,
+    early_stop: Option<EarlyStop>,
+    trial: F,
+) -> SweepPoint
+where
+    F: Fn(&mut SmallRng) -> bool + Sync,
+{
+    assert!(trials > 0, "Monte-Carlo trial count must be positive");
+    let threads = threads.max(1);
+    let total_chunks = trials.div_ceil(CHUNK_TRIALS);
+    let chunk_trials = |c: u64| CHUNK_TRIALS.min(trials - c * CHUNK_TRIALS);
+    let run_chunk = |c: u64| -> u64 {
+        let mut rng = SmallRng::seed_from_u64(chunk_key(point_key, c));
+        (0..chunk_trials(c)).filter(|_| trial(&mut rng)).count() as u64
+    };
+
+    let mut errors = 0u64;
+    let mut done = 0u64;
+    let mut next = 0u64;
+    while next < total_chunks {
+        let wave_end = match early_stop {
+            Some(_) => (next + WAVE_CHUNKS).min(total_chunks),
+            None => total_chunks,
+        };
+        if threads == 1 {
+            errors += (next..wave_end).map(run_chunk).sum::<u64>();
+        } else {
+            let cursor = AtomicU64::new(next);
+            let worker = || {
+                let mut local = 0u64;
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= wave_end {
+                        break;
+                    }
+                    local += run_chunk(c);
+                }
+                local
+            };
+            errors += std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads.min((wave_end - next) as usize))
+                    .map(|_| scope.spawn(worker))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("Monte-Carlo worker thread panicked"))
+                    .sum::<u64>()
+            });
+        }
+        done += (next..wave_end).map(chunk_trials).sum::<u64>();
+        next = wave_end;
+        if early_stop.is_some_and(|rule| rule.decided(errors, done)) {
+            break;
+        }
+    }
+    SweepPoint::from_counts(errors, done)
 }
 
 /// Monte-Carlo reliability experiment.
@@ -65,6 +282,10 @@ impl Design {
 /// let ambit = mc.error_rate(Design::AmbitTra, PvMode::Random, 0.08);
 /// let dram = mc.error_rate(Design::RegularDram, PvMode::Random, 0.08);
 /// assert!(ambit >= dram);
+/// // Identical configurations are bit-identical at any thread count.
+/// let point = mc.with_threads(8).error_rate_point(Design::AmbitTra, PvMode::Random, 0.08);
+/// assert_eq!(point.rate, ambit);
+/// assert!(point.wilson_ci.0 <= point.rate && point.rate <= point.wilson_ci.1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
@@ -72,10 +293,15 @@ pub struct MonteCarlo {
     pub params: CircuitParams,
     /// Coupling model; `None` disables coupling noise.
     pub coupling: Option<CouplingModel>,
-    /// Trials per point.
+    /// Trials per point (must be positive).
     pub trials: usize,
     /// RNG seed (experiments are reproducible).
     pub seed: u64,
+    /// Worker threads per point; `0` means one per available core.
+    /// Results do not depend on this (the chunk grid does not move).
+    pub threads: usize,
+    /// Optional adaptive early-stop rule.
+    pub early_stop: Option<EarlyStop>,
 }
 
 impl MonteCarlo {
@@ -86,13 +312,42 @@ impl MonteCarlo {
             coupling: Some(CouplingModel::paper_default()),
             trials: 100_000,
             seed: 0xE1F2,
+            threads: 0,
+            early_stop: None,
         }
     }
 
     /// Overrides the trial count (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero — a zero-trial experiment has no
+    /// defined error rate, so the degenerate configuration is rejected
+    /// up front instead of silently reporting `0.0`.
     pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "MonteCarlo trial count must be positive");
         self.trials = trials;
         self
+    }
+
+    /// Overrides the worker-thread count (`0` = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs an adaptive early-stop rule: points whose confidence
+    /// interval excludes the rule's threshold finish early.
+    pub fn with_early_stop(mut self, rule: EarlyStop) -> Self {
+        self.early_stop = Some(rule);
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
     }
 
     /// Worst-case sensing margin (V) of one drawn trial; ≤ 0 means a
@@ -144,24 +399,45 @@ impl MonteCarlo {
         }
     }
 
+    /// Full statistics of `design` at PV strength `sigma` under `mode`:
+    /// error count, trials run, rate, and 95 % Wilson interval.
+    ///
+    /// Chunks fan out over [`threads`](Self::threads) worker threads; the
+    /// result is bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`trials`](Self::trials) is zero.
+    pub fn error_rate_point(&self, design: Design, mode: PvMode, sigma: f64) -> SweepPoint {
+        let key = stream_key(self.seed, design, mode, sigma);
+        run_chunked(self.trials as u64, self.resolved_threads(), key, self.early_stop, |rng| {
+            let v = VariationSample::draw(rng, mode, sigma, &self.params);
+            self.trial_margin(design, &v) <= 0.0
+        })
+    }
+
     /// Error rate of `design` at PV strength `sigma` under `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`trials`](Self::trials) is zero.
     pub fn error_rate(&self, design: Design, mode: PvMode, sigma: f64) -> f64 {
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ (sigma.to_bits().rotate_left(17)) ^ (design.label().len() as u64),
-        );
-        let mut errors = 0usize;
-        for _ in 0..self.trials {
-            let v = VariationSample::draw(&mut rng, mode, sigma, &self.params);
-            if self.trial_margin(design, &v) <= 0.0 {
-                errors += 1;
-            }
-        }
-        errors as f64 / self.trials.max(1) as f64
+        self.error_rate_point(design, mode, sigma).rate
+    }
+
+    /// Sweeps PV strength, returning each point's full statistics.
+    pub fn sweep_points(
+        &self,
+        design: Design,
+        mode: PvMode,
+        sigmas: &[f64],
+    ) -> Vec<(f64, SweepPoint)> {
+        sigmas.iter().map(|&s| (s, self.error_rate_point(design, mode, s))).collect()
     }
 
     /// Sweeps PV strength and returns `(sigma, error_rate)` pairs.
     pub fn sweep(&self, design: Design, mode: PvMode, sigmas: &[f64]) -> Vec<(f64, f64)> {
-        sigmas.iter().map(|&s| (s, self.error_rate(design, mode, s))).collect()
+        self.sweep_points(design, mode, sigmas).into_iter().map(|(s, p)| (s, p.rate)).collect()
     }
 }
 
@@ -254,5 +530,122 @@ mod tests {
         let a = mc().with_trials(5_000).error_rate(Design::AmbitTra, PvMode::Random, 0.1);
         let b = mc().with_trials(5_000).error_rate(Design::AmbitTra, PvMode::Random, 0.1);
         assert_eq!(a, b);
+    }
+
+    const ALL_DESIGNS: [Design; 4] = [
+        Design::RegularDram,
+        Design::Elp2im { alternative: false },
+        Design::Elp2im { alternative: true },
+        Design::AmbitTra,
+    ];
+
+    /// Regression for the `label().len()` seed: every design × PV-mode
+    /// combination must own a distinct RNG stream at equal sigma, so no
+    /// two Fig. 11 curves can silently correlate. Checked at the key
+    /// level *and* on the actual drawn trial sequences.
+    #[test]
+    fn designs_and_modes_draw_pairwise_distinct_streams() {
+        let sigma = 0.08;
+        let p = CircuitParams::long_bitline();
+        let mut streams: Vec<(String, u64, Vec<VariationSample>)> = Vec::new();
+        for mode in [PvMode::Random, PvMode::Systematic] {
+            for d in ALL_DESIGNS {
+                let key = stream_key(0xE1F2, d, mode, sigma);
+                let mut rng = SmallRng::seed_from_u64(chunk_key(key, 0));
+                let draws: Vec<VariationSample> =
+                    (0..4).map(|_| VariationSample::draw(&mut rng, mode, sigma, &p)).collect();
+                streams.push((format!("{}/{mode:?}", d.label()), key, draws));
+            }
+        }
+        for i in 0..streams.len() {
+            for j in i + 1..streams.len() {
+                assert_ne!(
+                    streams[i].1, streams[j].1,
+                    "stream keys collide: {} vs {}",
+                    streams[i].0, streams[j].0
+                );
+                assert_ne!(
+                    streams[i].2, streams[j].2,
+                    "trial streams collide: {} vs {}",
+                    streams[i].0, streams[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn design_ids_are_stable_and_distinct() {
+        let ids: Vec<u64> = ALL_DESIGNS.iter().map(|d| d.id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial count must be positive")]
+    fn zero_trials_rejected_by_builder() {
+        let _ = MonteCarlo::paper_setup().with_trials(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial count must be positive")]
+    fn zero_trials_rejected_at_run_time() {
+        // Field access bypasses the builder; the engine still refuses.
+        let mut mc = MonteCarlo::paper_setup();
+        mc.trials = 0;
+        let _ = mc.error_rate(Design::AmbitTra, PvMode::Random, 0.1);
+    }
+
+    #[test]
+    fn parallel_point_is_bit_identical_to_serial() {
+        let mc = mc().with_trials(3 * CHUNK_TRIALS as usize + 17);
+        let serial =
+            mc.clone().with_threads(1).error_rate_point(Design::AmbitTra, PvMode::Random, 0.1);
+        for threads in [2, 4, 8] {
+            let par = mc.clone().with_threads(threads).error_rate_point(
+                Design::AmbitTra,
+                PvMode::Random,
+                0.1,
+            );
+            assert_eq!(serial, par, "threads {threads}");
+        }
+        assert_eq!(serial.trials, 3 * CHUNK_TRIALS + 17);
+    }
+
+    #[test]
+    fn early_stop_finishes_early_and_stays_deterministic() {
+        // True error rate ≪ 0.5: the 3-sigma interval excludes the
+        // threshold after the first wave, long before 800k trials.
+        let base = mc().with_trials(800_000).with_early_stop(EarlyStop::at(0.5));
+        let a =
+            base.clone().with_threads(1).error_rate_point(Design::AmbitTra, PvMode::Random, 0.1);
+        let b =
+            base.clone().with_threads(8).error_rate_point(Design::AmbitTra, PvMode::Random, 0.1);
+        assert_eq!(a, b);
+        assert!(a.trials < 800_000, "stopped after {} trials", a.trials);
+        assert_eq!(a.trials % CHUNK_TRIALS, 0, "stops on whole waves");
+    }
+
+    #[test]
+    fn wilson_interval_matches_hand_computed_case() {
+        // k = 10, n = 100, z = 1.96: the textbook Wilson interval.
+        let (lo, hi) = wilson_interval(10, 100, 1.96);
+        assert!((lo - 0.0552).abs() < 5e-4, "lo {lo}");
+        assert!((hi - 0.1744).abs() < 5e-4, "hi {hi}");
+    }
+
+    #[test]
+    fn wilson_interval_edge_cases() {
+        let (lo, hi) = wilson_interval(0, 1000, WILSON_Z95);
+        assert!(lo < 1e-12, "lo {lo}");
+        assert!(hi > 0.0 && hi < 0.01, "hi {hi}");
+        let (lo, hi) = wilson_interval(1000, 1000, WILSON_Z95);
+        assert!(lo > 0.99 && lo < 1.0, "lo {lo}");
+        assert!(hi > 1.0 - 1e-12, "hi {hi}");
+    }
+
+    #[test]
+    fn sweep_point_brackets_its_rate() {
+        let p = mc().with_trials(20_000).error_rate_point(Design::AmbitTra, PvMode::Random, 0.1);
+        assert!(p.wilson_ci.0 <= p.rate && p.rate <= p.wilson_ci.1);
+        assert_eq!(p.rate, p.errors as f64 / p.trials as f64);
     }
 }

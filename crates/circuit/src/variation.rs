@@ -19,6 +19,32 @@ pub enum PvMode {
     Systematic,
 }
 
+impl PvMode {
+    /// Stable discriminant mixed into Monte-Carlo stream keys
+    /// ([`crate::montecarlo::stream_key`]); never derived from labels.
+    pub fn id(self) -> u64 {
+        match self {
+            PvMode::Random => 0,
+            PvMode::Systematic => 1,
+        }
+    }
+}
+
+/// One Box-Muller transform: two independent standard-normal deviates
+/// from exactly two uniform draws.
+///
+/// Callers must consume (or explicitly discard) *both* deviates of every
+/// pair so each [`VariationSample::draw`] costs a fixed number of RNG
+/// draws — the chunked Monte-Carlo engine ([`crate::montecarlo`]) relies
+/// on that fixed cost for thread-count-independent determinism.
+pub fn box_muller_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
 /// Relative scale of the SA input-referred offset versus the raw PV sigma.
 ///
 /// At sigma = 5 % this yields an offset sigma of ≈18 mV at Vdd = 1.2 V,
@@ -54,6 +80,11 @@ impl VariationSample {
 
     /// Draws one sample at relative strength `sigma` (e.g. `0.05` = 5 %).
     ///
+    /// Gaussians come from [`box_muller_pair`] with both deviates of each
+    /// pair consumed, so a trial costs exactly 6 uniform draws under
+    /// [`PvMode::Random`] and 4 under [`PvMode::Systematic`] — a fixed
+    /// per-trial budget the chunked Monte-Carlo engine depends on.
+    ///
     /// # Panics
     ///
     /// Panics if `sigma` is negative.
@@ -64,29 +95,29 @@ impl VariationSample {
         params: &CircuitParams,
     ) -> Self {
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        let gauss = |rng: &mut R| -> f64 {
-            // Box-Muller; two uniforms are cheap enough here.
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
         match mode {
             PvMode::Random => {
-                let cc_mult = [
-                    (1.0 + sigma * gauss(rng)).max(0.1),
-                    (1.0 + sigma * gauss(rng)).max(0.1),
-                    (1.0 + sigma * gauss(rng)).max(0.1),
-                ];
+                let (g0, g1) = box_muller_pair(rng);
+                let (g2, g3) = box_muller_pair(rng);
+                let (g4, g5) = box_muller_pair(rng);
                 VariationSample {
-                    cc_mult,
-                    cb_mult: (1.0 + sigma * gauss(rng)).max(0.1),
-                    sa_offset_v: sigma * OFFSET_SCALE * params.vdd * gauss(rng),
-                    half_mismatch_v: sigma * HALF_SOURCE_SCALE * params.vdd * gauss(rng),
+                    cc_mult: [
+                        (1.0 + sigma * g0).max(0.1),
+                        (1.0 + sigma * g1).max(0.1),
+                        (1.0 + sigma * g2).max(0.1),
+                    ],
+                    cb_mult: (1.0 + sigma * g3).max(0.1),
+                    sa_offset_v: sigma * OFFSET_SCALE * params.vdd * g4,
+                    half_mismatch_v: sigma * HALF_SOURCE_SCALE * params.vdd * g5,
                 }
             }
             PvMode::Systematic => {
+                let (g0, g1) = box_muller_pair(rng);
+                // The second pair's sine deviate is surplus; the pair is
+                // still drawn whole so the per-trial RNG cost stays fixed.
+                let (g2, _) = box_muller_pair(rng);
                 // One shared draw: all cells (and the bitline) track.
-                let shared = (1.0 + sigma * gauss(rng)).max(0.1);
+                let shared = (1.0 + sigma * g0).max(0.1);
                 VariationSample {
                     cc_mult: [shared; 3],
                     cb_mult: shared,
@@ -96,12 +127,12 @@ impl VariationSample {
                         * OFFSET_SCALE
                         * SYSTEMATIC_MISMATCH_RESIDUE
                         * params.vdd
-                        * gauss(rng),
+                        * g1,
                     half_mismatch_v: sigma
                         * HALF_SOURCE_SCALE
                         * SYSTEMATIC_MISMATCH_RESIDUE
                         * params.vdd
-                        * gauss(rng),
+                        * g2,
                 }
             }
         }
@@ -226,5 +257,53 @@ mod tests {
     fn victim_noise_is_proportional() {
         let c = CouplingModel { ratio: 0.15 };
         assert!((c.victim_noise(0.2) - 0.03).abs() < 1e-12);
+    }
+
+    /// Both Box-Muller deviates must behave like standard normals — the
+    /// sine deviate is consumed now, not discarded.
+    #[test]
+    fn box_muller_pair_components_are_standard_normal() {
+        let mut r = rng();
+        let n = 20_000;
+        let (mut sum, mut sq) = ([0.0f64; 2], [0.0f64; 2]);
+        for _ in 0..n {
+            let (a, b) = box_muller_pair(&mut r);
+            for (i, g) in [a, b].into_iter().enumerate() {
+                sum[i] += g;
+                sq[i] += g * g;
+            }
+        }
+        for i in 0..2 {
+            let mean = sum[i] / n as f64;
+            let var = sq[i] / n as f64 - mean * mean;
+            assert!(mean.abs() < 0.03, "component {i} mean {mean}");
+            assert!((var - 1.0).abs() < 0.05, "component {i} variance {var}");
+        }
+    }
+
+    /// A trial consumes exactly 6 (random) / 4 (systematic) uniforms, so
+    /// chunked replay stays aligned whatever the mode sequence.
+    #[test]
+    fn draw_costs_a_fixed_uniform_budget() {
+        let p = CircuitParams::default();
+        for (mode, uniforms) in [(PvMode::Random, 6), (PvMode::Systematic, 4)] {
+            let mut a = rng();
+            let mut b = a.clone();
+            let _ = VariationSample::draw(&mut a, mode, 0.1, &p);
+            for _ in 0..uniforms {
+                let _: f64 = b.gen_range(0.0..1.0);
+            }
+            // Both generators are now at the same stream position.
+            assert_eq!(
+                VariationSample::draw(&mut a, mode, 0.1, &p),
+                VariationSample::draw(&mut b, mode, 0.1, &p),
+                "{mode:?} must cost exactly {uniforms} uniforms per trial"
+            );
+        }
+    }
+
+    #[test]
+    fn pv_mode_ids_are_distinct() {
+        assert_ne!(PvMode::Random.id(), PvMode::Systematic.id());
     }
 }

@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "==> bench binaries (--smoke: render -> parse -> schema-validate every report)"
 cargo run -q --release -p elp2im-bench --bin all_experiments -- --smoke > /dev/null
 
+echo "==> fig11 --selftest (serial vs parallel Monte-Carlo agreement)"
+cargo run -q --release -p elp2im-bench --bin fig11 -- --selftest
+
 echo "==> fig13 --trace-json round trip"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT

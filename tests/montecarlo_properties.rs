@@ -1,0 +1,146 @@
+//! Property tests of the chunked parallel Monte-Carlo engine:
+//!
+//! * parallel `error_rate_point`/`sweep` equal the serial path
+//!   bit-for-bit across thread counts {1, 2, 7, 8};
+//! * Wilson confidence intervals cover the analytic rate of a
+//!   closed-form Bernoulli trial stream driven through the same chunk
+//!   machinery;
+//! * adaptive early-stop is itself thread-count invariant;
+//! * every design × PV-mode combination owns a distinct RNG stream (the
+//!   label-length seed-collision regression).
+
+use elp2im::circuit::montecarlo::{
+    chunk_key, run_chunked, stream_key, wilson_interval, Design, EarlyStop, MonteCarlo,
+};
+use elp2im::circuit::params::CircuitParams;
+use elp2im::circuit::variation::{PvMode, VariationSample};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const DESIGNS: [Design; 4] = [
+    Design::RegularDram,
+    Design::Elp2im { alternative: false },
+    Design::Elp2im { alternative: true },
+    Design::AmbitTra,
+];
+
+fn mc(trials: usize) -> MonteCarlo {
+    MonteCarlo::paper_setup().with_trials(trials)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The chunk grid never moves: any thread count reproduces the
+    /// serial point exactly — errors, trials, rate, and interval.
+    #[test]
+    fn parallel_point_equals_serial_bit_for_bit(
+        design_i in 0usize..4,
+        mode_i in 0usize..2,
+        sigma in 0.02f64..0.14,
+        trials in 1usize..20_000,
+    ) {
+        let design = DESIGNS[design_i];
+        let mode = if mode_i == 0 { PvMode::Random } else { PvMode::Systematic };
+        let serial = mc(trials).with_threads(1).error_rate_point(design, mode, sigma);
+        for threads in [2usize, 7, 8] {
+            let par = mc(trials).with_threads(threads).error_rate_point(design, mode, sigma);
+            assert_eq!(serial, par, "threads {threads} diverged for {}/{mode:?}", design.label());
+        }
+        assert_eq!(serial.trials, trials as u64);
+    }
+
+    /// Whole sweeps agree too (the fig11 grid is built from these).
+    #[test]
+    fn parallel_sweep_equals_serial(
+        design_i in 0usize..4,
+        trials in 1usize..10_000,
+    ) {
+        let design = DESIGNS[design_i];
+        let sigmas = [0.04, 0.08, 0.12];
+        let serial = mc(trials).with_threads(1).sweep(design, PvMode::Random, &sigmas);
+        for threads in [2usize, 7, 8] {
+            let par = mc(trials).with_threads(threads).sweep(design, PvMode::Random, &sigmas);
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    /// Closed-form margin case: a Bernoulli(p) trial stream through the
+    /// same chunk machinery. The Wilson interval at z = 4.5 must cover
+    /// the analytic rate p (miss probability ≈ 7e-6 per case, and the
+    /// sampling is deterministic, so this cannot flake).
+    #[test]
+    fn wilson_ci_covers_closed_form_bernoulli(
+        p in 0.05f64..0.95,
+        key in 0u64..(1 << 48),
+    ) {
+        let point = run_chunked(20_000, 3, key, None, |rng| rng.gen::<f64>() < p);
+        assert_eq!(point.trials, 20_000);
+        let (lo, hi) = wilson_interval(point.errors, point.trials, 4.5);
+        assert!(lo <= p && p <= hi, "analytic rate {p} outside [{lo}, {hi}]");
+        // The reported 95 % interval always brackets the point estimate.
+        assert!(point.wilson_ci.0 <= point.rate && point.rate <= point.wilson_ci.1);
+    }
+
+    /// Early-stop decisions are made on fixed wave boundaries, so the
+    /// stopped trial count matches at every thread count — and the rule
+    /// actually fires when the threshold is far from the true rate.
+    #[test]
+    fn early_stop_is_thread_count_invariant(
+        threshold in 0.3f64..0.7,
+        key in 0u64..(1 << 48),
+    ) {
+        let rule = EarlyStop::at(threshold);
+        let run = |threads| {
+            run_chunked(1_000_000, threads, key, Some(rule), |rng| rng.gen::<f64>() < 0.05)
+        };
+        let serial = run(1);
+        for threads in [2usize, 7, 8] {
+            assert_eq!(serial, run(threads), "threads {threads}");
+        }
+        assert!(serial.trials < 1_000_000, "rule never fired ({} trials)", serial.trials);
+        let (lo, hi) = serial.wilson_ci;
+        assert!(hi < threshold || lo > threshold, "stopped while CI still straddles threshold");
+    }
+}
+
+/// Regression for the `design.label().len()` seed component: all four
+/// designs (and both PV modes) must draw pairwise-distinct variation
+/// streams at equal `(mode, sigma)`, so correlated Fig. 11 curves can
+/// never silently reappear.
+#[test]
+fn designs_draw_pairwise_distinct_trial_streams() {
+    let sigma = 0.08;
+    let params = CircuitParams::long_bitline();
+    let mut streams: Vec<(String, u64, Vec<VariationSample>)> = Vec::new();
+    for mode in [PvMode::Random, PvMode::Systematic] {
+        for d in DESIGNS {
+            let key = stream_key(0xE1F2, d, mode, sigma);
+            let mut rng = SmallRng::seed_from_u64(chunk_key(key, 0));
+            let draws: Vec<VariationSample> =
+                (0..8).map(|_| VariationSample::draw(&mut rng, mode, sigma, &params)).collect();
+            streams.push((format!("{}/{mode:?}", d.label()), key, draws));
+        }
+    }
+    for i in 0..streams.len() {
+        for j in i + 1..streams.len() {
+            assert_ne!(
+                streams[i].1, streams[j].1,
+                "stream keys collide: {} vs {}",
+                streams[i].0, streams[j].0
+            );
+            assert_ne!(
+                streams[i].2, streams[j].2,
+                "trial streams collide: {} vs {}",
+                streams[i].0, streams[j].0
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "trial count must be positive")]
+fn zero_trial_configuration_is_rejected() {
+    let _ = MonteCarlo::paper_setup().with_trials(0);
+}
