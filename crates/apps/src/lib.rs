@@ -16,6 +16,7 @@
 //! * [`workload`] — reproducible random workload generators.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod arith;

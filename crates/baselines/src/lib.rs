@@ -12,6 +12,7 @@
 //! * [`area`] — the §5.2 array-overhead comparison.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod ambit;

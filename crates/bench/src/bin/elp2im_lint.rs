@@ -1,0 +1,453 @@
+//! `elp2im-lint` — the static sequence verifier as a command-line tool.
+//!
+//! Parses primitive programs written in the paper's `prmt([dst],src)`
+//! notation, runs the `elp2im_core::analysis` abstract interpreter over
+//! each one, and reports diagnostics with severities:
+//!
+//! * `error` — the program would fault on the engine (out-of-range rows,
+//!   same-decoder overlap, destroyed/undefined reads, dangling regulation);
+//! * `warning` — legal but suspicious (dead stores, clobbered live-ins);
+//! * `note` — optimization opportunities (trimmable restores, Fig. 8).
+//!
+//! Exit codes: `0` clean, `1` denied warnings/notes, `2` errors (including
+//! parse failures and `--self-test` failures), `3` usage errors.
+
+use elp2im_core::analysis::{
+    analyze, infer_live_in, infer_shape, verify_transform, AnalysisReport, Severity,
+};
+use elp2im_core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
+use elp2im_core::isa::Program;
+use elp2im_core::optimizer::{optimize_validated, PhysRow};
+use elp2im_core::parse::parse_program;
+use elp2im_core::primitive::{Primitive, RegulateMode, RowRef};
+use elp2im_core::validate::SubarrayShape;
+use elp2im_dram::json::Json;
+
+const USAGE: &str = "elp2im-lint: static verification of ELP2IM primitive programs
+
+usage: elp2im-lint [OPTIONS] [FILES...]
+
+Each file holds one program per line in prmt notation, e.g.
+    APP(r0)·or ; AP(r1)
+Lines starting with `#` are comments; two pragmas apply to all programs
+that follow them in the same file:
+    # lint-live-in: r0 r1 R0      rows assumed to hold data on entry
+    # lint-shape: 16x2            data rows x reserved (DCC) rows
+A program line may carry a `name:` prefix to label it in the report.
+Without pragmas or flags, live-in rows and the shape are inferred from
+the program itself (so undefined-read diagnostics need a declared
+live-in set to fire).
+
+options:
+    --corpus          lint every compiled operation and XOR sequence
+    --self-test       discharge the optimizer translation-validation
+                      obligations and check seeded mutations are rejected
+    --json            emit an `elp2im-lint-v1` JSON document on stdout
+    --live-in ROWS    comma-separated default live-in set, e.g. r0,r1,R0
+    --shape DxR       default subarray shape, e.g. 16x2
+    --deny-warnings   exit 1 if any warning-severity diagnostic is emitted
+    --deny-notes      exit 1 if any note-severity diagnostic is emitted
+    -h, --help        show this help";
+
+/// One program to lint, with any declared context.
+struct Job {
+    name: String,
+    prog: Program,
+    live_in: Option<Vec<PhysRow>>,
+    shape: Option<SubarrayShape>,
+}
+
+#[derive(Default)]
+struct Options {
+    corpus: bool,
+    self_test: bool,
+    json: bool,
+    deny_warnings: bool,
+    deny_notes: bool,
+    live_in: Option<Vec<PhysRow>>,
+    shape: Option<SubarrayShape>,
+    files: Vec<String>,
+}
+
+fn parse_row(tok: &str) -> Option<PhysRow> {
+    if let Some(i) = tok.strip_prefix('r') {
+        return i.parse().ok().map(PhysRow::Data);
+    }
+    if let Some(i) = tok.strip_prefix('R') {
+        return i.parse().ok().map(PhysRow::Dcc);
+    }
+    None
+}
+
+fn parse_row_list(spec: &str, sep: impl Fn(char) -> bool) -> Option<Vec<PhysRow>> {
+    spec.split(sep).filter(|t| !t.is_empty()).map(|t| parse_row(t.trim())).collect()
+}
+
+fn parse_shape(spec: &str) -> Option<SubarrayShape> {
+    let (d, r) = spec.split_once('x')?;
+    Some(SubarrayShape { data_rows: d.trim().parse().ok()?, dcc_rows: r.trim().parse().ok()? })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--corpus" => opts.corpus = true,
+            "--self-test" => opts.self_test = true,
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--deny-notes" => opts.deny_notes = true,
+            "--live-in" => {
+                let spec = it.next().ok_or("--live-in needs a value, e.g. r0,r1")?;
+                opts.live_in =
+                    Some(parse_row_list(spec, |c| c == ',').ok_or(format!("bad row in {spec:?}"))?);
+            }
+            "--shape" => {
+                let spec = it.next().ok_or("--shape needs a value, e.g. 16x2")?;
+                opts.shape = Some(parse_shape(spec).ok_or(format!("bad shape {spec:?}"))?);
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if !opts.corpus && !opts.self_test && opts.files.is_empty() {
+        return Err("nothing to lint: pass FILES, --corpus, or --self-test".into());
+    }
+    Ok(opts)
+}
+
+/// Parses a lint file into jobs. Pragmas seen so far apply to every
+/// following program line.
+fn load_file(path: &str) -> Result<Vec<Job>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut jobs = Vec::new();
+    let mut live_in: Option<Vec<PhysRow>> = None;
+    let mut shape: Option<SubarrayShape> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(spec) = rest.strip_prefix("lint-live-in:") {
+                live_in = Some(
+                    parse_row_list(spec, char::is_whitespace)
+                        .ok_or(format!("{path}:{lineno}: bad lint-live-in row list"))?,
+                );
+            } else if let Some(spec) = rest.strip_prefix("lint-shape:") {
+                shape = Some(
+                    parse_shape(spec).ok_or(format!("{path}:{lineno}: bad lint-shape value"))?,
+                );
+            }
+            continue;
+        }
+        let (name, body) = match line.split_once(':') {
+            Some((n, b)) if !n.contains('(') && !n.contains(';') => (n.trim().to_string(), b),
+            _ => (format!("{path}:{lineno}"), line),
+        };
+        let prog =
+            parse_program(&name, body.trim()).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        jobs.push(Job { name, prog, live_in: live_in.clone(), shape });
+    }
+    Ok(jobs)
+}
+
+/// Every compiled operation and XOR sequence, with its declared operand
+/// live-in rows — the corpus CI lints on every push.
+fn corpus() -> Vec<Job> {
+    let rows = Operands::standard();
+    let mut jobs = Vec::new();
+    for op in LogicOp::ALL {
+        for (mode, rr, tag) in [
+            (CompileMode::LowLatency, 1usize, "ll,rr=1"),
+            (CompileMode::LowLatency, 2, "ll,rr=2"),
+            (CompileMode::HighThroughput, 1, "ht,rr=1"),
+        ] {
+            let prog = compile(op, mode, rows, rr).expect("corpus programs compile");
+            let live = if op.is_unary() {
+                vec![PhysRow::Data(rows.a)]
+            } else {
+                vec![PhysRow::Data(rows.a), PhysRow::Data(rows.b)]
+            };
+            jobs.push(Job {
+                name: format!("{}[{tag}]", prog.name()),
+                prog,
+                live_in: Some(live),
+                shape: Some(SubarrayShape { data_rows: 4, dcc_rows: rr }),
+            });
+        }
+    }
+    for op in [LogicOp::And, LogicOp::Or] {
+        let ip = Operands { a: 0, b: 2, dst: 2, scratch: None };
+        let prog = compile(op, CompileMode::InPlace, ip, 0).expect("in-place corpus compiles");
+        jobs.push(Job {
+            name: format!("{}[inplace]", prog.name()),
+            prog,
+            live_in: Some(vec![PhysRow::Data(ip.a), PhysRow::Data(ip.dst)]),
+            shape: Some(SubarrayShape { data_rows: 4, dcc_rows: 0 }),
+        });
+    }
+    for n in 1..=6u8 {
+        let prog = xor_sequence(n, rows, 2).expect("xor corpus compiles");
+        jobs.push(Job {
+            name: prog.name().to_string(),
+            prog,
+            live_in: Some(vec![PhysRow::Data(rows.a), PhysRow::Data(rows.b)]),
+            shape: Some(SubarrayShape { data_rows: 4, dcc_rows: 2 }),
+        });
+    }
+    jobs
+}
+
+/// Resolves the analysis context (job pragma > CLI default > inferred)
+/// and runs the abstract interpreter.
+fn lint_one(job: &Job, opts: &Options) -> AnalysisReport {
+    let live_in = job
+        .live_in
+        .clone()
+        .or_else(|| opts.live_in.clone())
+        .unwrap_or_else(|| infer_live_in(&job.prog));
+    let shape = job.shape.or(opts.shape).unwrap_or_else(|| {
+        let mut s = infer_shape(&job.prog);
+        for r in &live_in {
+            match *r {
+                PhysRow::Data(i) => s.data_rows = s.data_rows.max(i + 1),
+                PhysRow::Dcc(i) => s.dcc_rows = s.dcc_rows.max(i + 1),
+            }
+        }
+        s
+    });
+    analyze(&job.prog, shape, &live_in)
+}
+
+fn severity_counts(reports: &[(String, AnalysisReport)]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for (_, report) in reports {
+        for d in report.diagnostics() {
+            match d.severity {
+                Severity::Error => counts.0 += 1,
+                Severity::Warning => counts.1 += 1,
+                Severity::Note => counts.2 += 1,
+            }
+        }
+    }
+    counts
+}
+
+fn print_human(reports: &[(String, AnalysisReport)]) {
+    for (name, report) in reports {
+        let status = if !report.is_accepted() {
+            "FAIL"
+        } else if report.diagnostics().is_empty() {
+            "ok"
+        } else {
+            "ok (with diagnostics)"
+        };
+        println!("{name}: {status}");
+        for d in report.diagnostics() {
+            println!("  {}: {d}", d.severity);
+        }
+    }
+    let (errors, warnings, notes) = severity_counts(reports);
+    println!("{} programs, {errors} errors, {warnings} warnings, {notes} notes", reports.len());
+}
+
+fn print_json(reports: &[(String, AnalysisReport)]) {
+    let programs: Vec<Json> = reports
+        .iter()
+        .map(|(name, report)| {
+            let diags: Vec<Json> = report
+                .diagnostics()
+                .iter()
+                .map(|d| {
+                    Json::obj()
+                        .with("severity", Json::str(d.severity.to_string()))
+                        .with("kind", Json::str(d.kind.slug()))
+                        .with("at", Json::Num(d.at as f64))
+                        .with("message", Json::str(d.to_string()))
+                })
+                .collect();
+            Json::obj()
+                .with("name", Json::str(name))
+                .with("accepted", Json::Bool(report.is_accepted()))
+                .with("diagnostics", Json::Arr(diags))
+        })
+        .collect();
+    let (errors, warnings, notes) = severity_counts(reports);
+    let doc = Json::obj()
+        .with("schema", Json::str("elp2im-lint-v1"))
+        .with("programs", Json::Arr(programs))
+        .with(
+            "summary",
+            Json::obj()
+                .with("programs", Json::Num(reports.len() as f64))
+                .with("errors", Json::Num(errors as f64))
+                .with("warnings", Json::Num(warnings as f64))
+                .with("notes", Json::Num(notes as f64)),
+        );
+    println!("{}", doc.pretty());
+}
+
+/// Seeded optimizer mutations the translation validator must reject:
+/// each pair is (input program, semantically different "optimized" output).
+fn seeded_mutations() -> Vec<(&'static str, Program, Program)> {
+    let or = RegulateMode::Or;
+    let and = RegulateMode::And;
+    vec![
+        (
+            "dropped-restore",
+            Program::new(
+                "keep-restore",
+                vec![
+                    Primitive::App { row: RowRef::Data(0), mode: or },
+                    Primitive::Ap { row: RowRef::Data(1) },
+                ],
+            ),
+            Program::new(
+                "trimmed-restore",
+                vec![
+                    Primitive::TApp { row: RowRef::Data(0), mode: or },
+                    Primitive::Ap { row: RowRef::Data(1) },
+                ],
+            ),
+        ),
+        (
+            "swapped-operands",
+            Program::new(
+                "a-and-not-b",
+                vec![
+                    Primitive::App { row: RowRef::Data(1), mode: and },
+                    Primitive::Aap { src: RowRef::Data(0), dst: RowRef::Data(2) },
+                ],
+            ),
+            Program::new(
+                "b-and-not-a",
+                vec![
+                    Primitive::App { row: RowRef::Data(0), mode: and },
+                    Primitive::Aap { src: RowRef::Data(1), dst: RowRef::Data(2) },
+                ],
+            ),
+        ),
+        (
+            "cross-regulation-merge",
+            Program::new(
+                "two-regulations",
+                vec![
+                    Primitive::App { row: RowRef::Data(0), mode: or },
+                    Primitive::Ap { row: RowRef::Data(1) },
+                    Primitive::App { row: RowRef::Data(2), mode: and },
+                    Primitive::Ap { row: RowRef::Data(1) },
+                    Primitive::Aap { src: RowRef::Data(1), dst: RowRef::Data(3) },
+                ],
+            ),
+            Program::new(
+                "merged-across-regulations",
+                vec![
+                    Primitive::App { row: RowRef::Data(0), mode: or },
+                    Primitive::App { row: RowRef::Data(2), mode: and },
+                    Primitive::Ap { row: RowRef::Data(1) },
+                    Primitive::Aap { src: RowRef::Data(1), dst: RowRef::Data(3) },
+                ],
+            ),
+        ),
+    ]
+}
+
+/// Discharges the optimizer translation-validation obligations over the
+/// whole corpus, then checks that seeded mutations are rejected. All
+/// output goes to stderr so `--json` keeps stdout clean.
+fn self_test() -> i32 {
+    let mut failures = 0;
+    let mut discharged = 0;
+    for job in corpus() {
+        let mut preserve = job.live_in.clone().unwrap_or_default();
+        let dst = PhysRow::Data(Operands::standard().dst);
+        if !preserve.contains(&dst) {
+            preserve.push(dst);
+        }
+        match optimize_validated(&job.prog, &preserve, true) {
+            Ok(_) => discharged += 1,
+            Err(e) => {
+                eprintln!("self-test: translation validation failed for {}: {e}", job.name);
+                failures += 1;
+            }
+        }
+    }
+    let mut rejected = 0;
+    for (name, input, output) in seeded_mutations() {
+        match verify_transform(&input, &output, None) {
+            Err(_) => rejected += 1,
+            Ok(()) => {
+                eprintln!("self-test: seeded mutation {name:?} was NOT rejected");
+                failures += 1;
+            }
+        }
+    }
+    eprintln!(
+        "self-test: {discharged} translation-validation obligations discharged, \
+         {rejected} seeded mutations rejected"
+    );
+    if failures > 0 {
+        2
+    } else {
+        0
+    }
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 3;
+        }
+    };
+
+    let mut jobs = Vec::new();
+    if opts.corpus {
+        jobs.extend(corpus());
+    }
+    for file in &opts.files {
+        match load_file(file) {
+            Ok(mut loaded) => jobs.append(&mut loaded),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    }
+
+    let reports: Vec<(String, AnalysisReport)> =
+        jobs.iter().map(|job| (job.name.clone(), lint_one(job, &opts))).collect();
+    if !reports.is_empty() || !opts.self_test {
+        if opts.json {
+            print_json(&reports);
+        } else {
+            print_human(&reports);
+        }
+    }
+
+    let self_rc = if opts.self_test { self_test() } else { 0 };
+    let (errors, warnings, notes) = severity_counts(&reports);
+    let lint_rc = if errors > 0 {
+        2
+    } else if (opts.deny_warnings && warnings > 0) || (opts.deny_notes && notes > 0) {
+        1
+    } else {
+        0
+    };
+    lint_rc.max(self_rc)
+}
+
+fn main() {
+    std::process::exit(run());
+}

@@ -8,6 +8,7 @@
 //! shrinks Monte-Carlo trial counts for CI-speed runs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;

@@ -1,0 +1,140 @@
+//! End-to-end tests for the `elp2im-lint` binary: exit codes, exact
+//! diagnostic text per violation class, and the `--json` document.
+
+use elp2im_dram::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_elp2im-lint")).args(args).output().expect("elp2im-lint runs")
+}
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures").join(name);
+    assert!(path.exists(), "missing fixture {}", path.display());
+    path.to_string_lossy().into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn each_invalid_fixture_fails_with_its_exact_diagnostic() {
+    let cases = [
+        ("invalid_out_of_range.prmt", "primitive #0: row r9 out of range"),
+        (
+            "invalid_same_decoder.prmt",
+            "primitive #0: overlapped activation of r0 and r1 in one decoder domain",
+        ),
+        (
+            "invalid_destroyed_read.prmt",
+            "primitive #2: reads r0, destroyed by the trimmed restore at #0",
+        ),
+        (
+            "invalid_undefined_read.prmt",
+            "primitive #0: reads r7, which is neither live-in nor written",
+        ),
+        (
+            "invalid_dangling_regulation.prmt",
+            "program ends with the regulation from primitive #0 still pending",
+        ),
+    ];
+    for (file, expected) in cases {
+        let out = lint(&[&fixture(file)]);
+        assert_eq!(out.status.code(), Some(2), "{file} should exit 2");
+        let text = stdout_of(&out);
+        assert!(text.contains("FAIL"), "{file}: {text}");
+        assert!(text.contains(expected), "{file} missing {expected:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn warning_fixtures_pass_unless_denied() {
+    let cases = [
+        (
+            "warn_dead_store.prmt",
+            "primitive #0: stores r2, overwritten at #1 without an intervening read (dead store)",
+        ),
+        (
+            "warn_live_in_destroyed.prmt",
+            "live-in row r0 is destroyed at #0 and never rewritten (clobbered operand)",
+        ),
+    ];
+    for (file, expected) in cases {
+        let out = lint(&[&fixture(file)]);
+        assert_eq!(out.status.code(), Some(0), "{file} is legal, exit 0");
+        assert!(stdout_of(&out).contains(expected), "{file} missing {expected:?}");
+        let denied = lint(&["--deny-warnings", &fixture(file)]);
+        assert_eq!(denied.status.code(), Some(1), "{file} under --deny-warnings");
+    }
+}
+
+#[test]
+fn clean_fixture_and_corpus_lint_clean() {
+    let out = lint(&[&fixture("clean.prmt")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout_of(&out).contains("clean: ok"));
+
+    // The golden corpus produces no warnings; the Fig. 8 trimmable-restore
+    // notes are expected and not denied here.
+    let out = lint(&["--corpus", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    let text = stdout_of(&out);
+    assert!(text.contains("0 errors, 0 warnings"), "{text}");
+    assert!(text.contains("restore of !R0 is dead"), "seq2's Fig. 8 trim note: {text}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = lint(&["--corpus", "--json", &fixture("invalid_out_of_range.prmt")]);
+    assert_eq!(out.status.code(), Some(2));
+    let doc = Json::parse(&stdout_of(&out)).expect("stdout is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("elp2im-lint-v1"));
+    let programs = doc.get("programs").and_then(Json::as_array).expect("programs array");
+    let bad = programs
+        .iter()
+        .find(|p| p.get("name").and_then(Json::as_str) == Some("out-of-range"))
+        .expect("fixture program present");
+    assert_eq!(bad.get("accepted"), Some(&Json::Bool(false)));
+    let diags = bad.get("diagnostics").and_then(Json::as_array).unwrap();
+    assert_eq!(diags[0].get("kind").and_then(Json::as_str), Some("row-out-of-range"));
+    assert_eq!(diags[0].get("severity").and_then(Json::as_str), Some("error"));
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("errors").and_then(Json::as_f64), Some(1.0));
+}
+
+#[test]
+fn self_test_discharges_all_obligations() {
+    let out = lint(&["--self-test"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("translation-validation obligations discharged"), "{err}");
+    assert!(err.contains("3 seeded mutations rejected"), "{err}");
+}
+
+#[test]
+fn usage_errors_exit_3() {
+    let out = lint(&[]);
+    assert_eq!(out.status.code(), Some(3));
+    let out = lint(&["--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(3));
+    let out = lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout_of(&out).contains("usage"));
+}
+
+#[test]
+fn missing_and_malformed_files_exit_2() {
+    let out = lint(&["/nonexistent/no-such-file.prmt"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = std::env::temp_dir().join("elp2im-lint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("malformed.prmt");
+    std::fs::write(&bad, "ZAP(r0)\n").unwrap();
+    let out = lint(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown primitive mnemonic"));
+    let _ = std::fs::remove_file(Path::new(&bad));
+}

@@ -390,7 +390,7 @@ impl DeviceArray {
                     } else {
                         Some(scope.spawn(move || -> Result<(), CoreError> {
                             for (subarray, prog) in programs {
-                                unit.engines[*subarray].run(prog.primitives())?;
+                                unit.engines[*subarray].run_verified(prog)?;
                             }
                             Ok(())
                         }))

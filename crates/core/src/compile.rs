@@ -15,9 +15,12 @@
 //! Every generated program is property-tested against software Boolean
 //! logic on the functional engine.
 
+use crate::analysis::analyze;
 use crate::error::CoreError;
 use crate::isa::Program;
+use crate::optimizer::PhysRow;
 use crate::primitive::{Primitive, RegulateMode, RowRef};
+use crate::validate::SubarrayShape;
 use std::fmt;
 
 /// A bulk Boolean operation.
@@ -136,6 +139,40 @@ fn mode_of(op: LogicOp) -> RegulateMode {
     }
 }
 
+/// The rows a compiled operation may assume hold data: its operands (plus
+/// the destination for in-place mode, whose prior content *is* operand
+/// `b`). Everything else — scratch, reserved rows, the destination — must
+/// be written before it is read, and the self-check proves it.
+fn declared_live_in(unary: bool, in_place: bool, rows: Operands) -> Vec<PhysRow> {
+    if unary {
+        vec![PhysRow::Data(rows.a)]
+    } else if in_place {
+        vec![PhysRow::Data(rows.a), PhysRow::Data(rows.dst)]
+    } else {
+        vec![PhysRow::Data(rows.a), PhysRow::Data(rows.b)]
+    }
+}
+
+/// Runs the static analyzer over a freshly compiled program with only the
+/// declared operands live-in: every compiler output must be legal and
+/// def-use sound for *all* operand values before it is handed out.
+fn self_check(
+    prog: &Program,
+    rows: Operands,
+    reserved_rows: usize,
+    live_in: &[PhysRow],
+) -> Result<(), CoreError> {
+    let data_rows = 1 + [Some(rows.a), Some(rows.b), Some(rows.dst), rows.scratch]
+        .into_iter()
+        .flatten()
+        .fold(0, usize::max);
+    let shape = SubarrayShape { data_rows, dcc_rows: reserved_rows };
+    match analyze(prog, shape, live_in).to_violations().into_iter().next() {
+        Some(v) => Err(v.into()),
+        None => Ok(()),
+    }
+}
+
 /// Compiles `op` over `rows` under `mode` with `reserved_rows` dual-contact
 /// rows available.
 ///
@@ -145,6 +182,8 @@ fn mode_of(op: LogicOp) -> RegulateMode {
 ///   for invalid in-place requests.
 /// * [`CoreError::NotEnoughReservedRows`] when the strategy needs the DCC
 ///   row(s) and the configuration lacks them.
+/// * [`CoreError::StaticViolation`] if the generated program fails its own
+///   static analysis (a compiler bug surfacing — no current sequence does).
 pub fn compile(
     op: LogicOp,
     mode: CompileMode,
@@ -163,7 +202,7 @@ pub fn compile(
     let dst = RowRef::Data(rows.dst);
     let name = format!("{}-{:?}", op.name(), mode).to_lowercase();
 
-    match mode {
+    let prog = match mode {
         CompileMode::InPlace => match op {
             LogicOp::And | LogicOp::Or => {
                 if rows.b != rows.dst {
@@ -306,7 +345,10 @@ pub fn compile(
                 }
             }
         },
-    }
+    }?;
+    let live_in = declared_live_in(op.is_unary(), mode == CompileMode::InPlace, rows);
+    self_check(&prog, rows, reserved_rows, &live_in)?;
+    Ok(prog)
 }
 
 /// Builds XOR sequence `n` of Fig. 8 (`n` in `1..=6`).
@@ -320,6 +362,8 @@ pub fn compile(
 /// * [`CoreError::ScratchRowRequired`] — sequence 1 without a scratch row.
 /// * [`CoreError::NotEnoughReservedRows`] — sequence 6 with fewer than two
 ///   reserved rows, or any sequence with none.
+/// * [`CoreError::StaticViolation`] — the sequence failed its own static
+///   analysis (a compiler bug surfacing; no current sequence does).
 ///
 /// # Panics
 ///
@@ -333,7 +377,7 @@ pub fn xor_sequence(n: u8, rows: Operands, reserved_rows: usize) -> Result<Progr
     let b = RowRef::Data(rows.b);
     let dst = RowRef::Data(rows.dst);
     let name = format!("xor-seq{n}");
-    match n {
+    let prog: Result<Program, CoreError> = match n {
         1 => {
             let scratch = RowRef::Data(rows.scratch.ok_or(CoreError::ScratchRowRequired)?);
             Ok(Program::new(
@@ -425,7 +469,10 @@ pub fn xor_sequence(n: u8, rows: Operands, reserved_rows: usize) -> Result<Progr
                 ],
             ))
         }
-    }
+    };
+    let prog = prog?;
+    self_check(&prog, rows, reserved_rows, &declared_live_in(false, false, rows))?;
+    Ok(prog)
 }
 
 #[cfg(test)]

@@ -202,7 +202,7 @@ impl Elp2imDevice {
                 return Err(e);
             }
         };
-        if let Err(e) = self.engine.run(prog.primitives()) {
+        if let Err(e) = self.engine.run_verified(&prog) {
             let _ = self.alloc.free(dst);
             return Err(e);
         }
@@ -296,7 +296,7 @@ impl Elp2imDevice {
                 return Err(e);
             }
         };
-        if let Err(e) = self.engine.run(prog.primitives()) {
+        if let Err(e) = self.engine.run_verified(&prog) {
             let _ = self.alloc.free(dst);
             return Err(e);
         }

@@ -393,6 +393,57 @@ impl SubarrayEngine {
         Ok(())
     }
 
+    /// Statically verifies `program` against the engine's current state
+    /// (the §5.1 memory-controller check on a buffered sequence), then
+    /// executes it — the program is rejected *before* any primitive issues,
+    /// so an invalid sequence cannot partially corrupt row state.
+    ///
+    /// Debug builds additionally assert the sanitizer cross-check: a
+    /// program the analyzer accepted must execute without an engine error
+    /// (static and dynamic semantics agree).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::StaticViolation`] when the analyzer rejects the
+    /// program; engine errors otherwise (which the cross-check makes
+    /// unreachable for accepted programs).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if an analyzer-accepted program still trips an
+    /// engine error — a static/dynamic divergence bug.
+    pub fn run_verified(&mut self, program: &crate::isa::Program) -> Result<(), CoreError> {
+        use crate::optimizer::PhysRow;
+        use crate::validate::SubarrayShape;
+        let shape = SubarrayShape { data_rows: self.rows.len(), dcc_rows: self.dcc.len() };
+        let mut live_in: Vec<PhysRow> = Vec::new();
+        live_in.extend(
+            self.rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_some())
+                .map(|(i, _)| PhysRow::Data(i)),
+        );
+        live_in.extend(
+            self.dcc.iter().enumerate().filter(|(_, r)| r.is_some()).map(|(i, _)| PhysRow::Dcc(i)),
+        );
+        let report = crate::analysis::analyze(program, shape, &live_in);
+        if let Some(v) = report.to_violations().into_iter().next() {
+            return Err(v.into());
+        }
+        for p in program.primitives() {
+            if let Err(e) = self.execute(p) {
+                debug_assert!(
+                    false,
+                    "sanitizer: analyzer accepted '{}' but '{p}' failed: {e}",
+                    program.name()
+                );
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Failure injection: flips one stored bit, modeling a sensing error
     /// of the kind the Fig. 11 Monte-Carlo quantifies (e.g. a TRA margin
     /// collapse or a Vdd/2 mismatch flip). Subsequent operations propagate

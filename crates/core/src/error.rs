@@ -1,6 +1,7 @@
 //! Error types for the ELP2IM core.
 
 use crate::primitive::RowRef;
+use crate::validate::Violation;
 use std::error::Error;
 use std::fmt;
 
@@ -67,6 +68,9 @@ pub enum CoreError {
     /// The requested XOR sequence needs a scratch data row that was not
     /// provided (Fig. 8 sequence 1).
     ScratchRowRequired,
+    /// The static analyzer rejected the program before execution (the §5.1
+    /// memory-controller check a buffered sequence must pass).
+    StaticViolation(Violation),
 }
 
 impl fmt::Display for CoreError {
@@ -102,11 +106,18 @@ impl fmt::Display for CoreError {
             CoreError::ScratchRowRequired => {
                 f.write_str("this sequence needs a scratch data row (none provided)")
             }
+            CoreError::StaticViolation(v) => write!(f, "statically invalid program: {v}"),
         }
     }
 }
 
 impl Error for CoreError {}
+
+impl From<Violation> for CoreError {
+    fn from(v: Violation) -> Self {
+        CoreError::StaticViolation(v)
+    }
+}
 
 #[cfg(test)]
 mod tests {

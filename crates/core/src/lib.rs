@@ -12,7 +12,11 @@
 //!   XNOR to primitive sequences under the three execution strategies of
 //!   Fig. 5, including all six XOR sequences of Fig. 8.
 //! * [`optimizer`] — the §4.2/§4.3 sequence optimizations (AP+APP merging,
-//!   row-buffer-decoupling overlap, restore truncation) as rewrite passes.
+//!   row-buffer-decoupling overlap, restore truncation) as rewrite passes,
+//!   each translation-validated by exhaustive truth-table equivalence.
+//! * [`analysis`] — the static sequence verifier: an abstract interpreter
+//!   over the pseudo-precharge state machine (the §5.1 memory-controller
+//!   check) plus the optimizer translation-validation obligations.
 //! * [`rowmap`] — subarray row allocation with reserved-row bookkeeping.
 //! * [`device`] — [`device::Elp2imDevice`], the user-facing bulk bitwise
 //!   device.
@@ -37,9 +41,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod batch;
 pub mod bitvec;
 pub mod compile;
@@ -55,6 +61,7 @@ pub mod primitive;
 pub mod rowmap;
 pub mod validate;
 
+pub use analysis::{analyze, verify_transform, AnalysisReport, Diagnostic, Severity};
 pub use batch::{BatchConfig, BatchHandle, BatchRun, DeviceArray, Stripe};
 pub use bitvec::BitVec;
 pub use compile::{CompileMode, LogicOp};

@@ -225,7 +225,7 @@ impl Elp2imModule {
             let dst = self.allocs[sa].alloc()?;
             let rows = Operands { a: ra, b: rb, dst, scratch: None };
             let prog = compile(op, self.config.mode, rows, self.config.reserved_rows)?;
-            self.engines[sa].run(prog.primitives())?;
+            self.engines[sa].run_verified(&prog)?;
             let bank = self.bank_of(sa);
             let profiles = prog.profiles(self.engines[sa].timing());
             match streams.iter_mut().find(|(bk, _)| *bk == bank) {

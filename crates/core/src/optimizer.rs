@@ -13,17 +13,28 @@
 //! 3. [`overlap`] — with the row-buffer-decoupling isolation transistor
 //!    (§4.2.1, [31]), APP → oAPP and tAPP → otAPP (sequence 4 → 5).
 
+use crate::analysis::{verify_transform, EquivalenceError};
 use crate::isa::Program;
 use crate::primitive::{Primitive, RowRef};
 use std::collections::HashSet;
+use std::fmt;
 
 /// Physical row identity (ignores which DCC port is used).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PhysRow {
     /// Regular data row.
     Data(usize),
     /// Reserved dual-contact row.
     Dcc(usize),
+}
+
+impl fmt::Display for PhysRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysRow::Data(i) => write!(f, "r{i}"),
+            PhysRow::Dcc(i) => write!(f, "R{i}"),
+        }
+    }
 }
 
 impl From<RowRef> for PhysRow {
@@ -139,11 +150,73 @@ pub fn overlap(prog: &Program) -> Program {
 
 /// Applies the full §4.2 pipeline: merge, then trim (given rows to
 /// preserve), then overlap if `isolation` is available.
+///
+/// In debug builds every stage is translation-validated against its input
+/// by exhaustive truth-table equivalence ([`verify_optimize`]); a failed
+/// obligation is a proven miscompile and panics. Release builds skip the
+/// check — use [`optimize_validated`] to demand it explicitly.
+///
+/// # Panics
+///
+/// Debug builds panic if a stage fails its equivalence proof.
 pub fn optimize(prog: &Program, preserve: &[PhysRow], isolation: bool) -> Program {
     let merged = merge_ap_app(prog);
     let trimmed = trim_restores(&merged, preserve);
     let out = if isolation { overlap(&trimmed) } else { trimmed };
+    #[cfg(debug_assertions)]
+    match verify_optimize(prog, preserve, isolation) {
+        // A statically invalid input carries no equivalence obligation.
+        Ok(())
+        | Err(EquivalenceError::InputInvalid { .. })
+        | Err(EquivalenceError::TooManyLiveIns { .. }) => {}
+        Err(e) => panic!("translation validation failed for '{}': {e}", prog.name()),
+    }
     Program::new(format!("{}+opt", prog.name()), out.primitives().to_vec())
+}
+
+/// [`optimize`] with the per-stage translation-validation obligation
+/// discharged unconditionally (debug and release alike).
+///
+/// # Errors
+///
+/// The first stage whose output is not provably equivalent to its input —
+/// see [`EquivalenceError`]. `InputInvalid` means the *original* program is
+/// statically broken and nothing could be proved.
+pub fn optimize_validated(
+    prog: &Program,
+    preserve: &[PhysRow],
+    isolation: bool,
+) -> Result<Program, EquivalenceError> {
+    verify_optimize(prog, preserve, isolation)?;
+    let merged = merge_ap_app(prog);
+    let trimmed = trim_restores(&merged, preserve);
+    let out = if isolation { overlap(&trimmed) } else { trimmed };
+    Ok(Program::new(format!("{}+opt", prog.name()), out.primitives().to_vec()))
+}
+
+/// Discharges the translation-validation obligation for each stage of the
+/// [`optimize`] pipeline: `merge_ap_app` and `overlap` must preserve every
+/// row's final value, `trim_restores` must preserve the `preserve` set (its
+/// contract — trimmed rows are dead by definition).
+///
+/// # Errors
+///
+/// The first failed per-stage obligation, with a concrete counterexample
+/// assignment for value disagreements.
+pub fn verify_optimize(
+    prog: &Program,
+    preserve: &[PhysRow],
+    isolation: bool,
+) -> Result<(), EquivalenceError> {
+    let merged = merge_ap_app(prog);
+    verify_transform(prog, &merged, None)?;
+    let trimmed = trim_restores(&merged, preserve);
+    verify_transform(&merged, &trimmed, Some(preserve))?;
+    if isolation {
+        let overlapped = overlap(&trimmed);
+        verify_transform(&trimmed, &overlapped, None)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

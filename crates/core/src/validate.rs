@@ -15,8 +15,7 @@
 
 use crate::isa::Program;
 use crate::optimizer::PhysRow;
-use crate::primitive::{Primitive, RowRef};
-use std::collections::HashSet;
+use crate::primitive::RowRef;
 use std::error::Error;
 use std::fmt;
 
@@ -99,104 +98,22 @@ impl fmt::Display for Violation {
 
 impl Error for Violation {}
 
-fn reads_of(p: &Primitive) -> Vec<RowRef> {
-    match *p {
-        Primitive::Ap { row }
-        | Primitive::App { row, .. }
-        | Primitive::OApp { row, .. }
-        | Primitive::TApp { row, .. }
-        | Primitive::OtApp { row, .. } => vec![row],
-        Primitive::Aap { src, .. }
-        | Primitive::OAap { src, .. }
-        | Primitive::OAppCopy { src, .. } => vec![src],
-    }
-}
-
-fn writes_of(p: &Primitive) -> Vec<RowRef> {
-    match *p {
-        Primitive::Aap { dst, .. }
-        | Primitive::OAap { dst, .. }
-        | Primitive::OAppCopy { dst, .. } => vec![dst],
-        _ => Vec::new(),
-    }
-}
-
 /// Validates `prog` against `shape`, with `live_in` naming the physical
 /// rows assumed to hold data beforehand. Returns every violation found
 /// (empty = valid).
+///
+/// This is the error-severity slice of the full abstract interpretation in
+/// [`crate::analysis`]; use [`crate::analysis::analyze`] directly for the
+/// warning/note diagnostics and the abstract final state.
 pub fn validate(prog: &Program, shape: SubarrayShape, live_in: &[PhysRow]) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let mut defined: HashSet<PhysRow> = live_in.iter().copied().collect();
-    // PhysRow -> index of destroying trim.
-    let mut destroyed: Vec<(PhysRow, usize)> = Vec::new();
-    let mut pending_regulation: Option<usize> = None;
-
-    let in_range = |row: RowRef| -> bool {
-        match row {
-            RowRef::Data(i) => i < shape.data_rows,
-            RowRef::DccTrue(i) | RowRef::DccBar(i) => i < shape.dcc_rows,
-        }
-    };
-
-    for (at, p) in prog.primitives().iter().enumerate() {
-        for row in p.rows() {
-            if !in_range(row) {
-                violations.push(Violation::RowOutOfRange { at, row });
-            }
-        }
-        if p.requires_dual_decoder() {
-            let rows = p.rows();
-            if rows.len() == 2 && rows[0].is_reserved() == rows[1].is_reserved() {
-                violations.push(Violation::SameDecoderOverlap { at, a: rows[0], b: rows[1] });
-            }
-        }
-        for row in reads_of(p) {
-            let phys: PhysRow = row.into();
-            if let Some(&(_, destroyed_at)) = destroyed.iter().rev().find(|(r, _)| *r == phys) {
-                violations.push(Violation::ReadOfDestroyedRow { at, row, destroyed_at });
-            } else if !defined.contains(&phys) {
-                violations.push(Violation::ReadOfUndefinedRow { at, row });
-            }
-        }
-        // Effects: regulation bookkeeping, then writes/destroys.
-        if p.regulation().is_some() {
-            pending_regulation = Some(at);
-        } else {
-            // Every activation consumes any pending regulation.
-            pending_regulation = None;
-        }
-        if p.destroys_source() {
-            for row in reads_of(p) {
-                let phys: PhysRow = row.into();
-                defined.remove(&phys);
-                destroyed.push((phys, at));
-            }
-        } else {
-            // Reads restore their row; it stays defined.
-        }
-        for row in writes_of(p) {
-            let phys: PhysRow = row.into();
-            defined.insert(phys);
-            destroyed.retain(|(r, _)| *r != phys);
-        }
-        // Reading a row through AP/APP also (re)defines it via restore.
-        if !p.destroys_source() {
-            for row in reads_of(p) {
-                defined.insert(row.into());
-            }
-        }
-    }
-    if let Some(at) = pending_regulation {
-        violations.push(Violation::DanglingRegulation { at });
-    }
-    violations
+    crate::analysis::analyze(prog, shape, live_in).to_violations()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
-    use crate::primitive::RegulateMode;
+    use crate::primitive::{Primitive, RegulateMode};
 
     const SHAPE: SubarrayShape = SubarrayShape { data_rows: 16, dcc_rows: 2 };
 

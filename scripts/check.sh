@@ -19,6 +19,20 @@ cargo run -q --release -p elp2im-bench --bin all_experiments -- --smoke > /dev/n
 echo "==> fig11 --selftest (serial vs parallel Monte-Carlo agreement)"
 cargo run -q --release -p elp2im-bench --bin fig11 -- --selftest
 
+echo "==> elp2im-lint over the golden corpus (no errors, no warnings)"
+cargo run -q --release -p elp2im-bench --bin elp2im-lint -- --corpus --deny-warnings > /dev/null
+
+echo "==> elp2im-lint --self-test (optimizer translation validation)"
+cargo run -q --release -p elp2im-bench --bin elp2im-lint -- --self-test
+
+echo "==> elp2im-lint rejects every seeded-invalid fixture"
+for fixture in crates/bench/tests/lint_fixtures/invalid_*.prmt; do
+    if cargo run -q --release -p elp2im-bench --bin elp2im-lint -- "$fixture" > /dev/null 2>&1; then
+        echo "lint accepted invalid fixture $fixture" >&2
+        exit 1
+    fi
+done
+
 echo "==> fig13 --trace-json round trip"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT

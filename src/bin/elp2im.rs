@@ -107,7 +107,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         e.write_row(idx, padded).map_err(|err| err.to_string())?;
         touched.push(idx);
     }
-    e.run(prog.primitives()).map_err(|err| err.to_string())?;
+    e.run_verified(&prog).map_err(|err| err.to_string())?;
     let t = Ddr3Timing::ddr3_1600();
     println!("program: {prog}");
     println!("latency: {}", prog.latency(&t));

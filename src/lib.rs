@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use elp2im_apps as apps;
 pub use elp2im_baselines as baselines;
 pub use elp2im_circuit as circuit;

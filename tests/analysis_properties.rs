@@ -1,0 +1,189 @@
+//! Property-based tests tying the abstract interpreter to the functional
+//! engine: analyzer-accepted programs never trip engine runtime errors,
+//! the tracked truth tables match what the engine actually computes per
+//! bitline column, and analyzer verdicts are stable under the optimizer.
+
+use elp2im::core::analysis::{analyze, verify_transform};
+use elp2im::core::bitvec::BitVec;
+use elp2im::core::engine::SubarrayEngine;
+use elp2im::core::isa::Program;
+use elp2im::core::optimizer::{optimize, PhysRow};
+use elp2im::core::primitive::{Primitive, RegulateMode, RowRef};
+use elp2im::core::validate::SubarrayShape;
+use proptest::prelude::*;
+
+const SHAPE: SubarrayShape = SubarrayShape { data_rows: 4, dcc_rows: 2 };
+const WIDTH: usize = 8;
+
+fn live_in() -> Vec<PhysRow> {
+    (0..SHAPE.data_rows).map(PhysRow::Data).collect()
+}
+
+/// Arbitrary (often invalid) primitives over the small 4x2 subarray.
+fn random_primitive() -> impl Strategy<Value = Primitive> {
+    let row = prop_oneof![
+        (0usize..4).prop_map(RowRef::Data),
+        (0usize..2).prop_map(RowRef::DccTrue),
+        (0usize..2).prop_map(RowRef::DccBar),
+    ];
+    let mode = prop_oneof![Just(RegulateMode::Or), Just(RegulateMode::And)];
+    prop_oneof![
+        row.clone().prop_map(|row| Primitive::Ap { row }),
+        (row.clone(), row.clone()).prop_map(|(src, dst)| Primitive::Aap { src, dst }),
+        (row.clone(), row.clone()).prop_map(|(src, dst)| Primitive::OAap { src, dst }),
+        (row.clone(), mode.clone()).prop_map(|(row, mode)| Primitive::App { row, mode }),
+        (row.clone(), mode.clone()).prop_map(|(row, mode)| Primitive::OApp { row, mode }),
+        (row.clone(), mode.clone()).prop_map(|(row, mode)| Primitive::TApp { row, mode }),
+        (row, mode).prop_map(|(row, mode)| Primitive::OtApp { row, mode }),
+    ]
+}
+
+fn random_program(max_len: usize) -> impl Strategy<Value = Vec<Primitive>> {
+    proptest::collection::vec(random_primitive(), 1..max_len)
+}
+
+/// One legality-preserving step: reads only rows that stay defined,
+/// consumes every regulation it opens, revives every row it destroys.
+fn valid_step() -> impl Strategy<Value = Vec<Primitive>> {
+    let data = || (0usize..4).prop_map(RowRef::Data);
+    let mode = || prop_oneof![Just(RegulateMode::Or), Just(RegulateMode::And)];
+    prop_oneof![
+        // Plain copy between data rows.
+        (data(), data()).prop_map(|(src, dst)| vec![Primitive::Aap { src, dst }]),
+        // Copy into a DCC row and read the complement port back out.
+        (data(), 0usize..2, data()).prop_map(|(src, j, back)| vec![
+            Primitive::OAap { src, dst: RowRef::DccTrue(j) },
+            Primitive::OAap { src: RowRef::DccBar(j), dst: back },
+        ]),
+        // Regulated write: open a regulation, consume it into dst.
+        (data(), mode(), data(), data()).prop_map(|(a, m, b, dst)| vec![
+            Primitive::App { row: a, mode: m },
+            Primitive::Aap { src: b, dst },
+        ]),
+        // Trimmed restore: destroy a row, consume the regulation reading a
+        // different row, then revive the destroyed one.
+        (0usize..4, mode(), 1usize..4).prop_map(|(a, m, off)| {
+            let b = RowRef::Data((a + off) % 4);
+            vec![
+                Primitive::TApp { row: RowRef::Data(a), mode: m },
+                Primitive::Ap { row: b },
+                Primitive::Aap { src: b, dst: RowRef::Data(a) },
+            ]
+        }),
+    ]
+}
+
+/// Programs that are valid by construction (the analyzer accepts them),
+/// so properties about accepted programs get full case coverage.
+fn valid_program(max_steps: usize) -> impl Strategy<Value = Vec<Primitive>> {
+    proptest::collection::vec(valid_step(), 1..max_steps)
+        .prop_map(|steps| steps.into_iter().flatten().collect())
+}
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+/// Runs `prog` on the engine and checks the analyzer's claims against it:
+/// no engine fault, matching pending-regulation state, and every tracked
+/// truth table equal, column by column, to the computed row under that
+/// column's live-in assignment.
+fn check_against_engine(prog: &Program, rows: &[BitVec]) -> Result<(), TestCaseError> {
+    let report = analyze(prog, SHAPE, &live_in());
+    prop_assert!(report.is_accepted(), "rejected: {:?}", report.to_violations());
+    prop_assert!(report.tracked(), "4 live-ins fit the var budget");
+
+    let mut e = SubarrayEngine::new(WIDTH, 4, 2);
+    for (r, bits) in rows.iter().enumerate() {
+        e.write_row(r, bits.clone()).unwrap();
+    }
+    let result = e.run(prog.primitives());
+    prop_assert!(result.is_ok(), "accepted program faulted: {:?}", result);
+    prop_assert_eq!(e.has_pending_regulation(), report.has_pending_regulation());
+
+    let vars = report.variables();
+    for c in 0..WIDTH {
+        let mut m = 0usize;
+        for (j, v) in vars.iter().enumerate() {
+            let PhysRow::Data(i) = *v else { panic!("live-in vars are data rows") };
+            m |= usize::from(rows[i].get(c)) << j;
+        }
+        for r in 0..4 {
+            if let Some(tt) = report.row_value(PhysRow::Data(r)) {
+                prop_assert_eq!(
+                    e.row(RowRef::Data(r)).unwrap().get(c),
+                    tt.eval(m),
+                    "row r{} column {} disagrees with its truth table",
+                    r,
+                    c
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of acceptance, plus exactness of the value tracking, on
+    /// programs that are valid by construction (full case coverage).
+    #[test]
+    fn accepted_programs_run_clean_and_match_truth_tables(
+        prims in valid_program(5),
+        rows in proptest::collection::vec(bitvec_strategy(WIDTH), 4),
+    ) {
+        check_against_engine(&Program::new("valid", prims), &rows)?;
+    }
+
+    /// The same claims hold for whichever arbitrary programs happen to be
+    /// accepted — the analyzer must never bless a faulting sequence.
+    #[test]
+    fn arbitrary_accepted_programs_are_sound(
+        prims in random_program(12),
+        rows in proptest::collection::vec(bitvec_strategy(WIDTH), 4),
+    ) {
+        let prog = Program::new("random", prims);
+        if analyze(&prog, SHAPE, &live_in()).is_accepted() {
+            check_against_engine(&prog, &rows)?;
+        }
+    }
+
+    /// The analyzer's verdict survives the optimizer: an accepted program
+    /// stays accepted after `optimize()` (whose debug-build translation
+    /// validation also runs here, doubling the coverage).
+    #[test]
+    fn verdicts_are_stable_under_optimize(prims in valid_program(5)) {
+        let prog = Program::new("valid", prims);
+        let report = analyze(&prog, SHAPE, &live_in());
+        prop_assert!(report.is_accepted(), "{:?}", report.to_violations());
+
+        let optimized = optimize(&prog, &live_in(), true);
+        let after = analyze(&optimized, SHAPE, &live_in());
+        prop_assert!(
+            after.is_accepted(),
+            "optimize() broke acceptance: {:?}",
+            after.to_violations()
+        );
+        prop_assert_eq!(report.has_pending_regulation(), after.has_pending_regulation());
+    }
+
+    /// Swapping the operands of an AND-NOT computation is always caught by
+    /// the translation validator with a concrete counterexample, whatever
+    /// rows are chosen (provided the swap changes the function).
+    #[test]
+    fn operand_swaps_never_validate(a in 0usize..3, b in 0usize..3) {
+        prop_assume!(a != b);
+        let half = |x: usize, y: usize| {
+            Program::new(
+                "half",
+                vec![
+                    Primitive::App { row: RowRef::Data(y), mode: RegulateMode::And },
+                    Primitive::Aap { src: RowRef::Data(x), dst: RowRef::Data(3) },
+                ],
+            )
+        };
+        let v = verify_transform(&half(a, b), &half(b, a), None);
+        prop_assert!(v.is_err(), "swapped operands validated");
+    }
+}
