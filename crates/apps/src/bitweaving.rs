@@ -16,7 +16,7 @@
 
 use crate::backend::OpKind;
 use elp2im_core::batch::{BatchHandle, DeviceArray};
-use elp2im_core::bitvec::BitVec;
+use elp2im_core::bitvec::{BitVec, WORD_BITS};
 use elp2im_core::compile::LogicOp;
 use elp2im_core::device::{Elp2imDevice, RowHandle};
 use elp2im_core::error::CoreError;
@@ -68,11 +68,19 @@ impl VerticalLayout {
         &self.planes
     }
 
-    /// Reconstructs the original values.
+    /// Reconstructs the original values. Decodes word-at-a-time: each
+    /// plane word is loaded once and shifted into 64 lanes, instead of a
+    /// bounds-checked per-bit `get` for every (lane, plane) pair.
     pub fn to_values(&self) -> Vec<u64> {
-        (0..self.len)
-            .map(|lane| self.planes.iter().fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane))))
-            .collect()
+        let mut out = vec![0u64; self.len];
+        for plane in &self.planes {
+            for (chunk, &w) in out.chunks_mut(WORD_BITS).zip(plane.words()) {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (*v << 1) | ((w >> i) & 1);
+                }
+            }
+        }
+        out
     }
 
     /// Software reference: the `value < constant` result vector.
@@ -84,13 +92,21 @@ impl VerticalLayout {
         assert!(constant < (1 << self.width), "constant must fit");
         let mut lt = BitVec::zeros(self.len);
         let mut eq = BitVec::ones(self.len);
+        let mut tmp = BitVec::zeros(self.len);
         for (i, plane) in self.planes.iter().enumerate() {
             let c_bit = (constant >> (self.width - 1 - i as u32)) & 1 == 1;
             if c_bit {
-                lt = lt.or(&eq.and(&plane.not()));
-                eq = eq.and(plane);
+                // lt |= eq & !plane; eq &= plane — in place, three scratch-free
+                // word loops per plane instead of three fresh allocations.
+                tmp.copy_from(plane);
+                tmp.not_assign();
+                tmp.and_assign(&eq);
+                lt.or_assign(&tmp);
+                eq.and_assign(plane);
             } else {
-                eq = eq.and(&plane.not());
+                tmp.copy_from(plane);
+                tmp.not_assign();
+                eq.and_assign(&tmp);
             }
         }
         lt
@@ -140,12 +156,7 @@ impl VerticalLayout {
     /// Panics if `constant` does not fit in the code width.
     pub fn compare_reference(&self, pred: Predicate, constant: u64) -> BitVec {
         assert!(constant < (1 << self.width), "constant must fit");
-        (0..self.len)
-            .map(|lane| {
-                let v = self.planes.iter().fold(0u64, |acc, p| (acc << 1) | u64::from(p.get(lane)));
-                pred.eval(v, constant)
-            })
-            .collect()
+        self.to_values().into_iter().map(|v| pred.eval(v, constant)).collect()
     }
 }
 

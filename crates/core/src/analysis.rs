@@ -28,9 +28,10 @@ use crate::isa::Program;
 use crate::optimizer::PhysRow;
 use crate::primitive::{Primitive, RegulateMode, RowRef};
 use crate::validate::{SubarrayShape, Violation};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Maximum number of live-in rows tracked as truth-table variables
 /// (`2^16` assignments = 1024 words per table). Beyond this the analyzer
@@ -495,6 +496,80 @@ fn in_range(shape: SubarrayShape, row: RowRef) -> bool {
     match row {
         RowRef::Data(i) => i < shape.data_rows,
         RowRef::DccTrue(i) | RowRef::DccBar(i) => i < shape.dcc_rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verdict memoization
+// ---------------------------------------------------------------------------
+
+/// Cache key: the primitive sequence, the subarray shape, and the liveness
+/// of each row in the program's live-in support set (in [`infer_live_in`]
+/// order).
+type VerdictKey = (Vec<Primitive>, (usize, usize), Vec<bool>);
+
+/// Memoizes the error verdict of [`analyze`] so a compiled program striped
+/// across many banks and subarrays is analyzed **once per (program, shape,
+/// liveness)**, not once per stripe.
+///
+/// Soundness of the key: every error-severity diagnostic depends only on
+/// the primitive sequence, the shape, and whether each row the program
+/// reads-before-writing (its [`infer_live_in`] support set) is live —
+/// `RowOutOfRange`/`SameDecoderOverlap`/`ReadOfDestroyedRow`/
+/// `DanglingRegulation` are functions of the program and shape alone, and
+/// `ReadOfUndefinedRow` fires exactly when a support row is dead. Rows
+/// outside the support set are never read before being written, so their
+/// liveness cannot change the verdict. Warnings and notes are not cached;
+/// callers that want full diagnostics use [`analyze`] directly.
+///
+/// The cache is `Sync`, so one instance can serve the bank-parallel batch
+/// executor's worker threads concurrently.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    verdicts: Mutex<HashMap<VerdictKey, Option<Violation>>>,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct (program, shape, liveness) verdicts cached.
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("analysis cache lock").len()
+    }
+
+    /// Whether no verdict has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The first error-severity violation of `prog` against `shape`, with
+    /// `live` answering whether a physical row currently holds data.
+    /// Computed via [`analyze`] on the first miss, then served from cache.
+    pub fn first_violation(
+        &self,
+        prog: &Program,
+        shape: SubarrayShape,
+        live: impl Fn(PhysRow) -> bool,
+    ) -> Option<Violation> {
+        let support = infer_live_in(prog);
+        let flags: Vec<bool> = support.iter().map(|&r| live(r)).collect();
+        let key: VerdictKey =
+            (prog.primitives().to_vec(), (shape.data_rows, shape.dcc_rows), flags);
+        if let Some(v) = self.verdicts.lock().expect("analysis cache lock").get(&key) {
+            return v.clone();
+        }
+        // Analyze outside the lock; two threads racing on the same key do
+        // redundant (but identical) work, never a wrong answer. Feeding
+        // only the live support rows as live-in is verdict-equivalent to
+        // the engine's full live set (see the key-soundness note above).
+        let live_in: Vec<PhysRow> =
+            support.iter().zip(&key.2).filter(|&(_, &f)| f).map(|(&r, _)| r).collect();
+        let verdict = analyze(prog, shape, &live_in).to_violations().into_iter().next();
+        self.verdicts.lock().expect("analysis cache lock").insert(key, verdict.clone());
+        verdict
     }
 }
 

@@ -24,8 +24,17 @@
 //!   architecturally independent, so each bank's stripes execute on its
 //!   [`SubarrayEngine`]s in a scoped thread
 //!   ([`std::thread::scope`]); results merge deterministically in bank
-//!   order, so outputs are bit-identical to a serial run.
+//!   order, so outputs are bit-identical to a serial run. Small batches
+//!   (less total word-work than a thread spawn costs) run serially on the
+//!   calling thread instead — same results, no fixed overhead.
+//! * **Striping is word-level and zero-copy.** `store`/`load` move whole
+//!   64-bit word runs between host vectors and the engines' row arenas
+//!   ([`SubarrayEngine::write_row_from`]/[`SubarrayEngine::read_row_into`]),
+//!   and each compiled program's static analysis is memoized in a shared
+//!   [`AnalysisCache`], so a program is verified once per (program, shape,
+//!   liveness) rather than once per stripe per bank.
 
+use crate::analysis::AnalysisCache;
 use crate::bitvec::BitVec;
 use crate::compile::{compile, CompileMode, LogicOp, Operands};
 use crate::engine::SubarrayEngine;
@@ -39,6 +48,7 @@ use elp2im_dram::geometry::Geometry;
 use elp2im_dram::interleave::{InterleavedScheduler, Schedule};
 use elp2im_dram::stats::RunStats;
 use elp2im_dram::telemetry::TraceSink;
+use std::sync::Arc;
 
 /// Batch-layer configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +103,20 @@ pub struct Stripe {
 struct BatchEntry {
     len: usize,
     stripes: Vec<Stripe>,
+}
+
+impl BatchEntry {
+    /// Shared bit addressing: the stripe holding logical `bit` and the
+    /// column within it. Every per-bit accessor (element reads, fault
+    /// injection) goes through this one bounds-checked mapping.
+    fn locate(&self, bit: usize, row_bits: usize) -> Result<(Stripe, usize), CoreError> {
+        if bit >= self.len {
+            return Err(CoreError::InvalidHandle(bit));
+        }
+        let stripe =
+            self.stripes.get(bit / row_bits).copied().ok_or(CoreError::InvalidHandle(bit))?;
+        Ok((stripe, bit % row_bits))
+    }
 }
 
 /// One bank: its subarray engines and row allocators.
@@ -150,7 +174,16 @@ pub struct DeviceArray {
     /// Optional per-command trace receiver shared by every scheduled
     /// operation; `None` keeps scheduling on the untraced fast path.
     sink: Option<Box<dyn TraceSink>>,
+    /// Shared static-analysis verdict cache: a compiled program striped
+    /// across banks/subarrays in equivalent states is analyzed once.
+    analysis_cache: AnalysisCache,
 }
+
+/// Minimum total word-work (primitives × words per row) before
+/// [`DeviceArray`] spawns per-bank threads; below this the serial path
+/// wins, since a thread spawn costs more than executing a few small
+/// word-loop programs.
+const PARALLEL_MIN_WORDS: usize = 1 << 14;
 
 impl DeviceArray {
     /// Creates an array with every subarray empty.
@@ -176,6 +209,7 @@ impl DeviceArray {
             scheduler,
             totals: RunStats::new(),
             sink: None,
+            analysis_cache: AnalysisCache::new(),
         }
     }
 
@@ -247,14 +281,14 @@ impl DeviceArray {
         let mut stripes = Vec::with_capacity(n);
         for c in 0..n {
             let stripe = self.place(c)?;
-            let mut chunk = BitVec::zeros(rb);
-            for i in 0..rb {
-                let bit = c * rb + i;
-                if bit < value.len() {
-                    chunk.set(i, value.get(bit));
-                }
-            }
-            self.banks[stripe.bank].engines[stripe.subarray].write_row(stripe.row, chunk)?;
+            // Word-level zero-copy striping: the row window of `value`
+            // lands straight in the engine's arena (short/tail stripes
+            // zero-fill the remainder).
+            self.banks[stripe.bank].engines[stripe.subarray].write_row_from(
+                stripe.row,
+                value,
+                c * rb,
+            )?;
             stripes.push(stripe);
         }
         let id = self.vectors.len();
@@ -272,15 +306,27 @@ impl DeviceArray {
         let rb = self.row_bits();
         let mut out = BitVec::zeros(entry.len);
         for (c, s) in entry.stripes.iter().enumerate() {
-            let chunk = self.banks[s.bank].engines[s.subarray].row(RowRef::Data(s.row))?;
-            for i in 0..rb {
-                let bit = c * rb + i;
-                if bit < entry.len {
-                    out.set(bit, chunk.get(i));
-                }
-            }
+            self.banks[s.bank].engines[s.subarray].read_row_into(s.row, &mut out, c * rb)?;
         }
         Ok(out)
+    }
+
+    /// Reads one logical bit of a stored vector without materializing any
+    /// stripe.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidHandle`] for dead handles or a `bit` beyond the
+    /// vector's length.
+    pub fn element(&self, h: BatchHandle, bit: usize) -> Result<bool, CoreError> {
+        let (s, column) = self.entry(h)?.locate(bit, self.row_bits())?;
+        self.banks[s.bank].engines[s.subarray].bit(RowRef::Data(s.row), column)
+    }
+
+    /// The shared analysis-verdict cache (one entry per distinct compiled
+    /// program × shape × live-in state verified so far).
+    pub fn analysis_cache(&self) -> &AnalysisCache {
+        &self.analysis_cache
     }
 
     /// Releases a vector's rows.
@@ -309,13 +355,8 @@ impl DeviceArray {
     /// [`CoreError::InvalidHandle`] for dead handles or a `bit` beyond the
     /// vector's length.
     pub fn inject_bit_error(&mut self, h: BatchHandle, bit: usize) -> Result<Stripe, CoreError> {
-        let entry = self.entry(h)?;
-        if bit >= entry.len {
-            return Err(CoreError::InvalidHandle(bit));
-        }
-        let rb = self.row_bits();
-        let s = entry.stripes[bit / rb];
-        self.banks[s.bank].engines[s.subarray].inject_bit_error(RowRef::Data(s.row), bit % rb)?;
+        let (s, column) = self.entry(h)?.locate(bit, self.row_bits())?;
+        self.banks[s.bank].engines[s.subarray].inject_bit_error(RowRef::Data(s.row), column)?;
         Ok(s)
     }
 
@@ -330,7 +371,7 @@ impl DeviceArray {
         a: BatchHandle,
         b: Option<BatchHandle>,
     ) -> Result<
-        (BatchEntry, Vec<Vec<(usize, Program)>>, Vec<(usize, Vec<CommandProfile>)>),
+        (BatchEntry, Vec<Vec<(usize, Arc<Program>)>>, Vec<(usize, Vec<CommandProfile>)>),
         CoreError,
     > {
         let ea = self.entry(a)?.clone();
@@ -343,9 +384,14 @@ impl DeviceArray {
         let eb = b.map(|b| self.entry(b).cloned()).transpose()?;
 
         let mut stripes = Vec::with_capacity(ea.stripes.len());
-        let mut work: Vec<Vec<(usize, Program)>> =
+        let mut work: Vec<Vec<(usize, Arc<Program>)>> =
             (0..self.banks.len()).map(|_| Vec::new()).collect();
         let mut streams: Vec<(usize, Vec<CommandProfile>)> = Vec::new();
+        // Bank-major placement gives co-located stripes identical allocator
+        // trajectories, so consecutive stripes almost always compile to the
+        // same program; memoizing the last (rows -> program) pair turns the
+        // per-stripe compile into an Arc bump.
+        let mut compiled: Option<(Operands, Arc<Program>)> = None;
         for (ci, sa) in ea.stripes.iter().enumerate() {
             let rb = match &eb {
                 Some(eb) => {
@@ -361,7 +407,15 @@ impl DeviceArray {
             };
             let dst = self.banks[sa.bank].allocs[sa.subarray].alloc()?;
             let rows = Operands { a: sa.row, b: rb, dst, scratch: None };
-            let prog = compile(op, self.config.mode, rows, self.config.reserved_rows)?;
+            let prog = match &compiled {
+                Some((r, p)) if *r == rows => Arc::clone(p),
+                _ => {
+                    let p =
+                        Arc::new(compile(op, self.config.mode, rows, self.config.reserved_rows)?);
+                    compiled = Some((rows, Arc::clone(&p)));
+                    p
+                }
+            };
             let timing = self.banks[sa.bank].engines[sa.subarray].timing();
             let profiles = prog.profiles(timing);
             match streams.iter_mut().find(|(bk, _)| *bk == sa.bank) {
@@ -374,11 +428,27 @@ impl DeviceArray {
         Ok((BatchEntry { len: ea.len, stripes }, work, streams))
     }
 
-    /// Executes every bank's programs on its engines, one scoped thread
-    /// per bank with work. Banks touch disjoint state, and results are
-    /// collected in bank order, so the outcome is identical to running the
-    /// programs serially.
-    fn run_banks(&mut self, work: Vec<Vec<(usize, Program)>>) -> Result<(), CoreError> {
+    /// Executes every bank's programs on its engines — one scoped thread
+    /// per bank with work when there is enough of it to amortize the
+    /// spawns, serially on the calling thread otherwise. Banks touch
+    /// disjoint state, and results are collected in bank order, so the
+    /// outcome is identical either way.
+    fn run_banks(&mut self, work: Vec<Vec<(usize, Arc<Program>)>>) -> Result<(), CoreError> {
+        let cache = &self.analysis_cache;
+        let words_per_row = self.config.geometry.row_bits().div_ceil(64);
+        let total_primitives: usize =
+            work.iter().flatten().map(|(_, prog)| prog.primitives().len()).sum();
+        let busy_banks = work.iter().filter(|programs| !programs.is_empty()).count();
+        if busy_banks <= 1 || total_primitives * words_per_row < PARALLEL_MIN_WORDS {
+            // Serial fast path; banks still run in ascending order, so the
+            // first error reported matches the parallel path's.
+            for (unit, programs) in self.banks.iter_mut().zip(&work) {
+                for (subarray, prog) in programs {
+                    unit.engines[*subarray].run_verified_cached(prog.as_ref(), cache)?;
+                }
+            }
+            return Ok(());
+        }
         let results: Vec<Result<(), CoreError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .banks
@@ -390,7 +460,8 @@ impl DeviceArray {
                     } else {
                         Some(scope.spawn(move || -> Result<(), CoreError> {
                             for (subarray, prog) in programs {
-                                unit.engines[*subarray].run_verified(prog)?;
+                                unit.engines[*subarray]
+                                    .run_verified_cached(prog.as_ref(), cache)?;
                             }
                             Ok(())
                         }))
@@ -621,6 +692,40 @@ mod tests {
         m.release(h).unwrap();
         assert!(matches!(m.load(h), Err(CoreError::InvalidHandle(_))));
         assert!(matches!(m.inject_bit_error(h, 0), Err(CoreError::InvalidHandle(_))));
+    }
+
+    #[test]
+    fn element_reads_match_load() {
+        let mut m = small(4);
+        let bits = m.row_bits() * 3 + 17;
+        let v = pattern(bits, 5);
+        let h = m.store(&v).unwrap();
+        let loaded = m.load(h).unwrap();
+        for i in 0..bits {
+            assert_eq!(m.element(h, i).unwrap(), loaded.get(i), "bit {i}");
+        }
+        assert!(matches!(m.element(h, bits), Err(CoreError::InvalidHandle(_))));
+        m.release(h).unwrap();
+        assert!(matches!(m.element(h, 0), Err(CoreError::InvalidHandle(_))));
+    }
+
+    #[test]
+    fn analysis_verdicts_are_cached_across_stripes_and_ops() {
+        let mut m = small(8);
+        let bits = m.row_bits() * 16; // 2 stripes per bank
+        let a = m.store(&pattern(bits, 2)).unwrap();
+        let b = m.store(&pattern(bits, 3)).unwrap();
+        assert!(m.analysis_cache().is_empty());
+        let (c, _) = m.binary(LogicOp::And, a, b).unwrap();
+        let after_first = m.analysis_cache().len();
+        // 16 stripes executed, but row allocation is identical in every
+        // subarray, so only a handful of distinct verdicts exist.
+        assert!(after_first <= 2, "cache holds {after_first} verdicts for one op");
+        let (_, _) = m.binary(LogicOp::And, a, b).unwrap();
+        // Identical second op (same rows freed? no — new dst rows) may add
+        // a verdict, but never one per stripe.
+        assert!(m.analysis_cache().len() <= after_first + 2);
+        m.release(c).unwrap();
     }
 
     #[test]

@@ -9,7 +9,6 @@ use crate::bitvec::BitVec;
 use crate::compile::{compile, CompileMode, LogicOp, Operands};
 use crate::engine::SubarrayEngine;
 use crate::error::CoreError;
-use crate::primitive::RowRef;
 use crate::rowmap::RowAllocator;
 use elp2im_dram::stats::RunStats;
 use std::collections::HashMap;
@@ -69,6 +68,8 @@ pub struct Elp2imDevice {
     next_handle: usize,
     /// One data row kept aside as compiler scratch (XOR sequence 1 only).
     scratch_row: usize,
+    /// Memoizes static-analysis verdicts for repeated op/row patterns.
+    analysis_cache: crate::analysis::AnalysisCache,
 }
 
 impl Elp2imDevice {
@@ -85,7 +86,15 @@ impl Elp2imDevice {
         // The last data row is the compiler's scratch.
         let scratch_row = config.data_rows - 1;
         let alloc = RowAllocator::new(config.data_rows - 1);
-        Elp2imDevice { config, engine, alloc, handles: HashMap::new(), next_handle: 0, scratch_row }
+        Elp2imDevice {
+            config,
+            engine,
+            alloc,
+            handles: HashMap::new(),
+            next_handle: 0,
+            scratch_row,
+            analysis_cache: crate::analysis::AnalysisCache::new(),
+        }
     }
 
     /// The configuration in use.
@@ -109,23 +118,6 @@ impl Elp2imDevice {
         self.alloc.live()
     }
 
-    fn pad(&self, value: &BitVec) -> Result<BitVec, CoreError> {
-        if value.len() > self.config.width {
-            return Err(CoreError::WidthMismatch { expected: self.config.width, got: value.len() });
-        }
-        if value.len() == self.config.width {
-            return Ok(value.clone());
-        }
-        let mut padded = BitVec::zeros(self.config.width);
-        for (i, word) in value.words().iter().enumerate() {
-            // Cheap word-wise copy; tail already masked by BitVec.
-            let mut w = padded.words().to_vec();
-            w[i] = *word;
-            padded = BitVec::from_words(&w, self.config.width);
-        }
-        Ok(padded)
-    }
-
     fn lookup(&self, h: RowHandle) -> Result<(usize, usize), CoreError> {
         self.handles.get(&h.0).copied().ok_or(CoreError::InvalidHandle(h.0))
     }
@@ -137,9 +129,12 @@ impl Elp2imDevice {
     /// [`CoreError::WidthMismatch`] if the vector is wider than a row;
     /// [`CoreError::CapacityExceeded`] if no rows are free.
     pub fn store(&mut self, value: &BitVec) -> Result<RowHandle, CoreError> {
-        let padded = self.pad(value)?;
+        if value.len() > self.config.width {
+            return Err(CoreError::WidthMismatch { expected: self.config.width, got: value.len() });
+        }
         let row = self.alloc.alloc()?;
-        self.engine.write_row(row, padded)?;
+        // Zero-pads the tail columns in the row arena directly.
+        self.engine.write_row_from(row, value, 0)?;
         let h = self.next_handle;
         self.next_handle += 1;
         self.handles.insert(h, (row, value.len()));
@@ -162,8 +157,9 @@ impl Elp2imDevice {
     /// [`CoreError::InvalidHandle`] for a dead handle.
     pub fn load(&self, h: RowHandle) -> Result<BitVec, CoreError> {
         let (row, len) = self.lookup(h)?;
-        let full = self.engine.row(RowRef::Data(row))?;
-        Ok((0..len).map(|i| full.get(i)).collect())
+        let mut out = BitVec::zeros(len);
+        self.engine.read_row_into(row, &mut out, 0)?;
+        Ok(out)
     }
 
     /// Frees a row.
@@ -202,7 +198,7 @@ impl Elp2imDevice {
                 return Err(e);
             }
         };
-        if let Err(e) = self.engine.run_verified(&prog) {
+        if let Err(e) = self.engine.run_verified_cached(&prog, &self.analysis_cache) {
             let _ = self.alloc.free(dst);
             return Err(e);
         }
@@ -296,7 +292,7 @@ impl Elp2imDevice {
                 return Err(e);
             }
         };
-        if let Err(e) = self.engine.run_verified(&prog) {
+        if let Err(e) = self.engine.run_verified_cached(&prog, &self.analysis_cache) {
             let _ = self.alloc.free(dst);
             return Err(e);
         }

@@ -1,6 +1,6 @@
 //! The functional subarray engine.
 //!
-//! Executes primitive programs over whole rows ([`BitVec`]s) with the exact
+//! Executes primitive programs over whole rows with the exact
 //! pseudo-precharge semantics of §3.2:
 //!
 //! * After an APP-class primitive, every bitline column is either
@@ -15,24 +15,23 @@
 //! * Dual-contact rows read and restore complemented values through their
 //!   bar port, implementing NOT.
 //!
+//! Row storage is a single arena: one contiguous `Vec<u64>` holding every
+//! data and DCC row at a fixed stride, with a parallel liveness bitmap.
+//! The bitline and the regulation keep-mask are pre-sized scratch buffers,
+//! so the steady-state execute loop performs **zero heap allocations per
+//! primitive** — each primitive is a handful of word loops over the arena.
+//!
 //! Every executed primitive is accounted against the DDR3 substrate
 //! (latency, energy, wordline events) via its command profile.
 
-use crate::bitvec::BitVec;
+use crate::analysis::AnalysisCache;
+use crate::bitvec::{copy_bits, BitVec, WORD_BITS};
 use crate::error::CoreError;
+use crate::optimizer::PhysRow;
 use crate::primitive::{Primitive, RegulateMode, RowRef};
 use elp2im_dram::power::PowerModel;
 use elp2im_dram::stats::RunStats;
 use elp2im_dram::timing::Ddr3Timing;
-
-/// Pending bitline regulation left by an APP-class primitive.
-#[derive(Debug, Clone, PartialEq)]
-struct Regulation {
-    /// Columns holding the full-rail surviving value (will overwrite).
-    keep: BitVec,
-    /// Which mode produced it.
-    mode: RegulateMode,
-}
 
 /// One entry of an execution trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +44,16 @@ pub struct TraceEntry {
     pub start: elp2im_dram::units::Ns,
     /// Duration.
     pub duration: elp2im_dram::units::Ns,
+}
+
+/// Zeroes the bits beyond `len_bits` in the last word of `words`.
+fn mask_slice_tail(words: &mut [u64], len_bits: usize) {
+    let tail = len_bits % WORD_BITS;
+    if tail != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
 }
 
 /// The functional model of one ELP2IM subarray.
@@ -69,14 +78,35 @@ pub struct TraceEntry {
 #[derive(Debug, Clone)]
 pub struct SubarrayEngine {
     width: usize,
-    rows: Vec<Option<BitVec>>,
-    dcc: Vec<Option<BitVec>>,
-    regulation: Option<Regulation>,
+    /// Arena stride: words per physical row.
+    words_per_row: usize,
+    data_rows: usize,
+    dcc_rows: usize,
+    /// All row contents, `[dcc rows..., data rows...]`, one stride each
+    /// (reserved rows first: they are touched by nearly every program, so
+    /// keeping them at low indices lets the lazy zero-fill stop at the
+    /// highest *data* row actually used). DCC rows store the true-port
+    /// value; the bar port complements on the fly. Allocated lazily on the first write: a module or device array
+    /// constructs one engine per subarray, but a given workload usually
+    /// touches only a few, and an untouched engine must not pay for (or
+    /// zero) row storage. Every reader is liveness-gated, and rows only
+    /// become live through the writing paths, which allocate first.
+    arena: Vec<u64>,
+    /// Per physical row: does it currently hold valid data?
+    live: Vec<bool>,
+    /// Pending regulation mode left by an APP-class primitive, if any.
+    reg_mode: Option<RegulateMode>,
+    /// Scratch: columns holding the full-rail surviving value (overwrite).
+    /// Sized with the arena on first write; empty until then.
+    reg_keep: Vec<u64>,
+    /// Scratch: the value latched on the bitline by the last activation.
+    /// Sized with the arena on first write; empty until then.
+    bitline: Vec<u64>,
     timing: Ddr3Timing,
     power: PowerModel,
     stats: RunStats,
     trace: Option<Vec<TraceEntry>>,
-    /// Wordline-raise counts per physical row: `[data rows..., dcc rows...]`.
+    /// Wordline-raise counts per physical row: `[dcc rows..., data rows...]`.
     /// Reserved rows absorb most of a PIM workload's activations (they are
     /// touched by nearly every operation), which matters for disturbance
     /// budgets (row-hammer-style neighbor disturb).
@@ -88,42 +118,45 @@ impl SubarrayEngine {
     /// `dcc_rows` reserved dual-contact rows (the paper's base design has
     /// one; the accelerator configuration of §6.3.3 has two).
     pub fn new(width: usize, data_rows: usize, dcc_rows: usize) -> Self {
+        let words_per_row = width.div_ceil(WORD_BITS);
+        let rows = data_rows + dcc_rows;
         SubarrayEngine {
             width,
-            rows: vec![None; data_rows],
-            dcc: vec![None; dcc_rows],
-            regulation: None,
+            words_per_row,
+            data_rows,
+            dcc_rows,
+            arena: Vec::new(),
+            live: vec![false; rows],
+            reg_mode: None,
+            reg_keep: Vec::new(),
+            bitline: Vec::new(),
             timing: Ddr3Timing::ddr3_1600(),
             power: PowerModel::micron_ddr3_1600(),
             stats: RunStats::new(),
             trace: None,
-            activation_counts: vec![0; data_rows + dcc_rows],
+            activation_counts: vec![0; rows],
         }
     }
 
     /// Wordline-raise count of one physical row.
     pub fn activation_count(&self, row: RowRef) -> u64 {
         let idx = match row {
-            RowRef::Data(i) => i,
-            RowRef::DccTrue(i) | RowRef::DccBar(i) => self.rows.len() + i,
+            RowRef::Data(i) => self.dcc_rows + i,
+            RowRef::DccTrue(i) | RowRef::DccBar(i) => i,
         };
         self.activation_counts.get(idx).copied().unwrap_or(0)
     }
 
     /// The most-activated row and its count — the disturbance hot spot.
-    pub fn hottest_row(&self) -> (RowRef, u64) {
-        let (idx, &count) = self
-            .activation_counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| c)
-            .expect("at least one row");
-        let row = if idx < self.rows.len() {
-            RowRef::Data(idx)
+    /// `None` for an engine with no rows at all.
+    pub fn hottest_row(&self) -> Option<(RowRef, u64)> {
+        let (idx, &count) = self.activation_counts.iter().enumerate().max_by_key(|&(_, c)| c)?;
+        let row = if idx < self.dcc_rows {
+            RowRef::DccTrue(idx)
         } else {
-            RowRef::DccTrue(idx - self.rows.len())
+            RowRef::Data(idx - self.dcc_rows)
         };
-        (row, count)
+        Some((row, count))
     }
 
     /// Enables primitive-level execution tracing (start time, duration
@@ -145,12 +178,12 @@ impl SubarrayEngine {
 
     /// Number of regular data rows.
     pub fn data_rows(&self) -> usize {
-        self.rows.len()
+        self.data_rows
     }
 
     /// Number of reserved dual-contact rows.
     pub fn dcc_rows(&self) -> usize {
-        self.dcc.len()
+        self.dcc_rows
     }
 
     /// Accumulated substrate statistics.
@@ -171,7 +204,52 @@ impl SubarrayEngine {
     /// Whether a regulation is pending (a well-formed program ends with
     /// none).
     pub fn has_pending_regulation(&self) -> bool {
-        self.regulation.is_some()
+        self.reg_mode.is_some()
+    }
+
+    fn out_of_range(&self, row: RowRef) -> CoreError {
+        CoreError::RowOutOfRange { row, rows: self.data_rows, dcc_rows: self.dcc_rows }
+    }
+
+    /// Arena index of a physical row, or an out-of-range error.
+    fn phys_index(&self, row: RowRef) -> Result<usize, CoreError> {
+        match row {
+            RowRef::Data(i) if i < self.data_rows => Ok(self.dcc_rows + i),
+            RowRef::DccTrue(i) | RowRef::DccBar(i) if i < self.dcc_rows => Ok(i),
+            _ => Err(self.out_of_range(row)),
+        }
+    }
+
+    /// Makes the arena stride for physical row `idx` addressable. Must be
+    /// called before any path that writes `self.arena`; readers never need
+    /// it because they are liveness-gated and liveness implies a prior
+    /// write.
+    ///
+    /// The first call reserves the full arena capacity in one allocation
+    /// (so later growth never reallocates or moves row data) but only
+    /// *zeroes* strides up to the highest row actually written: a workload
+    /// that touches four rows of a 512-row subarray initializes four
+    /// strides, not 512.
+    fn ensure_row(&mut self, idx: usize) {
+        if self.bitline.is_empty() && self.words_per_row > 0 {
+            self.arena.reserve_exact((self.data_rows + self.dcc_rows) * self.words_per_row);
+            // The bitline/keep-mask scratch rows ride along: primitives can
+            // only touch engines that hold at least one live row.
+            self.reg_keep = vec![0; self.words_per_row];
+            self.bitline = vec![0; self.words_per_row];
+        }
+        let need = (idx + 1) * self.words_per_row;
+        if self.arena.len() < need {
+            self.arena.resize(need, 0);
+        }
+    }
+
+    /// Whether a physical row (analyzer addressing) holds data.
+    fn phys_row_live(&self, row: PhysRow) -> bool {
+        match row {
+            PhysRow::Data(i) => i < self.data_rows && self.live[self.dcc_rows + i],
+            PhysRow::Dcc(i) => i < self.dcc_rows && self.live[i],
+        }
     }
 
     /// Writes a data row directly (host-side store, outside PIM timing).
@@ -183,18 +261,70 @@ impl SubarrayEngine {
         if value.len() != self.width {
             return Err(CoreError::WidthMismatch { expected: self.width, got: value.len() });
         }
-        let (rows, dcc_rows) = (self.rows.len(), self.dcc.len());
-        let slot = self.rows.get_mut(index).ok_or(CoreError::RowOutOfRange {
-            row: RowRef::Data(index),
-            rows,
-            dcc_rows,
-        })?;
-        *slot = Some(value);
+        if index >= self.data_rows {
+            return Err(self.out_of_range(RowRef::Data(index)));
+        }
+        let idx = self.dcc_rows + index;
+        self.ensure_row(idx);
+        let wpr = self.words_per_row;
+        self.arena[idx * wpr..(idx + 1) * wpr].copy_from_slice(value.words());
+        self.live[idx] = true;
         Ok(())
     }
 
-    fn out_of_range(&self, row: RowRef) -> CoreError {
-        CoreError::RowOutOfRange { row, rows: self.rows.len(), dcc_rows: self.dcc.len() }
+    /// Writes a window of `src` into data row `index` with no intermediate
+    /// row-sized allocation: bits `src_start..` of `src` (as many as fit
+    /// the row, clamped to what `src` holds) land in columns `0..`, any
+    /// remaining columns are zero-filled, and the row becomes live. This
+    /// is the zero-copy striping path used by the batch store.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RowOutOfRange`] for a bad row index.
+    pub fn write_row_from(
+        &mut self,
+        index: usize,
+        src: &BitVec,
+        src_start: usize,
+    ) -> Result<(), CoreError> {
+        if index >= self.data_rows {
+            return Err(self.out_of_range(RowRef::Data(index)));
+        }
+        let idx = self.dcc_rows + index;
+        self.ensure_row(idx);
+        let n = self.width.min(src.len().saturating_sub(src_start));
+        let wpr = self.words_per_row;
+        let dst = &mut self.arena[idx * wpr..(idx + 1) * wpr];
+        dst.fill(0);
+        copy_bits(dst, 0, src.words(), src_start, n);
+        self.live[idx] = true;
+        Ok(())
+    }
+
+    /// Reads data row `index` into `dst` starting at bit `dst_start`
+    /// (zero-copy host load path). Copies `min(width, dst.len() -
+    /// dst_start)` bits; the rest of `dst` is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range or non-live rows are errors.
+    pub fn read_row_into(
+        &self,
+        index: usize,
+        dst: &mut BitVec,
+        dst_start: usize,
+    ) -> Result<(), CoreError> {
+        if index >= self.data_rows {
+            return Err(self.out_of_range(RowRef::Data(index)));
+        }
+        let idx = self.dcc_rows + index;
+        if !self.live[idx] {
+            return Err(CoreError::UninitializedRow(RowRef::Data(index)));
+        }
+        let n = self.width.min(dst.len().saturating_sub(dst_start));
+        let wpr = self.words_per_row;
+        copy_bits(dst.words_mut(), dst_start, &self.arena[idx * wpr..(idx + 1) * wpr], 0, n);
+        Ok(())
     }
 
     /// Reads the stored content of a row (through the referenced port).
@@ -203,96 +333,116 @@ impl SubarrayEngine {
     ///
     /// Out-of-range, destroyed, or uninitialized rows are errors.
     pub fn row(&self, row: RowRef) -> Result<BitVec, CoreError> {
-        match row {
-            RowRef::Data(i) => {
-                let slot = self.rows.get(i).ok_or_else(|| self.out_of_range(row))?;
-                slot.clone().ok_or(CoreError::UninitializedRow(row))
-            }
-            RowRef::DccTrue(i) => {
-                let slot = self.dcc.get(i).ok_or_else(|| self.out_of_range(row))?;
-                slot.clone().ok_or(CoreError::UninitializedRow(row))
-            }
-            RowRef::DccBar(i) => {
-                let slot = self.dcc.get(i).ok_or_else(|| self.out_of_range(row))?;
-                slot.clone().map(|v| v.not()).ok_or(CoreError::UninitializedRow(row))
-            }
+        let idx = self.phys_index(row)?;
+        if !self.live[idx] {
+            return Err(CoreError::UninitializedRow(row));
         }
+        let wpr = self.words_per_row;
+        let mut v = BitVec::from_words(&self.arena[idx * wpr..(idx + 1) * wpr], self.width);
+        if matches!(row, RowRef::DccBar(_)) {
+            v.not_assign();
+        }
+        Ok(v)
+    }
+
+    /// Reads one bit of a row through the referenced port, without
+    /// materializing the whole row.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range columns or rows and non-live rows are errors.
+    pub fn bit(&self, row: RowRef, column: usize) -> Result<bool, CoreError> {
+        if column >= self.width {
+            return Err(CoreError::WidthMismatch { expected: self.width, got: column + 1 });
+        }
+        let idx = self.phys_index(row)?;
+        if !self.live[idx] {
+            return Err(CoreError::UninitializedRow(row));
+        }
+        let w = self.arena[idx * self.words_per_row + column / WORD_BITS];
+        let bit = (w >> (column % WORD_BITS)) & 1 == 1;
+        Ok(if matches!(row, RowRef::DccBar(_)) { !bit } else { bit })
     }
 
     /// Whether the row currently holds valid data.
     pub fn is_live(&self, row: RowRef) -> bool {
-        match row {
-            RowRef::Data(i) => self.rows.get(i).is_some_and(Option::is_some),
-            RowRef::DccTrue(i) | RowRef::DccBar(i) => self.dcc.get(i).is_some_and(Option::is_some),
-        }
+        self.phys_index(row).is_ok_and(|idx| self.live[idx])
     }
 
-    /// Stores `value` through `row`'s port (bar port stores the
+    /// Stores the bitline through `row`'s port (bar port stores the
     /// complement of what the bitline carries — the cell keeps `!value`).
-    fn restore(&mut self, row: RowRef, bitline_value: &BitVec) -> Result<(), CoreError> {
-        match row {
-            RowRef::Data(i) => {
-                if i >= self.rows.len() {
-                    return Err(self.out_of_range(row));
-                }
-                self.rows[i] = Some(bitline_value.clone());
+    fn restore(&mut self, row: RowRef) -> Result<(), CoreError> {
+        let idx = self.phys_index(row)?;
+        self.ensure_row(idx);
+        let wpr = self.words_per_row;
+        let dst = &mut self.arena[idx * wpr..(idx + 1) * wpr];
+        if matches!(row, RowRef::DccBar(_)) {
+            for (d, &s) in dst.iter_mut().zip(&self.bitline) {
+                *d = !s;
             }
-            RowRef::DccTrue(i) => {
-                if i >= self.dcc.len() {
-                    return Err(self.out_of_range(row));
-                }
-                self.dcc[i] = Some(bitline_value.clone());
-            }
-            RowRef::DccBar(i) => {
-                if i >= self.dcc.len() {
-                    return Err(self.out_of_range(row));
-                }
-                self.dcc[i] = Some(bitline_value.not());
-            }
+            mask_slice_tail(dst, self.width);
+        } else {
+            dst.copy_from_slice(&self.bitline);
         }
+        self.live[idx] = true;
         Ok(())
     }
 
     fn destroy(&mut self, row: RowRef) -> Result<(), CoreError> {
-        match row {
-            RowRef::Data(i) => {
-                if i >= self.rows.len() {
-                    return Err(self.out_of_range(row));
+        let idx = self.phys_index(row)?;
+        self.live[idx] = false;
+        Ok(())
+    }
+
+    /// Activates `row`: senses the stored value through the referenced
+    /// port, applies any pending regulation, and leaves the result latched
+    /// in the bitline scratch buffer.
+    fn activate(&mut self, row: RowRef) -> Result<(), CoreError> {
+        let idx = self.phys_index(row)?;
+        if !self.live[idx] {
+            // The row was never written or was destroyed by a trim; either
+            // way sensing it is undefined. (Errors here leave the pending
+            // regulation in place — no charge has moved yet.)
+            return Err(CoreError::DestroyedRowRead(row));
+        }
+        let wpr = self.words_per_row;
+        let stored = &self.arena[idx * wpr..(idx + 1) * wpr];
+        let bar = matches!(row, RowRef::DccBar(_));
+        match self.reg_mode.take() {
+            None => {
+                for (d, &s) in self.bitline.iter_mut().zip(stored) {
+                    *d = if bar { !s } else { s };
                 }
-                self.rows[i] = None;
             }
-            RowRef::DccTrue(i) | RowRef::DccBar(i) => {
-                if i >= self.dcc.len() {
-                    return Err(self.out_of_range(row));
+            // Overwriting columns snap to the surviving rail (Vdd for OR,
+            // Gnd for AND); neutral columns sense the cell. The keep-mask
+            // is the regulating bitline itself: OR keeps 1-columns, so the
+            // merge collapses to `v | keep`; AND keeps (overwrites to 0)
+            // the complement's columns, so it collapses to `v & keep`.
+            Some(RegulateMode::Or) => {
+                for ((d, &s), &k) in self.bitline.iter_mut().zip(stored).zip(&self.reg_keep) {
+                    *d = if bar { !s } else { s } | k;
                 }
-                self.dcc[i] = None;
             }
+            Some(RegulateMode::And) => {
+                for ((d, &s), &k) in self.bitline.iter_mut().zip(stored).zip(&self.reg_keep) {
+                    *d = (if bar { !s } else { s }) & k;
+                }
+            }
+        }
+        if bar {
+            mask_slice_tail(&mut self.bitline, self.width);
         }
         Ok(())
     }
 
-    /// Activates `row`: applies any pending regulation and returns the
-    /// value latched on the bitline.
-    fn activate(&mut self, row: RowRef) -> Result<BitVec, CoreError> {
-        let stored = match self.row(row) {
-            Ok(v) => v,
-            Err(CoreError::UninitializedRow(r)) => {
-                // Distinguish "never written" from "destroyed by a trim":
-                // both are unreadable; report destroyed reads specially when
-                // regulation would not fully overwrite them. For simplicity
-                // and safety, any read of an invalid row is an error.
-                return Err(CoreError::DestroyedRowRead(r));
-            }
-            Err(e) => return Err(e),
-        };
-        let value = match self.regulation.take() {
-            None => stored,
-            Some(reg) => {
-                let surviving = BitVec::splat(reg.mode.surviving_bit(), self.width);
-                stored.merge(&reg.keep, &surviving)
-            }
-        };
-        Ok(value)
+    /// Latches the post-activation bitline as a pending regulation. Both
+    /// modes keep the bitline verbatim: for OR the 1-columns overwrite
+    /// with Vdd (`v | bitline` on apply); for AND the 0-columns overwrite
+    /// with Gnd, and `(v & !(!bitline))` collapses to `v & bitline`.
+    fn set_regulation(&mut self, mode: RegulateMode) {
+        self.reg_keep.copy_from_slice(&self.bitline);
+        self.reg_mode = Some(mode);
     }
 
     fn check_dual_decoder(&self, p: &Primitive, a: RowRef, b: RowRef) -> Result<(), CoreError> {
@@ -305,8 +455,8 @@ impl SubarrayEngine {
     fn account(&mut self, p: &Primitive) {
         for row in p.rows() {
             let idx = match row {
-                RowRef::Data(i) => i,
-                RowRef::DccTrue(i) | RowRef::DccBar(i) => self.rows.len() + i,
+                RowRef::Data(i) => self.dcc_rows + i,
+                RowRef::DccTrue(i) | RowRef::DccBar(i) => i,
             };
             if let Some(c) = self.activation_counts.get_mut(idx) {
                 *c += 1;
@@ -342,43 +492,35 @@ impl SubarrayEngine {
     pub fn execute(&mut self, p: &Primitive) -> Result<(), CoreError> {
         match *p {
             Primitive::Ap { row } => {
-                let v = self.activate(row)?;
-                self.restore(row, &v)?;
+                self.activate(row)?;
+                self.restore(row)?;
             }
             Primitive::Aap { src, dst } | Primitive::OAap { src, dst } => {
                 self.check_dual_decoder(p, src, dst)?;
-                let v = self.activate(src)?;
-                self.restore(src, &v)?;
-                self.restore(dst, &v)?;
+                self.activate(src)?;
+                self.restore(src)?;
+                self.restore(dst)?;
             }
             Primitive::App { row, mode } | Primitive::OApp { row, mode } => {
-                let v = self.activate(row)?;
-                self.restore(row, &v)?;
-                self.set_regulation(mode, &v);
+                self.activate(row)?;
+                self.restore(row)?;
+                self.set_regulation(mode);
             }
             Primitive::TApp { row, mode } | Primitive::OtApp { row, mode } => {
-                let v = self.activate(row)?;
+                self.activate(row)?;
                 self.destroy(row)?;
-                self.set_regulation(mode, &v);
+                self.set_regulation(mode);
             }
             Primitive::OAppCopy { src, dst, mode } => {
                 self.check_dual_decoder(p, src, dst)?;
-                let v = self.activate(src)?;
-                self.restore(src, &v)?;
-                self.restore(dst, &v)?;
-                self.set_regulation(mode, &v);
+                self.activate(src)?;
+                self.restore(src)?;
+                self.restore(dst)?;
+                self.set_regulation(mode);
             }
         }
         self.account(p);
         Ok(())
-    }
-
-    fn set_regulation(&mut self, mode: RegulateMode, bitline: &BitVec) {
-        let keep = match mode {
-            RegulateMode::Or => bitline.clone(),
-            RegulateMode::And => bitline.not(),
-        };
-        self.regulation = Some(Regulation { keep, mode });
     }
 
     /// Executes a sequence of primitives in order.
@@ -413,22 +555,46 @@ impl SubarrayEngine {
     /// Debug builds panic if an analyzer-accepted program still trips an
     /// engine error — a static/dynamic divergence bug.
     pub fn run_verified(&mut self, program: &crate::isa::Program) -> Result<(), CoreError> {
-        use crate::optimizer::PhysRow;
+        self.run_verified_inner(program, None)
+    }
+
+    /// Like [`SubarrayEngine::run_verified`], memoizing the analyzer
+    /// verdict in `cache` so a program striped across many subarrays in
+    /// equivalent states is analyzed once, not once per stripe.
+    pub fn run_verified_cached(
+        &mut self,
+        program: &crate::isa::Program,
+        cache: &AnalysisCache,
+    ) -> Result<(), CoreError> {
+        self.run_verified_inner(program, Some(cache))
+    }
+
+    fn run_verified_inner(
+        &mut self,
+        program: &crate::isa::Program,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<(), CoreError> {
         use crate::validate::SubarrayShape;
-        let shape = SubarrayShape { data_rows: self.rows.len(), dcc_rows: self.dcc.len() };
-        let mut live_in: Vec<PhysRow> = Vec::new();
-        live_in.extend(
-            self.rows
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.is_some())
-                .map(|(i, _)| PhysRow::Data(i)),
-        );
-        live_in.extend(
-            self.dcc.iter().enumerate().filter(|(_, r)| r.is_some()).map(|(i, _)| PhysRow::Dcc(i)),
-        );
-        let report = crate::analysis::analyze(program, shape, &live_in);
-        if let Some(v) = report.to_violations().into_iter().next() {
+        let shape = SubarrayShape { data_rows: self.data_rows, dcc_rows: self.dcc_rows };
+        let verdict = match cache {
+            Some(cache) => cache.first_violation(program, shape, |r| self.phys_row_live(r)),
+            None => {
+                let mut live_in: Vec<PhysRow> = Vec::new();
+                for i in 0..self.data_rows {
+                    if self.live[self.dcc_rows + i] {
+                        live_in.push(PhysRow::Data(i));
+                    }
+                }
+                for i in 0..self.dcc_rows {
+                    if self.live[i] {
+                        live_in.push(PhysRow::Dcc(i));
+                    }
+                }
+                let report = crate::analysis::analyze(program, shape, &live_in);
+                report.to_violations().into_iter().next()
+            }
+        };
+        if let Some(v) = verdict {
             return Err(v.into());
         }
         for p in program.primitives() {
@@ -448,7 +614,8 @@ impl SubarrayEngine {
     /// of the kind the Fig. 11 Monte-Carlo quantifies (e.g. a TRA margin
     /// collapse or a Vdd/2 mismatch flip). Subsequent operations propagate
     /// the corruption, which is how the §6.1.2 ECC discussion manifests:
-    /// bitwise PIM results carry no error-correction.
+    /// bitwise PIM results carry no error-correction. (Flipping the stored
+    /// cell flips the readout on both ports of a DCC row.)
     ///
     /// # Errors
     ///
@@ -457,10 +624,12 @@ impl SubarrayEngine {
         if column >= self.width {
             return Err(CoreError::WidthMismatch { expected: self.width, got: column + 1 });
         }
-        let mut value = self.row(row)?;
-        value.set(column, !value.get(column));
-        // Store through the same port semantics as a restore.
-        self.restore(row, &value)
+        let idx = self.phys_index(row)?;
+        if !self.live[idx] {
+            return Err(CoreError::UninitializedRow(row));
+        }
+        self.arena[idx * self.words_per_row + column / WORD_BITS] ^= 1 << (column % WORD_BITS);
+        Ok(())
     }
 }
 
@@ -603,6 +772,50 @@ mod tests {
     }
 
     #[test]
+    fn write_read_windows_roundtrip() {
+        // Striping helpers: unaligned windows in and out of rows.
+        let mut e = SubarrayEngine::new(64, 4, 1);
+        let src: BitVec = (0..150).map(|i| i % 3 == 0).collect();
+        e.write_row_from(0, &src, 0).unwrap();
+        e.write_row_from(1, &src, 64).unwrap();
+        e.write_row_from(2, &src, 128).unwrap(); // partial: 22 bits + zero fill
+        e.write_row_from(3, &src, 7).unwrap(); // unaligned window
+        for c in 0..64 {
+            assert_eq!(e.bit(RowRef::Data(0), c).unwrap(), src.get(c));
+            assert_eq!(e.bit(RowRef::Data(1), c).unwrap(), src.get(64 + c));
+            let expect = if c < 22 { src.get(128 + c) } else { false };
+            assert_eq!(e.bit(RowRef::Data(2), c).unwrap(), expect);
+            assert_eq!(e.bit(RowRef::Data(3), c).unwrap(), src.get(7 + c));
+        }
+        let mut out = BitVec::zeros(150);
+        e.read_row_into(0, &mut out, 0).unwrap();
+        e.read_row_into(1, &mut out, 64).unwrap();
+        e.read_row_into(2, &mut out, 128).unwrap();
+        assert_eq!(out.to_bools()[..128], src.to_bools()[..128]);
+        assert_eq!(out.to_bools()[128..150], src.to_bools()[128..150]);
+        // Errors: bad index, dead row, bad column.
+        assert!(e.write_row_from(9, &src, 0).is_err());
+        assert!(e.read_row_into(9, &mut out, 0).is_err());
+        let dead = SubarrayEngine::new(64, 1, 0);
+        assert!(dead.read_row_into(0, &mut out, 0).is_err());
+        assert!(e.bit(RowRef::Data(0), 64).is_err());
+    }
+
+    #[test]
+    fn bit_reads_through_ports() {
+        let mut e = engine();
+        e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+        for c in 0..4 {
+            assert_eq!(e.bit(RowRef::Data(0), c).unwrap(), e.row(RowRef::Data(0)).unwrap().get(c));
+            assert_eq!(
+                e.bit(RowRef::DccBar(0), c).unwrap(),
+                e.row(RowRef::DccBar(0)).unwrap().get(c)
+            );
+        }
+        assert!(matches!(e.bit(RowRef::Data(7), 0), Err(CoreError::UninitializedRow(_))));
+    }
+
+    #[test]
     fn activation_counts_identify_the_reserved_row_hot_spot() {
         use crate::compile::{compile, CompileMode, LogicOp, Operands};
         let mut e = SubarrayEngine::new(4, 8, 1);
@@ -614,13 +827,19 @@ mod tests {
         for _ in 0..10 {
             e.run(prog.primitives()).unwrap();
         }
-        let (hottest, count) = e.hottest_row();
+        let (hottest, count) = e.hottest_row().expect("engine has rows");
         assert_eq!(hottest, RowRef::DccTrue(0), "the DCC absorbs the workload");
         // seq5 raises the DCC wordline 4 times per XOR (two copies in,
         // one compute-out, one trimmed read).
         assert_eq!(count, 40);
         assert_eq!(e.activation_count(RowRef::Data(0)), 20); // a read twice/op
         assert_eq!(e.activation_count(RowRef::Data(7)), 0);
+    }
+
+    #[test]
+    fn hottest_row_of_empty_engine_is_none() {
+        let e = SubarrayEngine::new(4, 0, 0);
+        assert!(e.hottest_row().is_none());
     }
 
     #[test]
@@ -677,5 +896,32 @@ mod tests {
         assert!(e.has_pending_regulation());
         e.execute(&Primitive::Ap { row: RowRef::Data(1) }).unwrap();
         assert!(!e.has_pending_regulation());
+    }
+
+    #[test]
+    fn wide_rows_keep_tail_columns_clean() {
+        // A 70-bit row exercises the tail-masking of the bar-port
+        // complement and the regulation kernels.
+        let mut e = SubarrayEngine::new(70, 4, 1);
+        let a: BitVec = (0..70).map(|i| i % 3 == 0).collect();
+        let b: BitVec = (0..70).map(|i| i % 5 == 0).collect();
+        e.write_row(0, a.clone()).unwrap();
+        e.write_row(1, b.clone()).unwrap();
+        // NOT via the DCC: dcc := a, then read the bar port back out.
+        e.execute(&Primitive::OAap { src: RowRef::Data(0), dst: RowRef::DccTrue(0) }).unwrap();
+        e.execute(&Primitive::OAap { src: RowRef::DccBar(0), dst: RowRef::Data(2) }).unwrap();
+        assert_eq!(e.row(RowRef::Data(2)).unwrap(), a.not());
+        // AND through the regulation path.
+        e.run(&[
+            Primitive::App { row: RowRef::Data(0), mode: RegulateMode::And },
+            Primitive::Ap { row: RowRef::Data(1) },
+        ])
+        .unwrap();
+        assert_eq!(e.row(RowRef::Data(1)).unwrap(), a.and(&b));
+        // Internal invariant: no stored word carries bits past column 69.
+        for r in [RowRef::Data(0), RowRef::Data(1), RowRef::Data(2)] {
+            let v = e.row(r).unwrap();
+            assert_eq!(v.words()[1] >> 6, 0, "{r:?} tail dirty");
+        }
     }
 }

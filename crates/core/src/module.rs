@@ -13,11 +13,11 @@
 //!   parallelism effects are observable on real data, not just in the
 //!   analytic model.
 
+use crate::analysis::AnalysisCache;
 use crate::bitvec::BitVec;
 use crate::compile::{compile, CompileMode, LogicOp, Operands};
 use crate::engine::SubarrayEngine;
 use crate::error::CoreError;
-use crate::primitive::RowRef;
 use crate::rowmap::RowAllocator;
 use elp2im_dram::constraint::PumpBudget;
 use elp2im_dram::controller::Controller;
@@ -88,6 +88,9 @@ pub struct Elp2imModule {
     allocs: Vec<RowAllocator>,
     vectors: Vec<Option<VecEntry>>,
     controller: Controller,
+    /// Memoizes static-analysis verdicts across chunks (a compiled program
+    /// is analyzed once per distinct shape/liveness, not once per chunk).
+    analysis_cache: AnalysisCache,
 }
 
 impl Elp2imModule {
@@ -100,7 +103,14 @@ impl Elp2imModule {
             .collect();
         let allocs = (0..subarrays).map(|_| RowAllocator::new(g.rows_per_subarray)).collect();
         let controller = Controller::new(g.banks, config.budget.clone());
-        Elp2imModule { config, engines, allocs, vectors: Vec::new(), controller }
+        Elp2imModule {
+            config,
+            engines,
+            allocs,
+            vectors: Vec::new(),
+            controller,
+            analysis_cache: AnalysisCache::new(),
+        }
     }
 
     /// Bits per row (chunk granularity).
@@ -138,14 +148,8 @@ impl Elp2imModule {
         for c in 0..n_chunks {
             let sub = c % self.engines.len();
             let row = self.allocs[sub].alloc()?;
-            let mut chunk = BitVec::zeros(rb);
-            for i in 0..rb {
-                let bit_index = c * rb + i;
-                if bit_index < value.len() {
-                    chunk.set(i, value.get(bit_index));
-                }
-            }
-            self.engines[sub].write_row(row, chunk)?;
+            // Word-level zero-copy chunking straight into the row arena.
+            self.engines[sub].write_row_from(row, value, c * rb)?;
             chunks.push((sub, row));
         }
         let id = self.vectors.len();
@@ -163,13 +167,7 @@ impl Elp2imModule {
         let rb = self.row_bits();
         let mut out = BitVec::zeros(entry.len);
         for (c, &(sub, row)) in entry.chunks.iter().enumerate() {
-            let chunk = self.engines[sub].row(RowRef::Data(row))?;
-            for i in 0..rb {
-                let bit_index = c * rb + i;
-                if bit_index < entry.len {
-                    out.set(bit_index, chunk.get(i));
-                }
-            }
+            self.engines[sub].read_row_into(row, &mut out, c * rb)?;
         }
         Ok(out)
     }
@@ -225,7 +223,7 @@ impl Elp2imModule {
             let dst = self.allocs[sa].alloc()?;
             let rows = Operands { a: ra, b: rb, dst, scratch: None };
             let prog = compile(op, self.config.mode, rows, self.config.reserved_rows)?;
-            self.engines[sa].run_verified(&prog)?;
+            self.engines[sa].run_verified_cached(&prog, &self.analysis_cache)?;
             let bank = self.bank_of(sa);
             let profiles = prog.profiles(self.engines[sa].timing());
             match streams.iter_mut().find(|(bk, _)| *bk == bank) {

@@ -39,9 +39,11 @@ pub enum CommandClass {
     DataBurst,
 }
 
-impl fmt::Display for CommandClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl CommandClass {
+    /// The display mnemonic as a static string (no allocation), used by
+    /// per-command statistics counters.
+    pub fn name(self) -> &'static str {
+        match self {
             CommandClass::Ap => "AP",
             CommandClass::Aap => "AAP",
             CommandClass::OAap => "oAAP",
@@ -53,8 +55,13 @@ impl fmt::Display for CommandClass {
             CommandClass::DrisaStep => "NORstep",
             CommandClass::Precharge => "PRE",
             CommandClass::DataBurst => "BURST",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for CommandClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

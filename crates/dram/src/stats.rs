@@ -32,9 +32,16 @@ impl RunStats {
         RunStats::default()
     }
 
-    /// Records one command.
+    /// Records one command. Allocation-free in steady state: the class
+    /// name is a `&'static str` lookup, and the counter key is only
+    /// materialized the first time a class appears.
     pub fn record(&mut self, class: CommandClass, duration: Ns, wordlines: u8, energy: Picojoules) {
-        *self.commands.entry(class.to_string()).or_insert(0) += 1;
+        match self.commands.get_mut(class.name()) {
+            Some(count) => *count += 1,
+            None => {
+                self.commands.insert(class.name().to_string(), 1);
+            }
+        }
         self.wordline_activations += u64::from(wordlines);
         self.busy_time += duration;
         self.energy += energy;

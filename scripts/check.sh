@@ -39,4 +39,12 @@ trap 'rm -rf "$trace_dir"' EXIT
 cargo run -q --release -p elp2im-bench --bin fig13 -- --trace-json "$trace_dir/trace.json" > /dev/null
 grep -q '"elp2im-trace-v1"' "$trace_dir/trace.json"
 
+echo "==> perf_report smoke (emit + schema-validate BENCH_006)"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --smoke --out "$trace_dir/bench_006.json" > /dev/null
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_006.json"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_006.json
+
+echo "==> batch bench smoke (vendored criterion --smoke fast path)"
+cargo bench -q -p elp2im-bench --bench batch -- --smoke > /dev/null
+
 echo "All checks passed."

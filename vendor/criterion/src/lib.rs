@@ -11,9 +11,20 @@
 //! HTML reports).
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the harness was invoked with `--smoke` (e.g.
+/// `cargo bench --bench batch -- --smoke`): every benchmark then runs a
+/// single short sample so CI can exercise the bench targets end to end in
+/// seconds instead of minutes. Timings printed in smoke mode are not
+/// meaningful.
+pub fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--smoke"))
+}
 
 /// Per-iteration workload metric, used to report throughput.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +73,18 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        if smoke_mode() {
+            // One tiny sample: enough to prove the benchmark runs.
+            let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10) as u64;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.sample = start.elapsed() / iters as u32;
+            self.iters_done = iters + 1;
+            return;
+        }
 
         // Aim for ~20 ms of measurement, capped to keep suites quick.
         let target = Duration::from_millis(20);
