@@ -38,30 +38,32 @@ impl ParityGuard {
     /// Panics if `rows` is empty.
     pub fn new(dev: &mut Elp2imDevice, rows: &[RowHandle]) -> Result<Self, CoreError> {
         assert!(!rows.is_empty(), "guard needs at least one row");
-        let parity = Self::xor_chain(dev, rows)?;
+        let (parity, _) = Self::xor_chain(dev, rows)?;
         Ok(ParityGuard { guarded: rows.to_vec(), parity })
     }
 
-    fn xor_chain(dev: &mut Elp2imDevice, rows: &[RowHandle]) -> Result<RowHandle, CoreError> {
-        let mut acc: Option<RowHandle> = None;
-        for &r in rows {
-            acc = Some(match acc {
-                None => {
-                    // Start with a copy of the first row: r ^ r = 0, then
-                    // 0 ^ r = r (the device exposes no raw RowClone).
-                    let zero = dev.binary(LogicOp::Xor, r, r)?;
-                    let copy = dev.xor(zero, r)?;
-                    dev.release(zero)?;
-                    copy
-                }
-                Some(prev) => {
-                    let next = dev.xor(prev, r)?;
-                    dev.release(prev)?;
-                    next
-                }
-            });
+    /// XOR-folds `rows` into a fresh parity row; returns the handle and the
+    /// number of bulk XORs actually executed: `n−1` for `n ≥ 2` (pairwise
+    /// chain seeded with `rows[0] ^ rows[1]`), `2` for a single row (the
+    /// device exposes no raw RowClone, so copying costs `r^r = 0` then
+    /// `0^r = r`).
+    fn xor_chain(
+        dev: &mut Elp2imDevice,
+        rows: &[RowHandle],
+    ) -> Result<(RowHandle, usize), CoreError> {
+        if let [only] = rows {
+            let zero = dev.binary(LogicOp::Xor, *only, *only)?;
+            let copy = dev.xor(zero, *only)?;
+            dev.release(zero)?;
+            return Ok((copy, 2));
         }
-        Ok(acc.expect("non-empty rows"))
+        let mut acc = dev.xor(rows[0], rows[1])?;
+        for &r in &rows[2..] {
+            let next = dev.xor(acc, r)?;
+            dev.release(acc)?;
+            acc = next;
+        }
+        Ok((acc, rows.len() - 1))
     }
 
     /// The parity row handle.
@@ -76,7 +78,7 @@ impl ParityGuard {
     ///
     /// Device errors propagate.
     pub fn check(&self, dev: &mut Elp2imDevice) -> Result<bool, CoreError> {
-        let fresh = Self::xor_chain(dev, &self.guarded)?;
+        let (fresh, _) = Self::xor_chain(dev, &self.guarded)?;
         let diff = dev.xor(fresh, self.parity)?;
         let clean = dev.load(diff)?.is_zero();
         dev.release(fresh)?;
@@ -85,17 +87,18 @@ impl ParityGuard {
     }
 
     /// Refreshes the stored parity (after legitimate updates to guarded
-    /// rows). Returns the number of bulk XOR operations spent — the §6.1.2
-    /// incompatibility cost.
+    /// rows). Returns the number of bulk XOR operations actually executed
+    /// on the device — the §6.1.2 incompatibility cost: `n−1` for `n ≥ 2`
+    /// guarded rows, `2` for a single row (see [`Self::xor_chain`]).
     ///
     /// # Errors
     ///
     /// Device errors propagate.
     pub fn refresh(&mut self, dev: &mut Elp2imDevice) -> Result<usize, CoreError> {
-        let fresh = Self::xor_chain(dev, &self.guarded)?;
+        let (fresh, xors) = Self::xor_chain(dev, &self.guarded)?;
         dev.release(self.parity)?;
         self.parity = fresh;
-        Ok(self.guarded.len().saturating_sub(1))
+        Ok(xors)
     }
 
     /// The in-DRAM time one parity refresh costs on `dev`'s configuration,
@@ -184,6 +187,60 @@ mod tests {
         assert_eq!(xors, 2);
         assert!(guard2.check(&mut dev).unwrap());
         guard.parity = guard2.parity; // silence the leak of the old handle
+    }
+
+    #[test]
+    fn refresh_rebaselines_after_multi_column_corruption() {
+        let (mut dev, rows) = setup(4, 32);
+        let mut guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        // One flip each in three distinct columns: every hit column has odd
+        // parity, so the check fails.
+        dev.inject_bit_error(rows[0], 3).unwrap();
+        dev.inject_bit_error(rows[1], 9).unwrap();
+        dev.inject_bit_error(rows[3], 30).unwrap();
+        assert!(!guard.check(&mut dev).unwrap(), "multi-column corruption must be detected");
+        // refresh() re-baselines: the corrupted contents become the new
+        // ground truth and the guard is consistent again.
+        let xors = guard.refresh(&mut dev).unwrap();
+        assert_eq!(xors, 3, "n = 4 rows fold in exactly n - 1 bulk XORs");
+        assert!(guard.check(&mut dev).unwrap());
+    }
+
+    #[test]
+    fn paired_same_column_flips_evade_parity() {
+        let (mut dev, rows) = setup(4, 32);
+        let guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        // Parity is a distance-2 code: an even number of flips in the same
+        // column cancels and is invisible to the check.
+        dev.inject_bit_error(rows[0], 11).unwrap();
+        dev.inject_bit_error(rows[2], 11).unwrap();
+        assert!(guard.check(&mut dev).unwrap());
+    }
+
+    #[test]
+    fn refresh_reports_the_device_ops_it_actually_spends() {
+        let (mut dev, rows) = setup(5, 32);
+        let mut guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        let before = dev.stats().total_commands();
+        let xors = guard.refresh(&mut dev).unwrap();
+        let spent = dev.stats().total_commands() - before;
+        // With two reserved rows each bulk XOR compiles to seq6 (6
+        // commands). The old zero-seeded chain executed two hidden extra
+        // XORs beyond the reported n−1; the pairwise chain spends exactly
+        // what it reports.
+        assert_eq!(spent, xors as u64 * 6);
+    }
+
+    #[test]
+    fn single_row_guard_costs_the_copy_trick() {
+        let (mut dev, rows) = setup(1, 16);
+        let mut guard = ParityGuard::new(&mut dev, &rows).unwrap();
+        assert!(guard.check(&mut dev).unwrap());
+        dev.inject_bit_error(rows[0], 2).unwrap();
+        assert!(!guard.check(&mut dev).unwrap());
+        // A single guarded row still costs 2 XORs (r^r = 0, 0^r = r).
+        assert_eq!(guard.refresh(&mut dev).unwrap(), 2);
+        assert!(guard.check(&mut dev).unwrap());
     }
 
     /// The §6.1.2 cost statement: protecting one AND with parity costs

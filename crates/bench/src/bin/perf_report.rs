@@ -9,12 +9,19 @@
 //! hot-path optimization; CI re-emits a smoke variant and validates both
 //! against the schema so the document cannot drift.
 //!
+//! The binary also emits `BENCH_007.json`, the fault-injection soak of
+//! [`elp2im_bench::soak`]: three protection policies over the same faulty
+//! device, proving the selective fault-aware runtime meets the target
+//! logical error rate at a lower modeled makespan than blanket parity ECC.
+//!
 //! Usage:
-//!   perf_report [--smoke] [--out PATH]   measure and emit the report
+//!   perf_report [--smoke] [--out PATH]   measure and emit BENCH_006
+//!   perf_report --soak [--smoke] [--out PATH]   run and emit BENCH_007
 //!   perf_report --check PATH             validate an emitted report
 //!
 //! `--smoke` runs one short sample per workload (seconds, not minutes);
 //! the timings it records are not meaningful and the report says so.
+//! `--check` dispatches on the document's `experiment` field.
 
 use elp2im_apps::backend::PimBackend;
 use elp2im_apps::bitmap::BitmapStudy;
@@ -244,9 +251,14 @@ fn check(path: &str) -> Result<(), String> {
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
     validate_report(&doc)?;
     let experiment = doc.get("experiment").and_then(Json::as_str).unwrap_or_default();
-    if experiment != "bench_006" {
-        return Err(format!("experiment must be \"bench_006\", got {experiment:?}"));
+    match experiment {
+        "bench_006" => check_bench_006(&doc),
+        "bench_007" => check_bench_007(&doc),
+        other => Err(format!("experiment must be \"bench_006\" or \"bench_007\", got {other:?}")),
     }
+}
+
+fn check_bench_006(doc: &Json) -> Result<(), String> {
     let rows = doc.get("rows").and_then(Json::as_array).expect("validated");
     let has_headline = rows.iter().any(|r| {
         r.as_array().and_then(|cells| cells.first()).and_then(Json::as_str)
@@ -254,6 +266,39 @@ fn check(path: &str) -> Result<(), String> {
     });
     if !has_headline {
         return Err("missing the batch_bulk_and/banks/8 headline row".into());
+    }
+    Ok(())
+}
+
+/// BENCH_007 invariants: both protected scenarios meet the target error
+/// rate, and the selective policy's makespan beats blanket parity ECC.
+fn check_bench_007(doc: &Json) -> Result<(), String> {
+    let rows = doc.get("rows").and_then(Json::as_array).expect("validated");
+    let cells = |scenario: &str| -> Result<Vec<String>, String> {
+        rows.iter()
+            .filter_map(Json::as_array)
+            .find(|c| c.first().and_then(Json::as_str) == Some(scenario))
+            .map(|c| c.iter().map(|v| v.as_str().unwrap_or_default().to_string()).collect())
+            .ok_or_else(|| format!("missing the {scenario} row"))
+    };
+    let ecc = cells("ecc_everything")?;
+    let sel = cells("selective_policy")?;
+    // Columns: scenario, ops, logical errors, error rate, meets target,
+    // makespan ms, retries, parity xors.
+    for (name, row) in [("ecc_everything", &ecc), ("selective_policy", &sel)] {
+        if row.get(4).map(String::as_str) != Some("yes") {
+            return Err(format!("{name} does not meet the target error rate"));
+        }
+    }
+    let ms = |row: &[String], name: &str| -> Result<f64, String> {
+        row.get(5)
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("{name}: unparsable makespan cell"))
+    };
+    let ecc_ms = ms(&ecc, "ecc_everything")?;
+    let sel_ms = ms(&sel, "selective_policy")?;
+    if sel_ms >= ecc_ms {
+        return Err(format!("selective makespan {sel_ms} ms must beat ecc-everything {ecc_ms} ms"));
     }
     Ok(())
 }
@@ -266,7 +311,7 @@ fn main() {
             std::process::exit(2);
         };
         match check(path) {
-            Ok(()) => println!("{path}: valid elp2im-report-v1 (bench_006)"),
+            Ok(()) => println!("{path}: valid elp2im-report-v1"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 std::process::exit(1);
@@ -275,13 +320,14 @@ fn main() {
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
+    let soak = args.iter().any(|a| a == "--soak");
     let out = args.iter().position(|a| a == "--out").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--out requires a path");
             std::process::exit(2);
         })
     });
-    let table = build_table(smoke);
+    let table = if soak { elp2im_bench::soak::build_soak_table(smoke) } else { build_table(smoke) };
     print!("{table}");
     if let Some(path) = out {
         let json = table.to_json().pretty();

@@ -13,3 +13,4 @@
 
 pub mod experiments;
 pub mod report;
+pub mod soak;

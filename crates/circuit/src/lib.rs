@@ -41,6 +41,7 @@ pub mod montecarlo;
 pub mod params;
 pub mod phase;
 pub mod primitive;
+pub mod profile;
 pub mod sense_amp;
 pub mod variation;
 pub mod waveform;

@@ -100,10 +100,10 @@ const WAVE_CHUNKS: u64 = 16;
 /// Critical value of the reported 95 % Wilson intervals.
 pub const WILSON_Z95: f64 = 1.959_963_984_540_054;
 
-const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// SplitMix64 finalizer (the `mix64` of Steele et al.'s splittable RNG).
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -1,0 +1,494 @@
+//! Per-chip reliability profiles.
+//!
+//! Real-silicon studies of in-DRAM bitwise operation (see PAPERS.md, e.g.
+//! "Functionally-Complete Boolean Logic in Real DRAM Chips") report that
+//! success rates vary per chip, per bank, per column, and with the
+//! operating temperature and stored data pattern. A [`ChipProfile`] models
+//! one such chip: a deterministic, seed-derived offset map — how far each
+//! (bank, column) cell's sense margin sits from nominal — plus temperature,
+//! process-variation sigma, and data-pattern knobs that scale the margin
+//! analytically.
+//!
+//! Design constraints, mirrored by `tests/profile_properties.rs`:
+//!
+//! * **Determinism.** Offsets are a pure function of `(seed, bank, column)`
+//!   through the same SplitMix64 machinery as the Monte-Carlo engine
+//!   ([`crate::montecarlo::stream_key`]'s mixing chain), so
+//!   [`ChipProfile::sample_with_threads`] is bit-identical at any thread
+//!   count, including 1.
+//! * **Monotonicity.** The knobs act on the analytic margin model only —
+//!   they never resample offsets — so raising `temperature_c`, `sigma`, or
+//!   the pattern stress never *decreases* any column's error probability.
+//! * **Portability.** Profiles import/export as `elp2im-report-v1`
+//!   documents through [`elp2im_dram::json`]; the generative parameters
+//!   ride in a `profile` block so a round trip is lossless.
+
+use crate::montecarlo::{mix64, GOLDEN_GAMMA};
+use elp2im_dram::json::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Report schema emitted by [`ChipProfile::to_json`] (shared with the
+/// bench crate's report tables).
+pub const PROFILE_SCHEMA: &str = "elp2im-report-v1";
+
+/// Experiment slug identifying profile documents.
+pub const PROFILE_EXPERIMENT: &str = "chip_profile";
+
+/// Nominal sense margin of a perfectly typical cell (normalized units).
+const BASE_MARGIN: f64 = 1.0;
+
+/// Thermal/coupling noise floor at the cold corner (normalized units).
+const NOISE_FLOOR: f64 = 0.045;
+
+/// Noise growth per degree Celsius above the -40 °C cold corner.
+const TEMP_COEFF: f64 = 0.004;
+
+/// Cells per work chunk of the parallel sampler. Small enough that modest
+/// profiles still exercise the multi-chunk path, large enough to amortize
+/// the atomic cursor.
+const CELL_CHUNK: usize = 256;
+
+/// Stored data pattern during operation; worse coupling patterns stress
+/// the sense margin harder (§6.1 context; FCBL-2024 measures the spread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPattern {
+    /// All-zeros background: minimal bitline coupling.
+    Zeros,
+    /// All-ones background.
+    Ones,
+    /// Alternating columns: moderate coupling.
+    Checkerboard,
+    /// Uniform random data: worst-case aggressor mix.
+    Random,
+}
+
+impl DataPattern {
+    /// Multiplicative stress on the noise floor (monotone: worse patterns
+    /// are strictly larger).
+    pub fn stress(self) -> f64 {
+        match self {
+            DataPattern::Zeros => 1.0,
+            DataPattern::Ones => 1.04,
+            DataPattern::Checkerboard => 1.10,
+            DataPattern::Random => 1.18,
+        }
+    }
+
+    /// Stable label used by the JSON form.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataPattern::Zeros => "zeros",
+            DataPattern::Ones => "ones",
+            DataPattern::Checkerboard => "checkerboard",
+            DataPattern::Random => "random",
+        }
+    }
+
+    /// Parses a [`DataPattern::label`] back.
+    pub fn from_label(s: &str) -> Option<DataPattern> {
+        match s {
+            "zeros" => Some(DataPattern::Zeros),
+            "ones" => Some(DataPattern::Ones),
+            "checkerboard" => Some(DataPattern::Checkerboard),
+            "random" => Some(DataPattern::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Generative parameters of a [`ChipProfile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileConfig {
+    /// Chip identity: the offset map is a pure function of this seed.
+    pub seed: u64,
+    /// Banks on the chip.
+    pub banks: usize,
+    /// Columns per bank (row width in bits).
+    pub columns: usize,
+    /// Operating temperature in Celsius (knob; higher is noisier).
+    pub temperature_c: f64,
+    /// Process-variation scale applied to the offset map (knob).
+    pub sigma: f64,
+    /// Stored data pattern (knob).
+    pub pattern: DataPattern,
+}
+
+impl ProfileConfig {
+    /// A "mid-grade" chip at a warm operating point: a handful of weak
+    /// columns per kilo-cell, the rest effectively error-free. This is the
+    /// soak-scenario default.
+    pub fn mid_grade(seed: u64, banks: usize, columns: usize) -> ProfileConfig {
+        ProfileConfig {
+            seed,
+            banks,
+            columns,
+            temperature_c: 45.0,
+            sigma: 0.30,
+            pattern: DataPattern::Random,
+        }
+    }
+}
+
+/// Mixing chain over the cell coordinates, exactly the
+/// [`crate::montecarlo::stream_key`] construction.
+fn cell_key(seed: u64, bank: u64, column: u64) -> u64 {
+    let mut h = seed;
+    for coord in [bank, column] {
+        h = mix64(h.wrapping_add(GOLDEN_GAMMA).wrapping_add(coord));
+    }
+    h
+}
+
+/// Uniform in (0, 1) from 53 high bits of a mixed word.
+fn unit(k: u64) -> f64 {
+    ((k >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// The fixed offset magnitude of one cell: |N(0, 1)| via Box-Muller over
+/// two SplitMix64-derived uniforms. Pure in the coordinates, hence
+/// trivially thread-count invariant.
+fn cell_offset(seed: u64, bank: u64, column: u64) -> f64 {
+    let k1 = cell_key(seed, bank, column);
+    let k2 = mix64(k1.wrapping_add(GOLDEN_GAMMA));
+    let (u1, u2) = (unit(k1), unit(k2));
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()).abs()
+}
+
+/// A sampled per-chip reliability profile: one offset per (bank, column),
+/// bank-major, plus the generative knobs.
+///
+/// ```
+/// use elp2im_circuit::profile::{ChipProfile, ProfileConfig};
+///
+/// let p = ChipProfile::sample(ProfileConfig::mid_grade(7, 2, 128));
+/// // Deterministic: resampling the same config is identical.
+/// assert_eq!(p, ChipProfile::sample(ProfileConfig::mid_grade(7, 2, 128)));
+/// // Raising the temperature never helps any column.
+/// let mut hot_cfg = p.config().clone();
+/// hot_cfg.temperature_c += 30.0;
+/// let hot = ChipProfile::sample(hot_cfg);
+/// assert!(hot.error_probability(0, 0) >= p.error_probability(0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipProfile {
+    config: ProfileConfig,
+    /// Offset magnitudes, bank-major: `offsets[bank * columns + column]`.
+    offsets: Vec<f64>,
+}
+
+impl ChipProfile {
+    /// Samples the profile serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `columns` is zero.
+    pub fn sample(config: ProfileConfig) -> ChipProfile {
+        ChipProfile::sample_with_threads(config, 1)
+    }
+
+    /// Samples the profile with up to `threads` host threads. Offsets are
+    /// a pure function of the cell coordinates, so the result is
+    /// bit-identical for every thread count; chunks are claimed through an
+    /// atomic cursor and reassembled in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `columns` is zero.
+    pub fn sample_with_threads(config: ProfileConfig, threads: usize) -> ChipProfile {
+        assert!(config.banks > 0, "profile needs at least one bank");
+        assert!(config.columns > 0, "profile needs at least one column");
+        let cells = config.banks * config.columns;
+        let cols = config.columns as u64;
+        let one = |i: usize| cell_offset(config.seed, i as u64 / cols, i as u64 % cols);
+        if threads <= 1 || cells <= CELL_CHUNK {
+            let offsets = (0..cells).map(one).collect();
+            return ChipProfile { config, offsets };
+        }
+        let chunks = cells.div_ceil(CELL_CHUNK);
+        let cursor = AtomicUsize::new(0);
+        let mut parts: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks {
+                                return mine;
+                            }
+                            let start = c * CELL_CHUNK;
+                            let end = (start + CELL_CHUNK).min(cells);
+                            mine.push((c, (start..end).map(one).collect()));
+                        }
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("profile sampler thread panicked"))
+                .collect()
+        });
+        parts.sort_unstable_by_key(|(c, _)| *c);
+        let offsets = parts.into_iter().flat_map(|(_, v)| v).collect();
+        ChipProfile { config, offsets }
+    }
+
+    /// The generative parameters.
+    pub fn config(&self) -> &ProfileConfig {
+        &self.config
+    }
+
+    /// The fixed offset magnitude of one cell (before the sigma knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` or `column` is out of range.
+    pub fn offset(&self, bank: usize, column: usize) -> f64 {
+        assert!(bank < self.config.banks, "bank {bank} out of range");
+        assert!(column < self.config.columns, "column {column} out of range");
+        self.offsets[bank * self.config.columns + column]
+    }
+
+    /// The effective noise scale under the current knobs: strictly
+    /// increasing in temperature and pattern stress.
+    fn noise(&self) -> f64 {
+        NOISE_FLOOR
+            * (1.0 + TEMP_COEFF * (self.config.temperature_c + 40.0).max(0.0))
+            * self.config.pattern.stress()
+    }
+
+    /// Per-operation bit-error probability of one cell.
+    ///
+    /// The margin shrinks linearly with `sigma × offset` (clamped at 0) and
+    /// the failure tail falls as `0.5·exp(−z − z²/2)` of the margin-to-noise
+    /// ratio `z` — a smooth Gaussian-tail-like curve that needs no `erf`.
+    /// Monotone by construction: raising temperature, sigma, or pattern
+    /// stress never decreases the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` or `column` is out of range.
+    pub fn error_probability(&self, bank: usize, column: usize) -> f64 {
+        let margin = (BASE_MARGIN - self.offset(bank, column) * self.config.sigma).max(0.0);
+        let z = margin / self.noise();
+        0.5 * (-z * (1.0 + 0.5 * z)).exp()
+    }
+
+    /// All per-column error probabilities of one bank, in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn column_probabilities(&self, bank: usize) -> Vec<f64> {
+        (0..self.config.columns).map(|c| self.error_probability(bank, c)).collect()
+    }
+
+    /// Columns of `bank` whose error probability is at least `threshold`,
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn weak_columns(&self, bank: usize, threshold: f64) -> Vec<usize> {
+        (0..self.config.columns).filter(|&c| self.error_probability(bank, c) >= threshold).collect()
+    }
+
+    /// Mean per-column error probability of one bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_mean_error(&self, bank: usize) -> f64 {
+        let sum: f64 = (0..self.config.columns).map(|c| self.error_probability(bank, c)).sum();
+        sum / self.config.columns as f64
+    }
+
+    /// Banks ordered most-reliable first (ascending mean error, ties by
+    /// index) — the placement order a fault-aware executor should prefer.
+    pub fn rank_banks(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.config.banks).collect();
+        order.sort_by(|&a, &b| {
+            self.bank_mean_error(a).total_cmp(&self.bank_mean_error(b)).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Exports the profile as an `elp2im-report-v1` document: a per-bank
+    /// summary table plus a `profile` block holding the generative
+    /// parameters (the seed in hex so no precision is lost to f64).
+    pub fn to_json(&self) -> Json {
+        let c = &self.config;
+        let headers = ["bank", "mean error", "max error", "weak columns (p >= 1e-3)"];
+        let rows: Vec<Json> = (0..c.banks)
+            .map(|b| {
+                let max =
+                    (0..c.columns).map(|col| self.error_probability(b, col)).fold(0.0, f64::max);
+                Json::Arr(vec![
+                    Json::str(format!("{b}")),
+                    Json::str(format!("{:.3e}", self.bank_mean_error(b))),
+                    Json::str(format!("{max:.3e}")),
+                    Json::str(format!("{}", self.weak_columns(b, 1e-3).len())),
+                ])
+            })
+            .collect();
+        Json::obj()
+            .with("schema", Json::str(PROFILE_SCHEMA))
+            .with("experiment", Json::str(PROFILE_EXPERIMENT))
+            .with(
+                "title",
+                Json::str(format!(
+                    "Chip profile: {} banks x {} columns, seed {:#018x}",
+                    c.banks, c.columns, c.seed
+                )),
+            )
+            .with("headers", Json::Arr(headers.iter().map(|h| Json::str(*h)).collect()))
+            .with("rows", Json::Arr(rows))
+            .with(
+                "notes",
+                Json::Arr(vec![Json::str(
+                    "offsets re-derive from the profile block; the table is a summary",
+                )]),
+            )
+            .with("stats", Json::Null)
+            .with(
+                "profile",
+                Json::obj()
+                    .with("seed_hex", Json::str(format!("{:016x}", c.seed)))
+                    .with("banks", Json::Num(c.banks as f64))
+                    .with("columns", Json::Num(c.columns as f64))
+                    .with("temperature_c", Json::Num(c.temperature_c))
+                    .with("sigma", Json::Num(c.sigma))
+                    .with("pattern", Json::str(c.pattern.label())),
+            )
+    }
+
+    /// Imports a profile from its [`ChipProfile::to_json`] form by
+    /// re-deriving the offset map from the embedded parameters.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the document is not a profile export.
+    pub fn from_json(doc: &Json) -> Result<ChipProfile, String> {
+        let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing key `{k}`"));
+        let schema = field("schema")?.as_str().ok_or("schema must be a string")?;
+        if schema != PROFILE_SCHEMA {
+            return Err(format!("unexpected schema `{schema}`"));
+        }
+        let experiment = field("experiment")?.as_str().ok_or("experiment must be a string")?;
+        if experiment != PROFILE_EXPERIMENT {
+            return Err(format!("not a chip profile: experiment `{experiment}`"));
+        }
+        let p = field("profile")?;
+        let pf = |k: &str| p.get(k).ok_or_else(|| format!("missing profile key `{k}`"));
+        let seed_hex = pf("seed_hex")?.as_str().ok_or("seed_hex must be a string")?;
+        let seed = u64::from_str_radix(seed_hex, 16)
+            .map_err(|e| format!("bad seed_hex `{seed_hex}`: {e}"))?;
+        let dim = |k: &str| -> Result<usize, String> {
+            let v = pf(k)?.as_f64().ok_or_else(|| format!("{k} must be a number"))?;
+            if v < 1.0 || v.fract() != 0.0 {
+                return Err(format!("{k} must be a positive integer, got {v}"));
+            }
+            Ok(v as usize)
+        };
+        let banks = dim("banks")?;
+        let columns = dim("columns")?;
+        let temperature_c = pf("temperature_c")?.as_f64().ok_or("temperature_c not a number")?;
+        let sigma = pf("sigma")?.as_f64().ok_or("sigma not a number")?;
+        let label = pf("pattern")?.as_str().ok_or("pattern must be a string")?;
+        let pattern =
+            DataPattern::from_label(label).ok_or_else(|| format!("unknown pattern `{label}`"))?;
+        Ok(ChipProfile::sample(ProfileConfig {
+            seed,
+            banks,
+            columns,
+            temperature_c,
+            sigma,
+            pattern,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid() -> ChipProfile {
+        ChipProfile::sample(ProfileConfig::mid_grade(0xE1F2, 4, 256))
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(mid(), mid());
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let cfg = ProfileConfig::mid_grade(42, 4, 512);
+        let serial = ChipProfile::sample_with_threads(cfg, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, ChipProfile::sample_with_threads(cfg, threads));
+        }
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let p = mid();
+        for b in 0..4 {
+            for c in 0..256 {
+                let e = p.error_probability(b, c);
+                assert!((0.0..=0.5).contains(&e), "p[{b}][{c}] = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotter_and_wider_is_never_better() {
+        let p = mid();
+        let mut hot_cfg = *p.config();
+        hot_cfg.temperature_c += 40.0;
+        let hot = ChipProfile::sample(hot_cfg);
+        let mut wide_cfg = *p.config();
+        wide_cfg.sigma += 0.1;
+        let wide = ChipProfile::sample(wide_cfg);
+        for b in 0..4 {
+            for c in 0..256 {
+                assert!(hot.error_probability(b, c) >= p.error_probability(b, c));
+                assert!(wide.error_probability(b, c) >= p.error_probability(b, c));
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let p = mid();
+        let text = p.to_json().pretty();
+        let back = ChipProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        let doc = Json::obj()
+            .with("schema", Json::str(PROFILE_SCHEMA))
+            .with("experiment", Json::str("bench_006"));
+        assert!(ChipProfile::from_json(&doc).unwrap_err().contains("not a chip profile"));
+    }
+
+    #[test]
+    fn rank_banks_orders_by_mean_error() {
+        let p = mid();
+        let order = p.rank_banks();
+        let means: Vec<f64> = order.iter().map(|&b| p.bank_mean_error(b)).collect();
+        assert!(means.windows(2).all(|w| w[0] <= w[1]), "ranking not ascending: {means:?}");
+    }
+
+    #[test]
+    fn mid_grade_has_a_thin_weak_tail() {
+        // The soak scenario depends on the mid-grade corner having *some*
+        // weak columns but mostly clean ones.
+        let p = mid();
+        let weak: usize = (0..4).map(|b| p.weak_columns(b, 1e-3).len()).sum();
+        assert!(weak > 0, "mid-grade profile has no weak columns at all");
+        assert!(weak < 64, "mid-grade profile is uniformly broken ({weak} weak cells)");
+    }
+}

@@ -22,14 +22,15 @@
 //!   plus the exact bus trace for inspection.
 //! * **Functional simulation is host-parallel.** Banks are
 //!   architecturally independent, so each bank's stripes execute on its
-//!   [`SubarrayEngine`]s in a scoped thread
+//!   [`SubarrayEngine`](crate::engine::SubarrayEngine)s in a scoped thread
 //!   ([`std::thread::scope`]); results merge deterministically in bank
 //!   order, so outputs are bit-identical to a serial run. Small batches
 //!   (less total word-work than a thread spawn costs) run serially on the
 //!   calling thread instead — same results, no fixed overhead.
 //! * **Striping is word-level and zero-copy.** `store`/`load` move whole
 //!   64-bit word runs between host vectors and the engines' row arenas
-//!   ([`SubarrayEngine::write_row_from`]/[`SubarrayEngine::read_row_into`]),
+//!   ([`write_row_from`](crate::engine::SubarrayEngine::write_row_from)/
+//!   [`read_row_into`](crate::engine::SubarrayEngine::read_row_into)),
 //!   and each compiled program's static analysis is memoized in a shared
 //!   [`AnalysisCache`], so a program is verified once per (program, shape,
 //!   liveness) rather than once per stripe per bank.
@@ -37,8 +38,8 @@
 use crate::analysis::AnalysisCache;
 use crate::bitvec::BitVec;
 use crate::compile::{compile, CompileMode, LogicOp, Operands};
-use crate::engine::SubarrayEngine;
 use crate::error::CoreError;
+use crate::faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
 use crate::isa::Program;
 use crate::primitive::RowRef;
 use crate::rowmap::RowAllocator;
@@ -47,7 +48,7 @@ use elp2im_dram::constraint::PumpBudget;
 use elp2im_dram::geometry::Geometry;
 use elp2im_dram::interleave::{InterleavedScheduler, Schedule};
 use elp2im_dram::stats::RunStats;
-use elp2im_dram::telemetry::TraceSink;
+use elp2im_dram::telemetry::{MetricsRegistry, TraceSink};
 use std::sync::Arc;
 
 /// Batch-layer configuration.
@@ -119,11 +120,31 @@ impl BatchEntry {
     }
 }
 
-/// One bank: its subarray engines and row allocators.
+/// One bank: its subarray engines (fault-injection capable; a clean bank
+/// is a pass-through wrapper over its [`SubarrayEngine`]s) and row
+/// allocators.
 #[derive(Debug)]
 struct BankUnit {
-    engines: Vec<SubarrayEngine>,
+    engines: Vec<FaultyEngine>,
     allocs: Vec<RowAllocator>,
+}
+
+/// The outcome of a fault-aware checked operation
+/// ([`DeviceArray::binary_checked`]).
+#[derive(Debug, Clone)]
+pub struct CheckedRun {
+    /// Handle of the delivered result.
+    pub handle: BatchHandle,
+    /// Schedule of the final (delivered) run; recompute and retry costs
+    /// accrue in [`DeviceArray::stats`].
+    pub run: BatchRun,
+    /// Verify rounds spent (1 = first try agreed, or verification was
+    /// skipped).
+    pub attempts: u32,
+    /// Whether the delivered result was confirmed by an agreeing
+    /// recompute. `false` means verification was skipped (no at-risk bank,
+    /// or disabled by policy) or retries were exhausted.
+    pub verified: bool,
 }
 
 /// The outcome of one batch operation: scheduling plus placement info.
@@ -177,6 +198,12 @@ pub struct DeviceArray {
     /// Shared static-analysis verdict cache: a compiled program striped
     /// across banks/subarrays in equivalent states is analyzed once.
     analysis_cache: AnalysisCache,
+    /// Bank placement order, most reliable first. Identity until
+    /// [`DeviceArray::set_fault_models`] installs per-bank reliability.
+    bank_rank: Vec<usize>,
+    /// Retry/verify accounting of the fault-aware executor
+    /// ([`DeviceArray::binary_checked`]).
+    reliability: MetricsRegistry,
 }
 
 /// Minimum total word-work (primitives × words per row) before
@@ -189,11 +216,11 @@ impl DeviceArray {
     /// Creates an array with every subarray empty.
     pub fn new(config: BatchConfig) -> Self {
         let g = &config.geometry;
-        let banks = (0..g.banks)
+        let banks: Vec<BankUnit> = (0..g.banks)
             .map(|_| BankUnit {
                 engines: (0..g.subarrays_per_bank)
                     .map(|_| {
-                        SubarrayEngine::new(g.row_bits(), g.rows_per_subarray, config.reserved_rows)
+                        FaultyEngine::new(g.row_bits(), g.rows_per_subarray, config.reserved_rows)
                     })
                     .collect(),
                 allocs: (0..g.subarrays_per_bank)
@@ -202,6 +229,7 @@ impl DeviceArray {
             })
             .collect();
         let scheduler = InterleavedScheduler::new(config.budget.clone());
+        let bank_rank = (0..banks.len()).collect();
         DeviceArray {
             config,
             banks,
@@ -210,6 +238,8 @@ impl DeviceArray {
             totals: RunStats::new(),
             sink: None,
             analysis_cache: AnalysisCache::new(),
+            bank_rank,
+            reliability: MetricsRegistry::new(),
         }
     }
 
@@ -258,16 +288,130 @@ impl DeviceArray {
         self.vectors.get(h.0).and_then(Option::as_ref).ok_or(CoreError::InvalidHandle(h.0))
     }
 
-    /// Bank-major stripe placement: stripe `i` lands on bank `i % banks`.
-    /// The allocator picks the row; the subarray advances only after every
-    /// bank has taken a stripe, so wide operands span all banks first.
+    /// Bank-major stripe placement: stripe `i` lands on the `i % banks`-th
+    /// bank of the reliability ranking (identity without fault models, so
+    /// plain bank-major). The allocator picks the row; the subarray
+    /// advances only after every bank has taken a stripe, so wide operands
+    /// span all banks first.
     fn place(&mut self, stripe: usize) -> Result<Stripe, CoreError> {
         let nbanks = self.banks.len();
         let nsubs = self.config.geometry.subarrays_per_bank;
-        let bank = stripe % nbanks;
+        let bank = self.bank_rank[stripe % nbanks];
         let subarray = (stripe / nbanks) % nsubs;
         let row = self.banks[bank].allocs[subarray].alloc()?;
         Ok(Stripe { bank, subarray, row })
+    }
+
+    /// Installs per-bank fault models (index = bank; `None` = clean) and
+    /// re-ranks placement so the most reliable banks fill first. Models
+    /// apply to every subarray engine of their bank.
+    ///
+    /// Install models *before* storing operands: ranking only affects
+    /// future placements, and operands stored under different rankings
+    /// lose the co-location guarantee binary ops rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one entry per bank is supplied.
+    pub fn set_fault_models(&mut self, models: Vec<Option<ColumnFaultModel>>) {
+        assert_eq!(models.len(), self.banks.len(), "one fault model slot per bank");
+        let mut rank: Vec<usize> = (0..self.banks.len()).collect();
+        rank.sort_by(|&x, &y| {
+            let mx = models[x].as_ref().map_or(0.0, ColumnFaultModel::mean_error);
+            let my = models[y].as_ref().map_or(0.0, ColumnFaultModel::mean_error);
+            mx.total_cmp(&my).then(x.cmp(&y))
+        });
+        self.bank_rank = rank;
+        for (unit, model) in self.banks.iter_mut().zip(models) {
+            for engine in &mut unit.engines {
+                engine.set_fault_model(model.clone());
+            }
+        }
+    }
+
+    /// The current bank placement order, most reliable first (identity
+    /// until fault models are installed).
+    pub fn bank_ranking(&self) -> &[usize] {
+        &self.bank_rank
+    }
+
+    /// The fault model of one bank, if installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn fault_model(&self, bank: usize) -> Option<&ColumnFaultModel> {
+        self.banks[bank].engines.first().and_then(FaultyEngine::fault_model)
+    }
+
+    /// Total bits flipped by fault injection across every engine.
+    pub fn injected_flips(&self) -> u64 {
+        self.banks.iter().flat_map(|u| u.engines.iter()).map(FaultyEngine::injected_flips).sum()
+    }
+
+    /// Retry/verify counters of the fault-aware executor: `checked_ops`,
+    /// `verify_recomputes`, `verify_mismatches`, `retries`,
+    /// `retries_exhausted`.
+    pub fn reliability_metrics(&self) -> &MetricsRegistry {
+        &self.reliability
+    }
+
+    /// Whether any bank holding a stripe of `h` carries a nontrivial fault
+    /// model — the selectivity test of [`DeviceArray::binary_checked`].
+    fn at_risk(&self, h: BatchHandle) -> Result<bool, CoreError> {
+        Ok(self
+            .entry(h)?
+            .stripes
+            .iter()
+            .any(|s| self.fault_model(s.bank).is_some_and(|m| !m.is_trivial())))
+    }
+
+    /// Fault-aware `dst := op(a, b)`: like [`DeviceArray::binary`], but
+    /// when a stripe lands on an at-risk bank (nontrivial fault model) and
+    /// `policy.verify` is set, the result is verified by recomputing and
+    /// comparing, retrying up to `policy.max_retries` rounds on mismatch.
+    /// Operations over clean banks skip verification entirely — that
+    /// selectivity is what beats blanket protection on latency. All
+    /// recompute/retry makespan accrues in [`DeviceArray::stats`];
+    /// counters land in [`DeviceArray::reliability_metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Handle, width, capacity, and compilation errors.
+    pub fn binary_checked(
+        &mut self,
+        op: LogicOp,
+        a: BatchHandle,
+        b: BatchHandle,
+        policy: &FaultPolicy,
+    ) -> Result<CheckedRun, CoreError> {
+        self.reliability.bump("checked_ops", 1);
+        if !policy.verify || !(self.at_risk(a)? || self.at_risk(b)?) {
+            let (handle, run) = self.binary(op, a, b)?;
+            return Ok(CheckedRun { handle, run, attempts: 1, verified: false });
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let (h1, run) = self.binary(op, a, b)?;
+            let (h2, _) = self.binary(op, a, b)?;
+            self.reliability.bump("verify_recomputes", 1);
+            let agree = self.load(h1)? == self.load(h2)?;
+            self.release(h2)?;
+            if agree {
+                return Ok(CheckedRun { handle: h1, run, attempts, verified: true });
+            }
+            self.reliability.bump("verify_mismatches", 1);
+            self.release(h1)?;
+            if attempts > policy.max_retries {
+                // Exhausted: deliver a best-effort single run, flagged
+                // unverified.
+                self.reliability.bump("retries_exhausted", 1);
+                let (handle, run) = self.binary(op, a, b)?;
+                return Ok(CheckedRun { handle, run, attempts: attempts + 1, verified: false });
+            }
+            self.reliability.bump("retries", 1);
+        }
     }
 
     /// Stores a vector of any length, striped bank-major across the array.
@@ -726,6 +870,90 @@ mod tests {
         // a verdict, but never one per stripe.
         assert!(m.analysis_cache().len() <= after_first + 2);
         m.release(c).unwrap();
+    }
+
+    /// Mostly-clean banks with one certain-fail column on bank 2.
+    fn faulted(banks: usize, bad_bank: usize, bad_col: usize, p: f64) -> DeviceArray {
+        let mut m = small(banks);
+        let rb = m.row_bits();
+        let models = (0..banks)
+            .map(|b| {
+                let mut probs = vec![0.0; rb];
+                if b == bad_bank {
+                    probs[bad_col] = p;
+                }
+                Some(ColumnFaultModel::new(0xFA17, b, probs))
+            })
+            .collect();
+        m.set_fault_models(models);
+        m
+    }
+
+    #[test]
+    fn ranking_prefers_clean_banks_for_placement() {
+        let m = faulted(4, 2, 7, 0.5);
+        // Bank 2 is the only unreliable one: it must be ranked last.
+        assert_eq!(m.bank_ranking()[3], 2);
+        let mut m = m;
+        let h = m.store(&BitVec::ones(m.row_bits())).unwrap();
+        let p = m.placement(h).unwrap();
+        assert_ne!(p[0].bank, 2, "single stripe must land on a reliable bank");
+    }
+
+    #[test]
+    fn certain_fault_agrees_on_wrong_and_evades_recompute() {
+        // A column that *always* fails corrupts every recompute the same
+        // way, so verify-by-recompute confirms the wrong answer. This is
+        // the documented blind spot that selective ParityGuard protection
+        // (apps::ecc) exists for: persistent weak columns need redundancy,
+        // not retries.
+        let mut m = faulted(2, 0, 3, 1.0);
+        let bits = m.row_bits() * 2; // one stripe per bank
+        let a = m.store(&BitVec::ones(bits)).unwrap();
+        let b = m.store(&BitVec::ones(bits)).unwrap();
+        let checked = m.binary_checked(LogicOp::And, a, b, &FaultPolicy::default()).unwrap();
+        assert!(checked.verified, "identical corruption must agree");
+        assert_eq!(checked.attempts, 1);
+        assert_ne!(m.load(checked.handle).unwrap(), BitVec::ones(bits));
+        assert!(m.injected_flips() >= 2);
+    }
+
+    #[test]
+    fn checked_op_skips_verification_on_clean_banks() {
+        let mut m = small(2);
+        m.set_fault_models(vec![None, None]);
+        let bits = m.row_bits() * 2;
+        let a = m.store(&BitVec::ones(bits)).unwrap();
+        let b = m.store(&BitVec::ones(bits)).unwrap();
+        let checked = m.binary_checked(LogicOp::And, a, b, &FaultPolicy::default()).unwrap();
+        assert_eq!(checked.attempts, 1);
+        assert!(!checked.verified);
+        assert_eq!(m.load(checked.handle).unwrap(), BitVec::ones(bits));
+        assert_eq!(m.reliability_metrics().counter("verify_recomputes"), 0);
+        assert_eq!(m.injected_flips(), 0);
+    }
+
+    #[test]
+    fn checked_op_verifies_and_recovers_intermittent_fault() {
+        // Intermittent faults (p = 0.15) disagree between recomputes, so
+        // verification converges to a clean result within a few retries:
+        // agreeing-on-wrong needs the same column to flip in both runs of
+        // a round (p² against (1-p)² for agreeing-clean).
+        let mut m = faulted(2, 0, 5, 0.15);
+        let bits = m.row_bits() * 2;
+        let a = m.store(&BitVec::ones(bits)).unwrap();
+        let b = m.store(&BitVec::ones(bits)).unwrap();
+        let policy = FaultPolicy { verify: true, max_retries: 16 };
+        let mut delivered_clean = 0;
+        for _ in 0..10 {
+            let checked = m.binary_checked(LogicOp::And, a, b, &policy).unwrap();
+            if checked.verified && m.load(checked.handle).unwrap() == BitVec::ones(bits) {
+                delivered_clean += 1;
+            }
+            m.release(checked.handle).unwrap();
+        }
+        assert!(delivered_clean >= 8, "only {delivered_clean}/10 verified clean");
+        assert!(m.reliability_metrics().counter("retries") > 0, "p=0.15 never mismatched");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 
 use crate::bitvec::BitVec;
 use crate::compile::{compile, CompileMode, LogicOp, Operands};
-use crate::engine::SubarrayEngine;
 use crate::error::CoreError;
+use crate::faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
 use crate::rowmap::RowAllocator;
 use elp2im_dram::stats::RunStats;
+use elp2im_dram::telemetry::MetricsRegistry;
 use std::collections::HashMap;
 
 /// Configuration of an [`Elp2imDevice`].
@@ -61,7 +62,10 @@ pub struct RowHandle(usize);
 #[derive(Debug)]
 pub struct Elp2imDevice {
     config: DeviceConfig,
-    engine: SubarrayEngine,
+    /// Fault-injection capable engine; a pass-through wrapper over
+    /// [`SubarrayEngine`](crate::engine::SubarrayEngine) until
+    /// [`Elp2imDevice::set_fault_model`] installs a model.
+    engine: FaultyEngine,
     alloc: RowAllocator,
     /// Handle → (row index, logical bit length).
     handles: HashMap<usize, (usize, usize)>,
@@ -70,6 +74,21 @@ pub struct Elp2imDevice {
     scratch_row: usize,
     /// Memoizes static-analysis verdicts for repeated op/row patterns.
     analysis_cache: crate::analysis::AnalysisCache,
+    /// Retry/verify accounting of [`Elp2imDevice::binary_checked`].
+    reliability: MetricsRegistry,
+}
+
+/// The outcome of a fault-aware checked operation
+/// ([`Elp2imDevice::binary_checked`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckedOp {
+    /// Handle of the delivered result.
+    pub handle: RowHandle,
+    /// Verify rounds spent (1 = first try agreed, or verification was
+    /// skipped).
+    pub attempts: u32,
+    /// Whether an agreeing recompute confirmed the result.
+    pub verified: bool,
 }
 
 impl Elp2imDevice {
@@ -82,7 +101,7 @@ impl Elp2imDevice {
     pub fn new(config: DeviceConfig) -> Self {
         assert!(config.width > 0, "row width must be positive");
         assert!(config.data_rows >= 2, "need at least two data rows");
-        let engine = SubarrayEngine::new(config.width, config.data_rows, config.reserved_rows);
+        let engine = FaultyEngine::new(config.width, config.data_rows, config.reserved_rows);
         // The last data row is the compiler's scratch.
         let scratch_row = config.data_rows - 1;
         let alloc = RowAllocator::new(config.data_rows - 1);
@@ -94,6 +113,76 @@ impl Elp2imDevice {
             next_handle: 0,
             scratch_row,
             analysis_cache: crate::analysis::AnalysisCache::new(),
+            reliability: MetricsRegistry::new(),
+        }
+    }
+
+    /// Installs (or clears) a per-column fault model: computed result rows
+    /// pick up bit flips per the model from now on (see
+    /// [`FaultyEngine`]).
+    pub fn set_fault_model(&mut self, model: Option<ColumnFaultModel>) {
+        self.engine.set_fault_model(model);
+    }
+
+    /// The installed fault model, if any.
+    pub fn fault_model(&self) -> Option<&ColumnFaultModel> {
+        self.engine.fault_model()
+    }
+
+    /// Bits flipped by fault injection so far.
+    pub fn injected_flips(&self) -> u64 {
+        self.engine.injected_flips()
+    }
+
+    /// Retry/verify counters of [`Elp2imDevice::binary_checked`]:
+    /// `checked_ops`, `verify_recomputes`, `verify_mismatches`, `retries`,
+    /// `retries_exhausted`.
+    pub fn reliability_metrics(&self) -> &MetricsRegistry {
+        &self.reliability
+    }
+
+    /// Fault-aware `op(a, b)`: like [`Elp2imDevice::binary`], but when a
+    /// nontrivial fault model is installed and `policy.verify` is set, the
+    /// result is verified by recomputing and comparing, retrying up to
+    /// `policy.max_retries` rounds on mismatch. With a clean engine the
+    /// verification is skipped — the selective half of the fault-aware
+    /// policy. Recompute/retry time accrues in [`Elp2imDevice::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Handle, width, capacity, and compilation errors.
+    pub fn binary_checked(
+        &mut self,
+        op: LogicOp,
+        a: RowHandle,
+        b: RowHandle,
+        policy: &FaultPolicy,
+    ) -> Result<CheckedOp, CoreError> {
+        self.reliability.bump("checked_ops", 1);
+        let at_risk = self.engine.fault_model().is_some_and(|m| !m.is_trivial());
+        if !policy.verify || !at_risk {
+            let handle = self.binary(op, a, b)?;
+            return Ok(CheckedOp { handle, attempts: 1, verified: false });
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let h1 = self.binary(op, a, b)?;
+            let h2 = self.binary(op, a, b)?;
+            self.reliability.bump("verify_recomputes", 1);
+            let agree = self.load(h1)? == self.load(h2)?;
+            self.release(h2)?;
+            if agree {
+                return Ok(CheckedOp { handle: h1, attempts, verified: true });
+            }
+            self.reliability.bump("verify_mismatches", 1);
+            self.release(h1)?;
+            if attempts > policy.max_retries {
+                self.reliability.bump("retries_exhausted", 1);
+                let handle = self.binary(op, a, b)?;
+                return Ok(CheckedOp { handle, attempts: attempts + 1, verified: false });
+            }
+            self.reliability.bump("retries", 1);
         }
     }
 
@@ -425,6 +514,41 @@ mod tests {
         assert_eq!(s.commands.get("oAAP"), Some(&2));
         assert_eq!(s.commands.get("oAPP"), Some(&1));
         assert!(s.busy_time.as_f64() > 150.0);
+    }
+
+    #[test]
+    fn checked_op_on_clean_device_skips_verification() {
+        let mut d = dev();
+        let a = d.store(&bools(0b0011, 4)).unwrap();
+        let b = d.store(&bools(0b0101, 4)).unwrap();
+        let checked = d.binary_checked(LogicOp::Xor, a, b, &FaultPolicy::default()).unwrap();
+        assert!(!checked.verified);
+        assert_eq!(checked.attempts, 1);
+        assert_eq!(d.load(checked.handle).unwrap(), bools(0b0110, 4));
+        assert_eq!(d.reliability_metrics().counter("checked_ops"), 1);
+        assert_eq!(d.reliability_metrics().counter("verify_recomputes"), 0);
+    }
+
+    #[test]
+    fn checked_op_recovers_intermittent_device_fault() {
+        let mut d = dev();
+        // Intermittent single-column fault: recompute-verify should converge
+        // on the clean answer within the retry budget.
+        d.set_fault_model(Some(ColumnFaultModel::new(0xFA17, 0, vec![0.0, 0.0, 0.0, 0.15])));
+        let a = d.store(&bools(0b0011, 4)).unwrap();
+        let b = d.store(&bools(0b0101, 4)).unwrap();
+        let policy = FaultPolicy { verify: true, max_retries: 16 };
+        let mut clean = 0;
+        for _ in 0..10 {
+            let checked = d.binary_checked(LogicOp::Xor, a, b, &policy).unwrap();
+            if checked.verified && d.load(checked.handle).unwrap() == bools(0b0110, 4) {
+                clean += 1;
+            }
+            d.release(checked.handle).unwrap();
+        }
+        assert!(clean >= 8, "only {clean}/10 verified clean");
+        assert!(d.reliability_metrics().counter("verify_recomputes") >= 10);
+        assert!(d.injected_flips() > 0, "fault model never fired");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod device;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod faulty;
 pub mod isa;
 pub mod module;
 pub mod optimizer;
@@ -62,11 +63,12 @@ pub mod rowmap;
 pub mod validate;
 
 pub use analysis::{analyze, verify_transform, AnalysisReport, Diagnostic, Severity};
-pub use batch::{BatchConfig, BatchHandle, BatchRun, DeviceArray, Stripe};
+pub use batch::{BatchConfig, BatchHandle, BatchRun, CheckedRun, DeviceArray, Stripe};
 pub use bitvec::BitVec;
 pub use compile::{CompileMode, LogicOp};
-pub use device::{DeviceConfig, Elp2imDevice};
+pub use device::{CheckedOp, DeviceConfig, Elp2imDevice};
 pub use engine::SubarrayEngine;
 pub use error::CoreError;
+pub use faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
 pub use isa::Program;
 pub use primitive::{Primitive, RegulateMode, RowRef};

@@ -260,6 +260,10 @@ pub struct MetricsRegistry {
     pub stall: Histogram,
     /// Total dynamic energy of observed commands.
     pub energy: Picojoules,
+    /// Free-form named counters for layers above the command stream —
+    /// e.g. the fault-aware executors report `retries`,
+    /// `verify_recomputes`, and ECC refresh overhead here.
+    pub counters: BTreeMap<String, u64>,
 }
 
 impl MetricsRegistry {
@@ -285,6 +289,16 @@ impl MetricsRegistry {
         self.commands_by_class.values().sum()
     }
 
+    /// Adds `by` to the named free-form counter.
+    pub fn bump(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// The named free-form counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Adds another registry's observations into this one.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.commands_by_class {
@@ -299,6 +313,9 @@ impl MetricsRegistry {
         self.latency.merge(&other.latency);
         self.stall.merge(&other.stall);
         self.energy += other.energy;
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
     }
 
     /// JSON view of the full registry.
@@ -318,6 +335,9 @@ impl MetricsRegistry {
                 .map(|(&k, &v)| (k.to_string(), Json::Num(v as f64)))
                 .collect(),
         );
+        let counters = Json::Obj(
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))).collect(),
+        );
         Json::obj()
             .with("total_commands", Json::Num(self.total_commands() as f64))
             .with("commands_by_class", classes)
@@ -326,6 +346,7 @@ impl MetricsRegistry {
             .with("latency", self.latency.to_json())
             .with("stall", self.stall.to_json())
             .with("dynamic_energy_pj", Json::Num(self.energy.as_f64()))
+            .with("counters", counters)
     }
 }
 

@@ -44,6 +44,12 @@ cargo run -q --release -p elp2im-bench --bin perf_report -- --smoke --out "$trac
 cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_006.json"
 cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_006.json
 
+echo "==> fault-injection soak smoke (emit + validate BENCH_007)"
+ELP2IM_SOAK_OPS=24 cargo test -q --test fault_injection_soak > /dev/null
+cargo run -q --release -p elp2im-bench --bin perf_report -- --soak --smoke --out "$trace_dir/bench_007.json" > /dev/null
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_007.json"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_007.json
+
 echo "==> batch bench smoke (vendored criterion --smoke fast path)"
 cargo bench -q -p elp2im-bench --bench batch -- --smoke > /dev/null
 

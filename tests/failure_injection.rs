@@ -103,6 +103,80 @@ fn fault_rate_scales_with_mc_error_rate() {
     assert_eq!(wrong, injected, "every injected fault surfaces through OR");
 }
 
+/// Each bank's engine owns its word arena outright: injecting any number
+/// of faults into one bank's arena leaves every sibling bank's
+/// `read_row_into` output bit-exact. This is the physical-independence
+/// assumption the fault-aware executor's bank ranking builds on.
+#[test]
+fn arena_faults_never_cross_bank_boundaries() {
+    let width = 128;
+    let a: BitVec = (0..width).map(|i| i % 3 == 0).collect();
+    let b: BitVec = (0..width).map(|i| i % 7 != 0).collect();
+    // Three sibling banks with identical contents.
+    let mut banks: Vec<SubarrayEngine> = (0..3).map(|_| engine_with(&a, &b)).collect();
+    // Saturate bank 1's arena with faults across rows and columns.
+    for col in (0..width).step_by(5) {
+        banks[1].inject_bit_error(RowRef::Data(0), col).unwrap();
+        banks[1].inject_bit_error(RowRef::Data(1), (col + 3) % width).unwrap();
+    }
+    for (bank, engine) in banks.iter().enumerate() {
+        for (row, want) in [(0usize, &a), (1usize, &b)] {
+            let mut got = BitVec::zeros(width);
+            engine.read_row_into(row, &mut got, 0).unwrap();
+            if bank == 1 {
+                continue; // the faulted bank is of course corrupted
+            }
+            assert_eq!(&got, want, "bank {bank} row {row} must be untouched");
+        }
+    }
+    // And the faulted bank really is corrupted — the test discriminates.
+    let mut got = BitVec::zeros(width);
+    banks[1].read_row_into(0, &mut got, 0).unwrap();
+    assert_ne!(got, a);
+}
+
+/// The FaultyEngine variant of the same isolation: a fault model installed
+/// on one bank's engine flips that engine's computed results only; an
+/// identically-programmed sibling with no model stays exact.
+#[test]
+fn fault_model_on_one_bank_leaves_siblings_exact() {
+    use elp2im::core::faulty::{ColumnFaultModel, FaultyEngine};
+    let width = 64;
+    let a: BitVec = (0..width).map(|i| i % 3 == 0).collect();
+    let b: BitVec = (0..width).map(|i| i % 5 != 0).collect();
+    let prog = xor_sequence(6, Operands::standard(), 2).unwrap();
+
+    let build = |model: Option<ColumnFaultModel>| -> FaultyEngine {
+        let mut e = FaultyEngine::new(width, 8, 2);
+        e.write_row(0, a.clone()).unwrap();
+        e.write_row(1, b.clone()).unwrap();
+        e.write_row(2, BitVec::zeros(width)).unwrap();
+        e.set_fault_model(model);
+        e
+    };
+    // Certain fault on column 9, bank 1 only.
+    let mut probs = vec![0.0; width];
+    probs[9] = 1.0;
+    let mut faulted = build(Some(ColumnFaultModel::new(0xBEEF, 1, probs)));
+    let mut clean = build(None);
+    faulted.run(prog.primitives()).unwrap();
+    clean.run(prog.primitives()).unwrap();
+
+    let want = a.xor(&b);
+    let mut clean_out = BitVec::zeros(width);
+    clean.read_row_into(2, &mut clean_out, 0).unwrap();
+    assert_eq!(clean_out, want, "the model-free sibling must be exact");
+    assert_eq!(clean.injected_flips(), 0);
+
+    let mut faulted_out = BitVec::zeros(width);
+    faulted.read_row_into(2, &mut faulted_out, 0).unwrap();
+    let diff = want.xor(&faulted_out);
+    assert!(faulted.injected_flips() > 0, "the certain fault must fire");
+    for i in 0..width {
+        assert!(i == 9 || !diff.get(i), "only the modeled column may differ, bit {i} flipped");
+    }
+}
+
 fn four_bank_array() -> DeviceArray {
     DeviceArray::new(BatchConfig {
         geometry: Geometry { banks: 4, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 8 },

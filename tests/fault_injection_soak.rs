@@ -1,0 +1,154 @@
+//! Fault-injection soak of the batch executor: a mid-grade chip profile
+//! installs per-bank fault models under a 4-bank [`DeviceArray`], and a
+//! long random workload must meet the target logical error rate with the
+//! retry/verify policy on — and miss it with the policy off.
+//!
+//! `ELP2IM_SOAK_OPS` shortens the run for CI smoke (default 120 ops).
+
+use elp2im::circuit::profile::{ChipProfile, ProfileConfig};
+use elp2im::core::batch::{BatchConfig, DeviceArray};
+use elp2im::core::bitvec::BitVec;
+use elp2im::core::compile::{CompileMode, LogicOp};
+use elp2im::core::faulty::{ColumnFaultModel, FaultPolicy};
+use elp2im::dram::constraint::PumpBudget;
+use elp2im::dram::geometry::Geometry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SOAK_SEED: u64 = 0x50AB_5007;
+/// Logical error rate the fault-aware policy must stay at or under.
+const TARGET: f64 = 0.05;
+/// Columns above this raw probability count as factory-repaired
+/// (remapped to spares), mirroring the BENCH_007 derating.
+const REPAIR: f64 = 0.08;
+
+fn soak_ops() -> usize {
+    std::env::var("ELP2IM_SOAK_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(120)
+}
+
+/// 4 banks × 2 subarrays × 32 rows of 256 bits — row width matches the
+/// profile's column count.
+fn faulted_array() -> DeviceArray {
+    let mut m = DeviceArray::new(BatchConfig {
+        geometry: Geometry {
+            banks: 4,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            row_bytes: 32,
+        },
+        reserved_rows: 2,
+        mode: CompileMode::LowLatency,
+        budget: PumpBudget::unconstrained(),
+    });
+    let profile = ChipProfile::sample(ProfileConfig::mid_grade(SOAK_SEED, 4, m.row_bits()));
+    let models = (0..4)
+        .map(|bank| {
+            let probs: Vec<f64> = profile
+                .column_probabilities(bank)
+                .into_iter()
+                .map(|p| if p > REPAIR { 0.0 } else { p })
+                .collect();
+            Some(ColumnFaultModel::new(SOAK_SEED, bank, probs))
+        })
+        .collect();
+    m.set_fault_models(models);
+    m
+}
+
+fn software_op(op: LogicOp, a: &BitVec, b: &BitVec) -> BitVec {
+    match op {
+        LogicOp::And => a.and(b),
+        LogicOp::Or => a.or(b),
+        _ => a.xor(b),
+    }
+}
+
+/// Runs the soak workload and returns (logical errors, ops, injected
+/// flips). Every vector spans all four banks, so every bank's fault model
+/// is in play on every operation.
+fn run_workload(m: &mut DeviceArray, policy: &FaultPolicy, ops: usize) -> (usize, usize, u64) {
+    let bits = m.row_bits() * 4;
+    let mut rng = SmallRng::seed_from_u64(SOAK_SEED ^ 0x0050_AB11);
+    let base_rows = 6usize;
+    let mut truth = Vec::with_capacity(base_rows);
+    let mut bases = Vec::with_capacity(base_rows);
+    for _ in 0..base_rows {
+        let v: BitVec = (0..bits).map(|_| rng.gen_bool(0.5)).collect();
+        bases.push(m.store(&v).unwrap());
+        truth.push(v);
+    }
+    let mut errors = 0usize;
+    for _ in 0..ops {
+        let op = match rng.gen_range(0..3u32) {
+            0 => LogicOp::And,
+            1 => LogicOp::Or,
+            _ => LogicOp::Xor,
+        };
+        let ia = rng.gen_range(0..base_rows);
+        let mut ib = rng.gen_range(0..base_rows);
+        if ib == ia {
+            ib = (ib + 1) % base_rows;
+        }
+        let checked = m.binary_checked(op, bases[ia], bases[ib], policy).unwrap();
+        if m.load(checked.handle).unwrap() != software_op(op, &truth[ia], &truth[ib]) {
+            errors += 1;
+        }
+        m.release(checked.handle).unwrap();
+    }
+    (errors, ops, m.injected_flips())
+}
+
+#[test]
+fn soak_meets_target_error_rate_with_policy_on() {
+    let mut m = faulted_array();
+    let policy = FaultPolicy { verify: true, max_retries: 8 };
+    let (errors, ops, flips) = run_workload(&mut m, &policy, soak_ops());
+    let rate = errors as f64 / ops as f64;
+    assert!(flips > 0, "the fault models never fired — the soak is vacuous");
+    assert!(rate <= TARGET, "policy-on error rate {rate} exceeds target {TARGET} ({errors}/{ops})");
+    let metrics = m.reliability_metrics();
+    assert_eq!(metrics.counter("checked_ops"), ops as u64);
+    assert!(metrics.counter("verify_recomputes") >= ops as u64, "every op is at risk");
+    assert!(metrics.counter("retries") > 0, "faults this dense must force retries");
+}
+
+#[test]
+fn soak_misses_target_error_rate_with_policy_off() {
+    let mut m = faulted_array();
+    let policy = FaultPolicy { verify: false, max_retries: 0 };
+    let (errors, ops, flips) = run_workload(&mut m, &policy, soak_ops());
+    let rate = errors as f64 / ops as f64;
+    assert!(flips > 0);
+    assert!(
+        rate > TARGET,
+        "policy-off error rate {rate} under target {TARGET} — the soak is not discriminating"
+    );
+    assert_eq!(m.reliability_metrics().counter("verify_recomputes"), 0);
+}
+
+#[test]
+fn soak_is_deterministic_across_runs() {
+    let policy = FaultPolicy { verify: true, max_retries: 8 };
+    let ops = soak_ops().min(48);
+    let mut a = faulted_array();
+    let mut b = faulted_array();
+    assert_eq!(run_workload(&mut a, &policy, ops), run_workload(&mut b, &policy, ops));
+    assert_eq!(
+        a.reliability_metrics().counter("retries"),
+        b.reliability_metrics().counter("retries")
+    );
+}
+
+#[test]
+fn single_stripe_vectors_land_on_the_most_reliable_bank() {
+    let mut m = faulted_array();
+    let best = m.bank_ranking()[0];
+    let worst = *m.bank_ranking().last().unwrap();
+    let cleaner = m.fault_model(best).map(ColumnFaultModel::mean_error).unwrap_or(0.0);
+    let dirtier = m.fault_model(worst).map(ColumnFaultModel::mean_error).unwrap_or(0.0);
+    assert!(cleaner <= dirtier, "ranking must order banks by mean error");
+    let h = m.store(&BitVec::ones(m.row_bits())).unwrap();
+    let placement = m.placement(h).unwrap();
+    assert_eq!(placement.len(), 1);
+    assert_eq!(placement[0].bank, best, "one-stripe vector must go to the cleanest bank");
+}

@@ -1,0 +1,109 @@
+//! Property tests of the per-chip reliability profile:
+//!
+//! * the offset map is a pure function of the seed — resampling
+//!   reproduces it bit-for-bit;
+//! * the parallel sampler is thread-count invariant across {1, 2, 8};
+//! * `to_json`/`from_json` round-trips losslessly (the seed travels as a
+//!   hex string, knobs as shortest-round-trip floats);
+//! * temperature and sigma knobs move every column's error probability
+//!   monotonically (they act analytically on fixed offsets, never
+//!   resampling).
+
+use elp2im::circuit::profile::{ChipProfile, DataPattern, ProfileConfig};
+use proptest::prelude::*;
+
+fn config(seed: u64, temperature_c: f64, sigma: f64, pattern: DataPattern) -> ProfileConfig {
+    ProfileConfig { seed, banks: 3, columns: 96, temperature_c, sigma, pattern }
+}
+
+const PATTERNS: [DataPattern; 4] =
+    [DataPattern::Zeros, DataPattern::Ones, DataPattern::Checkerboard, DataPattern::Random];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed, same profile — resampling is bit-identical, different
+    /// seeds differ somewhere.
+    #[test]
+    fn profile_is_a_pure_function_of_the_seed(seed in any::<u64>()) {
+        let cfg = config(seed, 45.0, 0.3, DataPattern::Random);
+        let a = ChipProfile::sample(cfg);
+        let b = ChipProfile::sample(cfg);
+        prop_assert_eq!(&a, &b);
+        let other = ChipProfile::sample(config(seed ^ 1, 45.0, 0.3, DataPattern::Random));
+        let differs = (0..cfg.banks)
+            .any(|bank| (0..cfg.columns).any(|c| a.offset(bank, c) != other.offset(bank, c)));
+        prop_assert!(differs, "seed {} and {} produced identical maps", seed, seed ^ 1);
+    }
+
+    /// The chunked parallel sampler reassembles the exact serial map for
+    /// every thread count.
+    #[test]
+    fn sampling_is_thread_count_invariant(seed in any::<u64>()) {
+        let cfg = config(seed, 45.0, 0.3, DataPattern::Random);
+        let serial = ChipProfile::sample_with_threads(cfg, 1);
+        for threads in [2usize, 8] {
+            let parallel = ChipProfile::sample_with_threads(cfg, threads);
+            prop_assert_eq!(&serial, &parallel, "thread count {} diverged", threads);
+        }
+    }
+
+    /// Export → import reproduces the profile exactly: config fields,
+    /// offsets, and therefore every derived probability.
+    #[test]
+    fn json_round_trip_is_lossless(
+        seed in any::<u64>(),
+        temp_i in 0usize..4,
+        sigma_i in 0usize..4,
+        pattern_i in 0usize..4,
+    ) {
+        let temperature_c = [-25.0, 20.0, 45.0, 85.0][temp_i];
+        let sigma = [0.05, 0.17, 0.3, 0.55][sigma_i];
+        let cfg = config(seed, temperature_c, sigma, PATTERNS[pattern_i]);
+        let profile = ChipProfile::sample(cfg);
+        let doc = profile.to_json();
+        let text = doc.pretty();
+        let parsed = elp2im::dram::json::Json::parse(&text).expect("emitted JSON parses");
+        let restored = ChipProfile::from_json(&parsed).expect("round-trip imports");
+        prop_assert_eq!(&profile, &restored);
+    }
+
+    /// Heating the chip (or widening process variation) never makes any
+    /// column more reliable: the knobs act analytically on the fixed
+    /// offset map, so monotonicity holds per column, not just on average.
+    #[test]
+    fn temperature_and_sigma_are_monotone_knobs(seed in any::<u64>()) {
+        let cold = ChipProfile::sample(config(seed, 20.0, 0.3, DataPattern::Random));
+        let hot = ChipProfile::sample(config(seed, 85.0, 0.3, DataPattern::Random));
+        let tight = ChipProfile::sample(config(seed, 45.0, 0.15, DataPattern::Random));
+        let loose = ChipProfile::sample(config(seed, 45.0, 0.45, DataPattern::Random));
+        for bank in 0..3 {
+            for col in 0..96 {
+                prop_assert!(
+                    hot.error_probability(bank, col) >= cold.error_probability(bank, col),
+                    "heating lowered p at ({}, {})", bank, col
+                );
+                prop_assert!(
+                    loose.error_probability(bank, col) >= tight.error_probability(bank, col),
+                    "widening sigma lowered p at ({}, {})", bank, col
+                );
+            }
+        }
+    }
+}
+
+/// The stress ordering of the data-pattern knob: random > checkerboard >
+/// ones > zeros, per column (deterministic spot check, no proptest).
+#[test]
+fn data_pattern_stress_ordering_holds_per_column() {
+    let seed = 0xCAFE_F00D;
+    let profiles: Vec<ChipProfile> =
+        PATTERNS.iter().map(|&p| ChipProfile::sample(config(seed, 45.0, 0.3, p))).collect();
+    for bank in 0..3 {
+        for col in 0..96 {
+            let ps: Vec<f64> = profiles.iter().map(|p| p.error_probability(bank, col)).collect();
+            // PATTERNS order: Zeros, Ones, Checkerboard, Random.
+            assert!(ps[0] <= ps[1] && ps[1] <= ps[2] && ps[2] <= ps[3], "({bank}, {col}): {ps:?}");
+        }
+    }
+}
