@@ -13,7 +13,7 @@ use elp2im_core::compile::{compile, CompileMode, LogicOp, Operands};
 use elp2im_core::error::CoreError;
 use elp2im_dram::command::CommandProfile;
 use elp2im_dram::constraint::PumpBudget;
-use elp2im_dram::geometry::Geometry;
+use elp2im_dram::geometry::{Geometry, Topology};
 use elp2im_dram::power::PowerModel;
 use elp2im_dram::telemetry::TraceSink;
 use elp2im_dram::timing::Ddr3Timing;
@@ -267,7 +267,7 @@ impl PimBackend {
     pub fn batch_config(&self) -> Option<BatchConfig> {
         match &self.design {
             DesignKind::Elp2im { mode, reserved_rows } => Some(BatchConfig {
-                geometry: self.geometry,
+                topology: Topology::module(self.geometry),
                 reserved_rows: *reserved_rows,
                 mode: *mode,
                 budget: self.budget.clone(),

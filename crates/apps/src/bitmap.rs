@@ -221,16 +221,16 @@ mod tests {
     fn batch_queries_match_reference_and_overlap_banks() {
         use elp2im_core::batch::BatchConfig;
         use elp2im_dram::constraint::PumpBudget;
-        use elp2im_dram::geometry::Geometry;
+        use elp2im_dram::geometry::{Geometry, Topology};
 
         let mut rng = workload::rng(23);
         let mut array = DeviceArray::new(BatchConfig {
-            geometry: Geometry {
+            topology: Topology::module(Geometry {
                 banks: 8,
                 subarrays_per_bank: 2,
                 rows_per_subarray: 32,
                 row_bytes: 32,
-            },
+            }),
             budget: PumpBudget::unconstrained(),
             ..BatchConfig::default()
         });

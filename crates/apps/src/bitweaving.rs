@@ -421,16 +421,16 @@ mod tests {
     fn array_execution_matches_reference_across_banks() {
         use elp2im_core::batch::{BatchConfig, DeviceArray};
         use elp2im_dram::constraint::PumpBudget;
-        use elp2im_dram::geometry::Geometry;
+        use elp2im_dram::geometry::{Geometry, Topology};
 
         let mut rng = workload::rng(9);
         let mut array = DeviceArray::new(BatchConfig {
-            geometry: Geometry {
+            topology: Topology::module(Geometry {
                 banks: 4,
                 subarrays_per_bank: 2,
                 rows_per_subarray: 64,
                 row_bytes: 16,
-            },
+            }),
             budget: PumpBudget::unconstrained(),
             ..BatchConfig::default()
         });
@@ -457,16 +457,16 @@ mod tests {
     #[test]
     fn all_predicates_match_scalar_on_array() {
         use elp2im_core::batch::{BatchConfig, DeviceArray};
-        use elp2im_dram::geometry::Geometry;
+        use elp2im_dram::geometry::{Geometry, Topology};
 
         let mut rng = workload::rng(29);
         let mut array = DeviceArray::new(BatchConfig {
-            geometry: Geometry {
+            topology: Topology::module(Geometry {
                 banks: 2,
                 subarrays_per_bank: 2,
                 rows_per_subarray: 64,
                 row_bytes: 16,
-            },
+            }),
             ..BatchConfig::default()
         });
         let n = array.row_bits() * 2 + 19; // uneven tail stripe

@@ -11,13 +11,17 @@ use elp2im_core::batch::{BatchConfig, DeviceArray};
 use elp2im_core::bitvec::BitVec;
 use elp2im_core::compile::LogicOp;
 use elp2im_dram::constraint::PumpBudget;
-use elp2im_dram::geometry::Geometry;
+use elp2im_dram::geometry::{Geometry, Topology};
 
 const STRIPES: usize = 8;
 
+fn bench_geometry(banks: usize) -> Geometry {
+    Geometry { banks, subarrays_per_bank: 8, rows_per_subarray: 64, row_bytes: 1024 }
+}
+
 fn array_with_banks(banks: usize) -> DeviceArray {
     DeviceArray::new(BatchConfig {
-        geometry: Geometry { banks, subarrays_per_bank: 8, rows_per_subarray: 64, row_bytes: 1024 },
+        topology: Topology::module(bench_geometry(banks)),
         budget: PumpBudget::unconstrained(),
         ..BatchConfig::default()
     })
@@ -55,6 +59,50 @@ fn bench_makespan_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("banks", banks), &banks, |bch, &banks| {
             bch.iter(|| {
                 let mut array = array_with_banks(banks);
+                let ha = array.store(&a).unwrap();
+                let hb = array.store(&b).unwrap();
+                let (hc, run) = array.binary(LogicOp::And, ha, hb).unwrap();
+                std::hint::black_box((hc, run.stats().makespan));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Topology scaling: the same total bulk-AND work (64 stripes, every
+/// unit of the 4-channel array busy) scheduled hierarchically on 1, 2,
+/// or 4 channels × 2 ranks × 8 banks under the JEDEC pump budget.
+/// Criterion times the host simulation; the modeled makespan (printed)
+/// shrinks near-linearly with channels — the BENCH_008 invariant.
+fn bench_topology_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_topology");
+    let geometry = bench_geometry(8);
+    let bits = geometry.row_bits() * 4 * 2 * geometry.banks;
+    let (a, b) = operands(bits);
+    for &channels in &[1usize, 2, 4] {
+        group.throughput(Throughput::Elements(bits as u64));
+        let make = || {
+            DeviceArray::new(BatchConfig {
+                topology: Topology::new(channels, 2, geometry),
+                budget: PumpBudget::jedec_ddr3_1600(),
+                ..BatchConfig::default()
+            })
+        };
+
+        // Report the modeled scaling once, outside the timed loop.
+        let mut array = make();
+        let ha = array.store(&a).unwrap();
+        let hb = array.store(&b).unwrap();
+        let (_, run) = array.binary(LogicOp::And, ha, hb).unwrap();
+        let s = run.stats();
+        println!(
+            "batch_topology/{channels}-channel model: makespan {}, pump stall {}, {} channels used",
+            s.makespan, s.pump_stall, run.channels_used
+        );
+
+        group.bench_with_input(BenchmarkId::new("channels", channels), &channels, |bch, _| {
+            bch.iter(|| {
+                let mut array = make();
                 let ha = array.store(&a).unwrap();
                 let hb = array.store(&b).unwrap();
                 let (hc, run) = array.binary(LogicOp::And, ha, hb).unwrap();
@@ -142,5 +190,11 @@ fn bench_sink_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_makespan_scaling, bench_scheduler, bench_sink_overhead);
+criterion_group!(
+    benches,
+    bench_makespan_scaling,
+    bench_topology_scaling,
+    bench_scheduler,
+    bench_sink_overhead
+);
 criterion_main!(benches);

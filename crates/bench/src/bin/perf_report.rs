@@ -14,9 +14,17 @@
 //! device, proving the selective fault-aware runtime meets the target
 //! logical error rate at a lower modeled makespan than blanket parity ECC.
 //!
+//! `BENCH_008.json` is the topology-scaling record: the same bulk-AND
+//! work scheduled by the hierarchical scheduler on 1, 2, and 4 channels
+//! (× 2 ranks × 8 banks) under the JEDEC pump budget. The modeled
+//! schedule is deterministic, so the committed document regenerates
+//! bit-identically; `--check` enforces the near-linear scaling invariant
+//! (4-channel makespan ≤ 0.35× single-channel).
+//!
 //! Usage:
 //!   perf_report [--smoke] [--out PATH]   measure and emit BENCH_006
 //!   perf_report --soak [--smoke] [--out PATH]   run and emit BENCH_007
+//!   perf_report --topology [--out PATH]  model and emit BENCH_008
 //!   perf_report --check PATH             validate an emitted report
 //!
 //! `--smoke` runs one short sample per workload (seconds, not minutes);
@@ -32,7 +40,7 @@ use elp2im_core::bitvec::BitVec;
 use elp2im_core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
 use elp2im_core::engine::SubarrayEngine;
 use elp2im_dram::constraint::PumpBudget;
-use elp2im_dram::geometry::Geometry;
+use elp2im_dram::geometry::{Geometry, Topology};
 use elp2im_dram::json::Json;
 use elp2im_dram::stats::RunStats;
 use std::time::{Duration, Instant};
@@ -70,9 +78,15 @@ fn measure(smoke: bool, mut routine: impl FnMut()) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// The bench geometry shared by BENCH_006 and BENCH_008: an 8-bank rank
+/// kept small enough that the host-functional simulation is cheap.
+fn bench_geometry(banks: usize) -> Geometry {
+    Geometry { banks, subarrays_per_bank: 8, rows_per_subarray: 64, row_bytes: 1024 }
+}
+
 fn array_with_banks(banks: usize) -> DeviceArray {
     DeviceArray::new(BatchConfig {
-        geometry: Geometry { banks, subarrays_per_bank: 8, rows_per_subarray: 64, row_bytes: 1024 },
+        topology: Topology::module(bench_geometry(banks)),
         budget: PumpBudget::unconstrained(),
         ..BatchConfig::default()
     })
@@ -246,6 +260,69 @@ fn build_table(smoke: bool) -> Table {
     t
 }
 
+/// BENCH_008: the hierarchical scheduler's topology scaling. Equal total
+/// work (every unit of the widest topology gets one stripe) on 1, 2, and
+/// 4 channels × 2 ranks × 8 banks under the JEDEC pump budget. Purely
+/// modeled — the schedule is deterministic, so the emitted document is
+/// reproducible bit for bit.
+fn build_topology_table() -> Table {
+    const RANKS: usize = 2;
+    const CHANNELS: [usize; 3] = [1, 2, 4];
+    let geometry = bench_geometry(8);
+    let mut t = Table::new(
+        "BENCH_008: hierarchical scheduler topology scaling",
+        &[
+            "channels",
+            "ranks/ch",
+            "units",
+            "stripes/unit",
+            "makespan ms",
+            "pump stall ms",
+            "busy ms",
+            "vs 1ch",
+        ],
+    );
+    // All 64 units of the 4-channel topology busy → equal work everywhere.
+    let total_stripes = CHANNELS[2] * RANKS * geometry.banks;
+    let bits = geometry.row_bits() * total_stripes;
+    let a: BitVec = (0..bits).map(|i| i % 3 == 0).collect();
+    let b: BitVec = (0..bits).map(|i| i % 7 == 0).collect();
+    let mut base_ms = None;
+    let mut widest_stats = None;
+    for channels in CHANNELS {
+        let mut array = DeviceArray::new(BatchConfig {
+            topology: Topology::new(channels, RANKS, geometry),
+            budget: PumpBudget::jedec_ddr3_1600(),
+            ..BatchConfig::default()
+        });
+        let ha = array.store(&a).unwrap();
+        let hb = array.store(&b).unwrap();
+        let (_, run) = array.binary(LogicOp::And, ha, hb).unwrap();
+        let s = run.stats();
+        let ms = s.makespan.as_f64() / 1e6;
+        let base = *base_ms.get_or_insert(ms);
+        t.push(vec![
+            channels.to_string(),
+            RANKS.to_string(),
+            run.banks_used.to_string(),
+            (total_stripes / run.banks_used).to_string(),
+            format!("{ms:.6}"),
+            format!("{:.6}", s.pump_stall.as_f64() / 1e6),
+            format!("{:.6}", s.busy_time.as_f64() / 1e6),
+            format!("{:.3}x", base / ms),
+        ]);
+        if channels == CHANNELS[2] {
+            widest_stats = Some(s.clone());
+        }
+    }
+    t.attach_stats(&widest_stats.expect("4-channel row always runs"));
+    t.note("modeled DRAM schedule under the JEDEC DDR3-1600 pump budget; no host timing");
+    t.note("equal total work per row: 64 bulk-AND row stripes placed channel-major");
+    t.note("stats block: modeled schedule of the 4-channel configuration");
+    t.note("--check invariant: 4-channel makespan <= 0.35x single-channel");
+    t
+}
+
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
@@ -254,7 +331,10 @@ fn check(path: &str) -> Result<(), String> {
     match experiment {
         "bench_006" => check_bench_006(&doc),
         "bench_007" => check_bench_007(&doc),
-        other => Err(format!("experiment must be \"bench_006\" or \"bench_007\", got {other:?}")),
+        "bench_008" => check_bench_008(&doc),
+        other => Err(format!(
+            "experiment must be \"bench_006\", \"bench_007\", or \"bench_008\", got {other:?}"
+        )),
     }
 }
 
@@ -303,6 +383,28 @@ fn check_bench_007(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// BENCH_008 invariant: the 4-channel makespan is at most 0.35× the
+/// single-channel makespan — near-linear scaling with a margin for the
+/// shared per-rank pump edges.
+fn check_bench_008(doc: &Json) -> Result<(), String> {
+    let rows = doc.get("rows").and_then(Json::as_array).expect("validated");
+    let makespan = |channels: &str| -> Result<f64, String> {
+        rows.iter()
+            .filter_map(Json::as_array)
+            .find(|c| c.first().and_then(Json::as_str) == Some(channels))
+            .and_then(|c| c.get(4)?.as_str()?.parse::<f64>().ok())
+            .ok_or_else(|| format!("missing or unparsable makespan for {channels} channel(s)"))
+    };
+    let one = makespan("1")?;
+    let four = makespan("4")?;
+    if four > one * 0.35 {
+        return Err(format!(
+            "4-channel makespan {four} ms must be <= 0.35x the single-channel {one} ms"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--check") {
@@ -321,13 +423,20 @@ fn main() {
     }
     let smoke = args.iter().any(|a| a == "--smoke");
     let soak = args.iter().any(|a| a == "--soak");
+    let topology = args.iter().any(|a| a == "--topology");
     let out = args.iter().position(|a| a == "--out").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--out requires a path");
             std::process::exit(2);
         })
     });
-    let table = if soak { elp2im_bench::soak::build_soak_table(smoke) } else { build_table(smoke) };
+    let table = if topology {
+        build_topology_table()
+    } else if soak {
+        elp2im_bench::soak::build_soak_table(smoke)
+    } else {
+        build_table(smoke)
+    };
     print!("{table}");
     if let Some(path) = out {
         let json = table.to_json().pretty();

@@ -5,21 +5,24 @@
 //! operations across the module's banks so their primitive streams overlap
 //! on the rank. The differences are deliberate:
 //!
-//! * **Placement is bank-major.** A vector's row-sized stripes go to
-//!   stripe `i` → bank `i % banks`, subarray `(i / banks) %
-//!   subarrays_per_bank`, so a wide operand touches *every* bank before it
-//!   reuses one — the module's round-robin over global subarray index
-//!   instead fills one bank's subarrays in sequence. Bank-major striping
-//!   is what turns one bulk AND into eight concurrent per-bank streams
-//!   (§6.2 of the paper evaluates exactly this configuration: a bulk
-//!   operand spread over all eight banks of a DDR3-1600 module).
+//! * **Placement is channel-major.** A vector's row-sized stripes walk
+//!   the topology's parallelism hierarchy most-independent-level first:
+//!   stripe `i` lands on channel `i % channels` (channels share nothing),
+//!   then rank (`(i / channels) % ranks` — own pump window, shared bus),
+//!   then bank, then subarray — so a wide operand engages *every* channel
+//!   before it reuses one, every rank before reusing a rank, and so on.
+//!   On the single-module [`Topology`] this reduces exactly to the
+//!   original bank-major striping (§6.2 of the paper evaluates that
+//!   configuration: a bulk operand spread over all eight banks of a
+//!   DDR3-1600 module).
 //! * **Scheduling is batch-at-once.** Each operation hands the complete
-//!   per-bank command streams to the stateless
-//!   [`InterleavedScheduler`](elp2im_dram::interleave::InterleavedScheduler),
+//!   per-bank command streams, keyed by [`TopoPath`], to the stateless
+//!   [`HierarchicalScheduler`](elp2im_dram::hierarchy::HierarchicalScheduler),
 //!   which reports the true wall-clock [`makespan`](RunStats::makespan)
-//!   and [`pump_stall`](RunStats::pump_stall) under the shared charge-pump
-//!   window, alongside the serial [`busy_time`](RunStats::busy_time) —
-//!   plus the exact bus trace for inspection.
+//!   and [`pump_stall`](RunStats::pump_stall) under per-rank charge-pump
+//!   windows and per-channel buses, alongside the serial
+//!   [`busy_time`](RunStats::busy_time) — plus the exact bus trace for
+//!   inspection.
 //! * **Functional simulation is host-parallel.** Banks are
 //!   architecturally independent, so each bank's stripes execute on its
 //!   [`SubarrayEngine`](crate::engine::SubarrayEngine)s in a scoped thread
@@ -45,29 +48,32 @@ use crate::primitive::RowRef;
 use crate::rowmap::RowAllocator;
 use elp2im_dram::command::CommandProfile;
 use elp2im_dram::constraint::PumpBudget;
-use elp2im_dram::geometry::Geometry;
-use elp2im_dram::interleave::{InterleavedScheduler, Schedule};
+use elp2im_dram::geometry::{Geometry, TopoPath, Topology};
+use elp2im_dram::hierarchy::HierarchicalScheduler;
+use elp2im_dram::interleave::Schedule;
 use elp2im_dram::stats::RunStats;
 use elp2im_dram::telemetry::{MetricsRegistry, TraceSink};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Batch-layer configuration.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
-    /// Bank/subarray/row geometry.
-    pub geometry: Geometry,
+    /// Channel/rank/bank topology (with the per-rank bank/subarray/row
+    /// geometry inside it).
+    pub topology: Topology,
     /// Reserved dual-contact rows per subarray.
     pub reserved_rows: usize,
     /// Compilation strategy.
     pub mode: CompileMode,
-    /// Charge-pump budget enforced by the scheduler.
+    /// Charge-pump budget enforced per rank by the scheduler.
     pub budget: PumpBudget,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
-            geometry: Geometry::ddr3_module(),
+            topology: Topology::module(Geometry::ddr3_module()),
             reserved_rows: 1,
             mode: CompileMode::LowLatency,
             budget: PumpBudget::jedec_ddr3_1600(),
@@ -76,12 +82,26 @@ impl Default for BatchConfig {
 }
 
 impl BatchConfig {
-    /// The default configuration shrunk to `banks` banks (same per-bank
-    /// shape), for serial-vs-parallel comparisons.
+    /// The default single-module configuration shrunk to `banks` banks
+    /// (same per-bank shape), for serial-vs-parallel comparisons.
     pub fn with_banks(banks: usize) -> Self {
         let mut c = BatchConfig::default();
-        c.geometry.banks = banks;
+        c.topology.geometry.banks = banks;
         c
+    }
+
+    /// The default configuration scaled out to `channels` ×
+    /// `ranks_per_channel` DDR3 ranks (8 banks each).
+    pub fn with_topology(channels: usize, ranks_per_channel: usize) -> Self {
+        BatchConfig {
+            topology: Topology::new(channels, ranks_per_channel, Geometry::ddr3_module()),
+            ..BatchConfig::default()
+        }
+    }
+
+    /// The per-rank geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.topology.geometry
     }
 }
 
@@ -92,7 +112,9 @@ pub struct BatchHandle(usize);
 /// Location of one row-sized stripe of a stored vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Stripe {
-    /// Bank holding the stripe.
+    /// Flat unit index of the bank holding the stripe
+    /// (per [`Topology::flat_index`]; equal to the plain bank index on a
+    /// single-module topology).
     pub bank: usize,
     /// Subarray within the bank.
     pub subarray: usize,
@@ -152,8 +174,11 @@ pub struct CheckedRun {
 pub struct BatchRun {
     /// Exact interleaved schedule of the operation's command streams.
     pub schedule: Schedule,
-    /// Banks that carried at least one stripe of this operation.
+    /// Banks (across every channel and rank) that carried at least one
+    /// stripe of this operation.
     pub banks_used: usize,
+    /// Channels that carried at least one stripe of this operation.
+    pub channels_used: usize,
 }
 
 impl BatchRun {
@@ -190,7 +215,7 @@ pub struct DeviceArray {
     config: BatchConfig,
     banks: Vec<BankUnit>,
     vectors: Vec<Option<BatchEntry>>,
-    scheduler: InterleavedScheduler,
+    scheduler: HierarchicalScheduler,
     totals: RunStats,
     /// Optional per-command trace receiver shared by every scheduled
     /// operation; `None` keeps scheduling on the untraced fast path.
@@ -198,8 +223,11 @@ pub struct DeviceArray {
     /// Shared static-analysis verdict cache: a compiled program striped
     /// across banks/subarrays in equivalent states is analyzed once.
     analysis_cache: AnalysisCache,
-    /// Bank placement order, most reliable first. Identity until
-    /// [`DeviceArray::set_fault_models`] installs per-bank reliability.
+    /// Placement order over flat bank units: channel-major (every channel
+    /// before reusing one, then ranks, then banks) until
+    /// [`DeviceArray::set_fault_models`] re-sorts it most-reliable-first.
+    /// On a single-module topology the channel-major order is the
+    /// identity, i.e. plain bank-major.
     bank_rank: Vec<usize>,
     /// Retry/verify accounting of the fault-aware executor
     /// ([`DeviceArray::binary_checked`]).
@@ -212,11 +240,28 @@ pub struct DeviceArray {
 /// word-loop programs.
 const PARALLEL_MIN_WORDS: usize = 1 << 14;
 
+/// The channel-major placement order over flat bank units: slot `i` maps
+/// channel-fastest, then rank, then bank, so consecutive stripes land on
+/// the most independent hardware available. On a 1 × 1 topology this is
+/// the identity (plain bank-major).
+fn channel_major_order(t: &Topology) -> Vec<usize> {
+    let (nc, nr) = (t.channels, t.ranks_per_channel);
+    (0..t.total_banks())
+        .map(|slot| {
+            t.flat_index(TopoPath {
+                channel: slot % nc,
+                rank: (slot / nc) % nr,
+                bank: slot / (nc * nr),
+            })
+        })
+        .collect()
+}
+
 impl DeviceArray {
     /// Creates an array with every subarray empty.
     pub fn new(config: BatchConfig) -> Self {
-        let g = &config.geometry;
-        let banks: Vec<BankUnit> = (0..g.banks)
+        let g = config.topology.geometry;
+        let banks: Vec<BankUnit> = (0..config.topology.total_banks())
             .map(|_| BankUnit {
                 engines: (0..g.subarrays_per_bank)
                     .map(|_| {
@@ -228,8 +273,8 @@ impl DeviceArray {
                     .collect(),
             })
             .collect();
-        let scheduler = InterleavedScheduler::new(config.budget.clone());
-        let bank_rank = (0..banks.len()).collect();
+        let scheduler = HierarchicalScheduler::new(config.budget.clone());
+        let bank_rank = channel_major_order(&config.topology);
         DeviceArray {
             config,
             banks,
@@ -256,12 +301,28 @@ impl DeviceArray {
 
     /// Bits per row (stripe granularity).
     pub fn row_bits(&self) -> usize {
-        self.config.geometry.row_bits()
+        self.config.topology.geometry.row_bits()
     }
 
-    /// Number of banks in the array.
+    /// Total number of bank units in the array, across every channel and
+    /// rank.
     pub fn banks(&self) -> usize {
         self.banks.len()
+    }
+
+    /// The array's channel/rank/bank topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// The topology path of a flat bank-unit index (as found in
+    /// [`Stripe::bank`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn unit_path(&self, unit: usize) -> TopoPath {
+        self.config.topology.path(unit)
     }
 
     /// The array's configuration.
@@ -288,23 +349,26 @@ impl DeviceArray {
         self.vectors.get(h.0).and_then(Option::as_ref).ok_or(CoreError::InvalidHandle(h.0))
     }
 
-    /// Bank-major stripe placement: stripe `i` lands on the `i % banks`-th
-    /// bank of the reliability ranking (identity without fault models, so
-    /// plain bank-major). The allocator picks the row; the subarray
-    /// advances only after every bank has taken a stripe, so wide operands
-    /// span all banks first.
+    /// Channel-major stripe placement: stripe `i` lands on the `i %
+    /// banks`-th unit of the placement ranking — channel-major order
+    /// (every channel, then every rank, then every bank before reuse)
+    /// re-sorted most-reliable-first once fault models are installed. The
+    /// allocator picks the row; the subarray advances only after every
+    /// unit has taken a stripe, so wide operands span the whole topology
+    /// first.
     fn place(&mut self, stripe: usize) -> Result<Stripe, CoreError> {
         let nbanks = self.banks.len();
-        let nsubs = self.config.geometry.subarrays_per_bank;
+        let nsubs = self.config.topology.geometry.subarrays_per_bank;
         let bank = self.bank_rank[stripe % nbanks];
         let subarray = (stripe / nbanks) % nsubs;
         let row = self.banks[bank].allocs[subarray].alloc()?;
         Ok(Stripe { bank, subarray, row })
     }
 
-    /// Installs per-bank fault models (index = bank; `None` = clean) and
-    /// re-ranks placement so the most reliable banks fill first. Models
-    /// apply to every subarray engine of their bank.
+    /// Installs per-unit fault models (index = flat bank unit; `None` =
+    /// clean) and re-ranks placement so the most reliable units fill
+    /// first; units of equal reliability keep their channel-major order.
+    /// Models apply to every subarray engine of their bank.
     ///
     /// Install models *before* storing operands: ranking only affects
     /// future placements, and operands stored under different rankings
@@ -312,14 +376,18 @@ impl DeviceArray {
     ///
     /// # Panics
     ///
-    /// Panics unless exactly one entry per bank is supplied.
+    /// Panics unless exactly one entry per bank unit is supplied.
     pub fn set_fault_models(&mut self, models: Vec<Option<ColumnFaultModel>>) {
-        assert_eq!(models.len(), self.banks.len(), "one fault model slot per bank");
-        let mut rank: Vec<usize> = (0..self.banks.len()).collect();
+        assert_eq!(models.len(), self.banks.len(), "one fault model slot per bank unit");
+        let mut rank = channel_major_order(&self.config.topology);
+        let mut pos = vec![0usize; rank.len()];
+        for (i, &unit) in rank.iter().enumerate() {
+            pos[unit] = i;
+        }
         rank.sort_by(|&x, &y| {
             let mx = models[x].as_ref().map_or(0.0, ColumnFaultModel::mean_error);
             let my = models[y].as_ref().map_or(0.0, ColumnFaultModel::mean_error);
-            mx.total_cmp(&my).then(x.cmp(&y))
+            mx.total_cmp(&my).then(pos[x].cmp(&pos[y]))
         });
         self.bank_rank = rank;
         for (unit, model) in self.banks.iter_mut().zip(models) {
@@ -329,13 +397,14 @@ impl DeviceArray {
         }
     }
 
-    /// The current bank placement order, most reliable first (identity
-    /// until fault models are installed).
+    /// The current placement order over flat bank units, most reliable
+    /// first (channel-major — the identity on a single module — until
+    /// fault models are installed).
     pub fn bank_ranking(&self) -> &[usize] {
         &self.bank_rank
     }
 
-    /// The fault model of one bank, if installed.
+    /// The fault model of one bank unit (flat index), if installed.
     ///
     /// # Panics
     ///
@@ -414,7 +483,8 @@ impl DeviceArray {
         }
     }
 
-    /// Stores a vector of any length, striped bank-major across the array.
+    /// Stores a vector of any length, striped channel-major across the
+    /// array (plain bank-major on a single-module topology).
     ///
     /// # Errors
     ///
@@ -440,7 +510,7 @@ impl DeviceArray {
         Ok(BatchHandle(id))
     }
 
-    /// Loads a vector back, merging stripes in bank-major order.
+    /// Loads a vector back, merging stripes in placement order.
     ///
     /// # Errors
     ///
@@ -505,9 +575,10 @@ impl DeviceArray {
     }
 
     /// Compiles `op` over every stripe of `a` (and `b`), allocating
-    /// destination rows with the same bank-major placement. Returns the
-    /// new entry plus per-bank work (programs to execute) and per-bank
-    /// command streams (profiles to schedule).
+    /// destination rows with the same channel-major placement. Returns
+    /// the new entry plus per-unit work (programs to execute) and
+    /// per-unit command streams (profiles to schedule), keyed by
+    /// [`TopoPath`].
     #[allow(clippy::type_complexity)]
     fn prepare(
         &mut self,
@@ -515,7 +586,7 @@ impl DeviceArray {
         a: BatchHandle,
         b: Option<BatchHandle>,
     ) -> Result<
-        (BatchEntry, Vec<Vec<(usize, Arc<Program>)>>, Vec<(usize, Vec<CommandProfile>)>),
+        (BatchEntry, Vec<Vec<(usize, Arc<Program>)>>, Vec<(TopoPath, Vec<CommandProfile>)>),
         CoreError,
     > {
         let ea = self.entry(a)?.clone();
@@ -530,8 +601,10 @@ impl DeviceArray {
         let mut stripes = Vec::with_capacity(ea.stripes.len());
         let mut work: Vec<Vec<(usize, Arc<Program>)>> =
             (0..self.banks.len()).map(|_| Vec::new()).collect();
-        let mut streams: Vec<(usize, Vec<CommandProfile>)> = Vec::new();
-        // Bank-major placement gives co-located stripes identical allocator
+        // Streams merge per flat unit in O(log units) — keyed by index,
+        // converted to paths once at the end.
+        let mut streams: BTreeMap<usize, Vec<CommandProfile>> = BTreeMap::new();
+        // Channel-major placement gives co-located stripes identical allocator
         // trajectories, so consecutive stripes almost always compile to the
         // same program; memoizing the last (rows -> program) pair turns the
         // per-stripe compile into an Arc bump.
@@ -543,7 +616,7 @@ impl DeviceArray {
                     debug_assert_eq!(
                         (sa.bank, sa.subarray),
                         (sb.bank, sb.subarray),
-                        "bank-major placement keeps operand stripes co-located"
+                        "channel-major placement keeps operand stripes co-located"
                     );
                     sb.row
                 }
@@ -562,13 +635,14 @@ impl DeviceArray {
             };
             let timing = self.banks[sa.bank].engines[sa.subarray].timing();
             let profiles = prog.profiles(timing);
-            match streams.iter_mut().find(|(bk, _)| *bk == sa.bank) {
-                Some((_, v)) => v.extend(profiles),
-                None => streams.push((sa.bank, profiles)),
-            }
+            streams.entry(sa.bank).or_default().extend(profiles);
             work[sa.bank].push((sa.subarray, prog));
             stripes.push(Stripe { bank: sa.bank, subarray: sa.subarray, row: dst });
         }
+        let streams = streams
+            .into_iter()
+            .map(|(unit, profiles)| (self.config.topology.path(unit), profiles))
+            .collect();
         Ok((BatchEntry { len: ea.len, stripes }, work, streams))
     }
 
@@ -579,7 +653,7 @@ impl DeviceArray {
     /// outcome is identical either way.
     fn run_banks(&mut self, work: Vec<Vec<(usize, Arc<Program>)>>) -> Result<(), CoreError> {
         let cache = &self.analysis_cache;
-        let words_per_row = self.config.geometry.row_bits().div_ceil(64);
+        let words_per_row = self.config.topology.geometry.row_bits().div_ceil(64);
         let total_primitives: usize =
             work.iter().flatten().map(|(_, prog)| prog.primitives().len()).sum();
         let busy_banks = work.iter().filter(|programs| !programs.is_empty()).count();
@@ -640,12 +714,17 @@ impl DeviceArray {
         }
         .map_err(|_| CoreError::InvalidHandle(usize::MAX))?;
         let banks_used = streams.len();
+        let channels_used = {
+            let mut channels: Vec<usize> = streams.iter().map(|(p, _)| p.channel).collect();
+            channels.dedup(); // streams are path-sorted, so dedup suffices
+            channels.len()
+        };
         // Operations are sequentially dependent at this layer: makespans
         // (and the background energy accrued over them) add.
         self.totals.merge_sequential(&schedule.stats);
         let id = self.vectors.len();
         self.vectors.push(Some(entry));
-        Ok((BatchHandle(id), BatchRun { schedule, banks_used }))
+        Ok((BatchHandle(id), BatchRun { schedule, banks_used, channels_used }))
     }
 
     /// Executes `dst := op(a, b)` over whole vectors: functionally on
@@ -682,14 +761,22 @@ mod tests {
         (0..bits).map(|i| i % period == 0).collect()
     }
 
+    fn tiny_geometry(banks: usize) -> Geometry {
+        Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 32 }
+    }
+
     fn small(banks: usize) -> DeviceArray {
         DeviceArray::new(BatchConfig {
-            geometry: Geometry {
-                banks,
-                subarrays_per_bank: 2,
-                rows_per_subarray: 32,
-                row_bytes: 32,
-            },
+            topology: Topology::module(tiny_geometry(banks)),
+            reserved_rows: 1,
+            mode: CompileMode::LowLatency,
+            budget: PumpBudget::unconstrained(),
+        })
+    }
+
+    fn small_topo(channels: usize, ranks: usize, banks: usize) -> DeviceArray {
+        DeviceArray::new(BatchConfig {
+            topology: Topology::new(channels, ranks, tiny_geometry(banks)),
             reserved_rows: 1,
             mode: CompileMode::LowLatency,
             budget: PumpBudget::unconstrained(),
@@ -707,6 +794,91 @@ mod tests {
         // Subarray advances only after all banks took a stripe.
         let subs: Vec<usize> = p.iter().map(|s| s.subarray).collect();
         assert_eq!(subs, vec![0, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn placement_engages_every_channel_first() {
+        let mut m = small_topo(2, 2, 2);
+        let bits = m.row_bits() * 8;
+        let h = m.store(&BitVec::ones(bits)).unwrap();
+        let p = m.placement(h).unwrap();
+        // Channel varies fastest, then rank, then bank:
+        // flat = (channel * ranks + rank) * banks + bank.
+        let units: Vec<usize> = p.iter().map(|s| s.bank).collect();
+        assert_eq!(units, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        let chans: Vec<usize> = units.iter().map(|&u| m.unit_path(u).channel).collect();
+        assert_eq!(chans, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn multichannel_results_match_single_module() {
+        let mut topo = small_topo(2, 2, 2);
+        let mut flat = small(1);
+        let bits = topo.row_bits() * 5 + 9; // 6 stripes
+        let a = pattern(bits, 3);
+        let b = pattern(bits, 5);
+        let (ta, tb) = (topo.store(&a).unwrap(), topo.store(&b).unwrap());
+        let (fa, fb) = (flat.store(&a).unwrap(), flat.store(&b).unwrap());
+        let (th, trun) = topo.binary(LogicOp::Xor, ta, tb).unwrap();
+        let (fh, _) = flat.binary(LogicOp::Xor, fa, fb).unwrap();
+        assert_eq!(topo.load(th).unwrap(), flat.load(fh).unwrap());
+        assert_eq!(trun.banks_used, 6);
+        assert_eq!(trun.channels_used, 2);
+    }
+
+    #[test]
+    fn extra_channels_relieve_pump_pressure() {
+        // Same total work and per-bank shape, but the four-channel array
+        // spreads it over four pump windows and four buses.
+        let jedec = |t: Topology| {
+            DeviceArray::new(BatchConfig {
+                topology: t,
+                reserved_rows: 1,
+                mode: CompileMode::LowLatency,
+                budget: PumpBudget::jedec_ddr3_1600(),
+            })
+        };
+        let mut one = jedec(Topology::module(tiny_geometry(8)));
+        let mut four = jedec(Topology::new(4, 1, tiny_geometry(2)));
+        let bits = one.row_bits() * 8;
+        let run_of = |m: &mut DeviceArray| {
+            let a = m.store(&BitVec::ones(bits)).unwrap();
+            let b = m.store(&pattern(bits, 2)).unwrap();
+            let (_, run) = m.binary(LogicOp::And, a, b).unwrap();
+            run
+        };
+        let r1 = run_of(&mut one);
+        let r4 = run_of(&mut four);
+        assert_eq!((r1.channels_used, r4.channels_used), (1, 4));
+        assert_eq!((r1.banks_used, r4.banks_used), (8, 8));
+        assert!(r1.stats().pump_stall.as_f64() > 0.0, "8 banks on one window must stall");
+        assert!(
+            r4.stats().pump_stall.as_f64() < r1.stats().pump_stall.as_f64(),
+            "four windows must stall less: {} vs {}",
+            r4.stats().pump_stall,
+            r1.stats().pump_stall
+        );
+        assert!(
+            r4.stats().makespan.as_f64() < r1.stats().makespan.as_f64(),
+            "four channels must finish sooner: {} vs {}",
+            r4.stats().makespan,
+            r1.stats().makespan
+        );
+    }
+
+    #[test]
+    fn fault_ranking_preserves_channel_major_order_on_ties() {
+        let mut m = small_topo(2, 1, 2);
+        // Channel-major over 2ch × 1r × 2b enumerates flat units 0,2,1,3.
+        assert_eq!(m.bank_ranking(), &[0, 2, 1, 3]);
+        m.set_fault_models(vec![None; 4]);
+        assert_eq!(m.bank_ranking(), &[0, 2, 1, 3], "all-clean ties keep channel-major order");
+        let mut probs = vec![0.0; m.row_bits()];
+        probs[0] = 0.9;
+        let mut models = vec![None; 4];
+        models[2] = Some(ColumnFaultModel::new(0xFA17, 2, probs));
+        m.set_fault_models(models);
+        assert_eq!(m.bank_ranking(), &[0, 1, 3, 2], "the unreliable unit sinks to last");
     }
 
     #[test]

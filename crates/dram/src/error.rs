@@ -1,5 +1,6 @@
 //! Error types for the DRAM substrate.
 
+use crate::geometry::TopoPath;
 use crate::units::Ps;
 use std::error::Error;
 use std::fmt;
@@ -12,6 +13,17 @@ pub enum DramError {
         /// Requested bank.
         bank: usize,
         /// Number of banks in the module.
+        banks: usize,
+    },
+    /// A topology path was outside the configured topology.
+    PathOutOfRange {
+        /// Requested path.
+        path: TopoPath,
+        /// Channels in the topology.
+        channels: usize,
+        /// Ranks per channel.
+        ranks: usize,
+        /// Banks per rank.
         banks: usize,
     },
     /// A command was issued to a bank that is still busy.
@@ -37,6 +49,12 @@ impl fmt::Display for DramError {
             DramError::BankOutOfRange { bank, banks } => {
                 write!(f, "bank {bank} out of range (module has {banks} banks)")
             }
+            DramError::PathOutOfRange { path, channels, ranks, banks } => {
+                write!(
+                    f,
+                    "path {path} outside topology ({channels} channels × {ranks} ranks × {banks} banks)"
+                )
+            }
             DramError::BankBusy { bank, free_at } => {
                 write!(f, "bank {bank} busy until {free_at}")
             }
@@ -61,6 +79,13 @@ mod tests {
         assert!(format!("{e}").contains("busy"));
         let e = DramError::CommandExceedsPumpBudget { cost: 9.0, budget: 4.0 };
         assert!(format!("{e}").contains("pump"));
+        let e = DramError::PathOutOfRange {
+            path: TopoPath::new(4, 0, 0),
+            channels: 4,
+            ranks: 2,
+            banks: 8,
+        };
+        assert!(format!("{e}").contains("c4.r0.b0"));
     }
 
     #[test]

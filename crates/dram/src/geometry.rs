@@ -76,6 +76,164 @@ impl fmt::Display for Geometry {
     }
 }
 
+/// A multi-module DRAM topology: channels × ranks × banks.
+///
+/// The paper's evaluation (§6.3) and the in-DRAM bulk-bitwise survey both
+/// frame the system-level win as integration *above* the subarray
+/// substrate: every channel has its own command/data bus, so channels
+/// overlap fully; every rank has its own charge-pump delivery network, so
+/// the tFAW-style activation window applies per rank; banks within a rank
+/// share both. [`Topology`] captures exactly those sharing domains, with
+/// [`Geometry`] describing the per-rank bank/subarray/row shape.
+///
+/// ```
+/// use elp2im_dram::geometry::{Geometry, Topology};
+/// let t = Topology::new(4, 2, Geometry::ddr3_module());
+/// assert_eq!(t.total_banks(), 4 * 2 * 8);
+/// // Flat unit indices enumerate (channel, rank, bank) lexicographically.
+/// let p = t.path(10);
+/// assert_eq!((p.channel, p.rank, p.bank), (0, 1, 2));
+/// assert_eq!(t.flat_index(p), 10);
+/// assert_eq!(t.path(16).channel, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Independent channels, each with its own command bus.
+    pub channels: usize,
+    /// Ranks per channel, each with its own charge-pump window.
+    pub ranks_per_channel: usize,
+    /// Per-rank shape: banks per rank plus subarray/row dimensions.
+    pub geometry: Geometry,
+}
+
+impl Topology {
+    /// A topology of `channels` × `ranks_per_channel` ranks, each shaped
+    /// like `geometry` (`geometry.banks` banks per rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(channels: usize, ranks_per_channel: usize, geometry: Geometry) -> Self {
+        assert!(channels > 0, "a topology needs at least one channel");
+        assert!(ranks_per_channel > 0, "a topology needs at least one rank per channel");
+        assert!(geometry.banks > 0, "a rank needs at least one bank");
+        Topology { channels, ranks_per_channel, geometry }
+    }
+
+    /// The single-module topology every pre-topology layer assumed:
+    /// one channel, one rank, `geometry.banks` banks.
+    pub fn module(geometry: Geometry) -> Self {
+        Topology::new(1, 1, geometry)
+    }
+
+    /// Total ranks across every channel.
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.ranks_per_channel
+    }
+
+    /// Total banks across every channel and rank.
+    pub fn total_banks(&self) -> usize {
+        self.total_ranks() * self.geometry.banks
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_ranks() * self.geometry.capacity_bytes()
+    }
+
+    /// Whether `path` addresses a bank inside this topology.
+    pub fn contains(&self, path: TopoPath) -> bool {
+        path.channel < self.channels
+            && path.rank < self.ranks_per_channel
+            && path.bank < self.geometry.banks
+    }
+
+    /// Flat unit index of `path`: `(channel, rank, bank)` lexicographic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is outside the topology.
+    pub fn flat_index(&self, path: TopoPath) -> usize {
+        assert!(self.contains(path), "{path} outside {self}");
+        (path.channel * self.ranks_per_channel + path.rank) * self.geometry.banks + path.bank
+    }
+
+    /// Inverse of [`Topology::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is at or beyond [`Topology::total_banks`].
+    pub fn path(&self, flat: usize) -> TopoPath {
+        assert!(flat < self.total_banks(), "flat index {flat} outside {self}");
+        let banks = self.geometry.banks;
+        TopoPath {
+            channel: flat / (self.ranks_per_channel * banks),
+            rank: (flat / banks) % self.ranks_per_channel,
+            bank: flat % banks,
+        }
+    }
+
+    /// Every bank path, in flat-index order.
+    pub fn paths(&self) -> impl Iterator<Item = TopoPath> + '_ {
+        (0..self.total_banks()).map(|i| self.path(i))
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::module(Geometry::default())
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} channels × {} ranks × ({})",
+            self.channels, self.ranks_per_channel, self.geometry
+        )
+    }
+}
+
+/// A fully qualified bank address within a [`Topology`].
+///
+/// Ordering is lexicographic `(channel, rank, bank)`, matching
+/// [`Topology::flat_index`]; schedulers use it as the deterministic
+/// tie-break, and telemetry keys events and counters by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TopoPath {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+}
+
+impl TopoPath {
+    /// Creates a path from its three components.
+    pub fn new(channel: usize, rank: usize, bank: usize) -> Self {
+        TopoPath { channel, rank, bank }
+    }
+
+    /// The path of `bank` in the single-module topology (channel 0,
+    /// rank 0) — how pre-topology bank indices embed into the hierarchy.
+    pub fn flat_bank(bank: usize) -> Self {
+        TopoPath { channel: 0, rank: 0, bank }
+    }
+
+    /// The pump-sharing domain of this path: its `(channel, rank)` pair.
+    pub fn rank_id(self) -> (usize, usize) {
+        (self.channel, self.rank)
+    }
+}
+
+impl fmt::Display for TopoPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.r{}.b{}", self.channel, self.rank, self.bank)
+    }
+}
+
 /// A fully qualified row address within a module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowAddr {
@@ -135,5 +293,43 @@ mod tests {
         assert_eq!(format!("{a}"), "b3.s7.r100");
         let g = Geometry::tiny();
         assert!(format!("{g}").contains("2 banks"));
+        let p = TopoPath::new(1, 0, 5);
+        assert_eq!(format!("{p}"), "c1.r0.b5");
+    }
+
+    #[test]
+    fn topology_flat_index_round_trips() {
+        let t = Topology::new(3, 2, Geometry::tiny());
+        assert_eq!(t.total_ranks(), 6);
+        assert_eq!(t.total_banks(), 12);
+        for flat in 0..t.total_banks() {
+            let p = t.path(flat);
+            assert!(t.contains(p));
+            assert_eq!(t.flat_index(p), flat);
+        }
+        // Lexicographic order of paths matches flat order.
+        let paths: Vec<_> = t.paths().collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn module_topology_matches_flat_banks() {
+        let t = Topology::module(Geometry::ddr3_module());
+        assert_eq!(t.total_banks(), 8);
+        for b in 0..8 {
+            assert_eq!(t.path(b), TopoPath::flat_bank(b));
+            assert_eq!(t.flat_index(TopoPath::flat_bank(b)), b);
+        }
+        assert_eq!(t.capacity_bytes(), Geometry::ddr3_module().capacity_bytes());
+    }
+
+    #[test]
+    fn topology_rejects_out_of_range() {
+        let t = Topology::new(2, 2, Geometry::tiny());
+        assert!(!t.contains(TopoPath::new(2, 0, 0)));
+        assert!(!t.contains(TopoPath::new(0, 2, 0)));
+        assert!(!t.contains(TopoPath::new(0, 0, 2)));
     }
 }

@@ -1,0 +1,459 @@
+//! Hierarchical scheduling across channels, ranks, and banks.
+//!
+//! [`crate::interleave::InterleavedScheduler`] models one rank: every bank
+//! shares one command bus and one charge-pump window. Real systems stack
+//! two more levels on top (§6.3 and the system-integration discussion in
+//! the bulk-bitwise survey): **ranks** on the same channel share the bus
+//! but each has its own charge-pump delivery network, and **channels**
+//! share nothing, so they overlap fully. [`HierarchicalScheduler`]
+//! generalizes the same deterministic issue rules to a
+//! [`TopoPath`]-addressed command stream:
+//!
+//! * each `(channel, rank)` pair gets its own [`PumpWindow`] — the
+//!   tFAW-style activation budget constrains ranks independently;
+//! * each channel gets its own in-order bus cursor — commands to any rank
+//!   of one channel serialize their *issue instants*, exactly as the
+//!   single-rank scheduler serializes bank issues;
+//! * channels are fully independent — a schedule over `c` channels with
+//!   identical per-channel work has the makespan of one channel.
+//!
+//! The flat scheduler is now a thin wrapper over this core with every
+//! stream pinned to `c0.r0` ([`TopoPath::flat_bank`]), so the two can
+//! never drift; the golden-sequence tests pin the flat traces bit for
+//! bit, and `tests/stats_properties.rs` proves the multi-channel laws
+//! (per-channel independence, [`RunStats::merge_parallel`] agreement)
+//! by property testing.
+//!
+//! # Determinism
+//!
+//! Identical to the flat scheduler, lifted to paths: streams merge in
+//! input order per path and sort by `(channel, rank, bank)`; at every
+//! step the pending command with the earliest bank-free time issues,
+//! ties going to the lowest path; the per-channel bus clamp applies at
+//! issue, and the per-rank pump window defers last. The selection loop
+//! runs on a binary heap keyed by bank-free time, so each step is
+//! `O(log banks)` instead of the previous `O(banks)` scan.
+
+use crate::command::CommandProfile;
+use crate::constraint::{PumpBudget, PumpWindow};
+use crate::error::DramError;
+use crate::geometry::{TopoPath, Topology};
+use crate::interleave::{Schedule, ScheduledCommand};
+use crate::power::PowerModel;
+use crate::stats::RunStats;
+use crate::telemetry::{CommandEvent, NullSink, StallReason, TraceSink};
+use crate::units::{Ns, Ps};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Deterministic, stateless scheduler for [`TopoPath`]-addressed command
+/// streams over a channel/rank/bank hierarchy.
+///
+/// ```
+/// use elp2im_dram::command::CommandProfile;
+/// use elp2im_dram::constraint::PumpBudget;
+/// use elp2im_dram::geometry::TopoPath;
+/// use elp2im_dram::hierarchy::HierarchicalScheduler;
+/// use elp2im_dram::timing::Ddr3Timing;
+///
+/// let t = Ddr3Timing::ddr3_1600();
+/// let sched = HierarchicalScheduler::new(PumpBudget::unconstrained());
+/// // The same two-bank workload on each of four channels…
+/// let mut streams = Vec::new();
+/// for c in 0..4 {
+///     for b in 0..2 {
+///         streams.push((TopoPath::new(c, 0, b), vec![CommandProfile::ap(&t); 3]));
+///     }
+/// }
+/// let s = sched.schedule(&streams).unwrap();
+/// // …takes exactly as long as one channel alone: channels share nothing.
+/// let one: Vec<_> = streams.iter().filter(|(p, _)| p.channel == 0).cloned().collect();
+/// assert_eq!(s.stats.makespan, sched.schedule(&one).unwrap().stats.makespan);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchicalScheduler {
+    budget: PumpBudget,
+    power: PowerModel,
+}
+
+impl HierarchicalScheduler {
+    /// A scheduler giving every rank its own copy of `budget`, with the
+    /// default Micron power model.
+    pub fn new(budget: PumpBudget) -> Self {
+        HierarchicalScheduler { budget, power: PowerModel::micron_ddr3_1600() }
+    }
+
+    /// Replaces the power model used for energy accounting.
+    pub fn with_power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// The per-rank budget.
+    pub fn budget(&self) -> &PumpBudget {
+        &self.budget
+    }
+
+    /// Schedules `streams` (pairs of path and that bank's in-order
+    /// command stream) from an idle array at t = 0.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankOutOfRange`] if a path component is at or above
+    /// `usize::MAX / 2` (a sentinel for obviously corrupt indices); any
+    /// path is otherwise legal — see [`HierarchicalScheduler::schedule_for`]
+    /// for topology-validated scheduling.
+    pub fn schedule(
+        &self,
+        streams: &[(TopoPath, Vec<CommandProfile>)],
+    ) -> Result<Schedule, DramError> {
+        self.schedule_with(streams, &mut NullSink)
+    }
+
+    /// [`HierarchicalScheduler::schedule`], validating every path against
+    /// `topology` first.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::PathOutOfRange`] if a stream's path is outside
+    /// `topology`; otherwise as [`HierarchicalScheduler::schedule`].
+    pub fn schedule_for(
+        &self,
+        topology: &Topology,
+        streams: &[(TopoPath, Vec<CommandProfile>)],
+    ) -> Result<Schedule, DramError> {
+        for (path, _) in streams {
+            if !topology.contains(*path) {
+                return Err(DramError::PathOutOfRange {
+                    path: *path,
+                    channels: topology.channels,
+                    ranks: topology.ranks_per_channel,
+                    banks: topology.geometry.banks,
+                });
+            }
+        }
+        self.schedule(streams)
+    }
+
+    /// [`HierarchicalScheduler::schedule`] with a dynamic trace sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HierarchicalScheduler::schedule`].
+    pub fn schedule_traced(
+        &self,
+        streams: &[(TopoPath, Vec<CommandProfile>)],
+        sink: &mut dyn TraceSink,
+    ) -> Result<Schedule, DramError> {
+        self.schedule_with(streams, sink)
+    }
+
+    /// Schedules `streams` while reporting every issued command to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HierarchicalScheduler::schedule`].
+    pub fn schedule_with<S: TraceSink + ?Sized>(
+        &self,
+        streams: &[(TopoPath, Vec<CommandProfile>)],
+        sink: &mut S,
+    ) -> Result<Schedule, DramError> {
+        let borrowed: Vec<(TopoPath, &[CommandProfile])> =
+            streams.iter().map(|(p, v)| (*p, v.as_slice())).collect();
+        schedule_core(&self.budget, &self.power, &borrowed, sink)
+    }
+}
+
+/// The shared scheduling core behind both the hierarchical and the flat
+/// scheduler. See the module docs for the issue rules.
+pub(crate) fn schedule_core<S: TraceSink + ?Sized>(
+    budget: &PumpBudget,
+    power: &PowerModel,
+    streams: &[(TopoPath, &[CommandProfile])],
+    sink: &mut S,
+) -> Result<Schedule, DramError> {
+    // Merge duplicate paths in input order; the BTreeMap both dedups in
+    // O(n log n) and yields entries sorted by path for the tie-break.
+    // Empty streams are dropped here — `Schedule::bank_done` promises
+    // "banks without work are absent".
+    let mut merged: BTreeMap<TopoPath, Vec<&CommandProfile>> = BTreeMap::new();
+    for (path, cmds) in streams {
+        for component in [path.channel, path.rank, path.bank] {
+            if component >= usize::MAX / 2 {
+                return Err(DramError::BankOutOfRange { bank: component, banks: usize::MAX / 2 });
+            }
+        }
+        if cmds.is_empty() {
+            continue;
+        }
+        merged.entry(*path).or_default().extend(cmds.iter());
+    }
+    let entries: Vec<(TopoPath, Vec<&CommandProfile>)> = merged.into_iter().collect();
+
+    // One pump window per (channel, rank); one bus cursor per channel.
+    let mut rank_of = BTreeMap::new();
+    let mut channel_of = BTreeMap::new();
+    for (path, _) in &entries {
+        let next = rank_of.len();
+        rank_of.entry(path.rank_id()).or_insert(next);
+        let next = channel_of.len();
+        channel_of.entry(path.channel).or_insert(next);
+    }
+    let mut pumps: Vec<PumpWindow> =
+        (0..rank_of.len()).map(|_| PumpWindow::new(budget.clone())).collect();
+    let mut rank_stats: Vec<RunStats> = (0..rank_of.len()).map(|_| RunStats::new()).collect();
+    let mut last_issue: Vec<Ps> = vec![Ps::ZERO; channel_of.len()];
+
+    let mut bank_free: Vec<Ps> = vec![Ps::ZERO; entries.len()];
+    let mut cursors = vec![0usize; entries.len()];
+    let mut stats = RunStats::new();
+    let mut commands = Vec::with_capacity(entries.iter().map(|(_, v)| v.len()).sum());
+
+    // Ready queue keyed by bank-free time, then path order (entries are
+    // path-sorted, so the index is the tie-break). A bank's free time
+    // only changes when it issues, at which point it is re-pushed with
+    // its new key — so the heap top is always the same command the old
+    // O(banks) scan would have selected.
+    let mut ready: BinaryHeap<Reverse<(Ps, usize)>> =
+        (0..entries.len()).map(|i| Reverse((Ps::ZERO, i))).collect();
+
+    while let Some(Reverse((free, i))) = ready.pop() {
+        let (path, cmds) = &entries[i];
+        let profile = cmds[cursors[i]];
+        let rank = rank_of[&path.rank_id()];
+        let channel = channel_of[&path.channel];
+
+        // In-order issue on this channel's bus, then per-rank pump
+        // admission, deferring as needed.
+        let requested = free.max(last_issue[channel]);
+        let cost = budget.command_cost(profile);
+        let mut start = requested;
+        loop {
+            match pumps[rank].try_admit(start, cost) {
+                Ok(()) => break,
+                Err(retry) => start = retry,
+            }
+        }
+        let bus_wait = requested.saturating_sub(free);
+        let pump_wait = start.saturating_sub(requested);
+        last_issue[channel] = start;
+        let done = start + profile.duration.to_ps();
+        bank_free[i] = done;
+
+        let energy = power.command_energy(profile);
+        for s in [&mut stats, &mut rank_stats[rank]] {
+            s.record(profile.class, profile.duration, profile.total_wordline_events, energy);
+            s.pump_stall += pump_wait.to_ns();
+            s.makespan = Ns(s.makespan.as_f64().max(done.to_ns().as_f64()));
+        }
+
+        // The request is born at the bank-free instant, so the wait splits
+        // exactly into the bus clamp and the pump deferral.
+        let reason = if pump_wait > Ps::ZERO {
+            StallReason::Pump
+        } else if bus_wait > Ps::ZERO {
+            StallReason::Bus
+        } else {
+            StallReason::None
+        };
+        sink.record(&CommandEvent {
+            seq: commands.len() as u64,
+            path: *path,
+            class: profile.class,
+            issue: free,
+            start,
+            done,
+            stall: start.saturating_sub(free),
+            bank_wait: Ps::ZERO,
+            bus_wait,
+            refresh_wait: Ps::ZERO,
+            pump_wait,
+            reason,
+            energy,
+        });
+
+        commands.push(ScheduledCommand {
+            seq: commands.len(),
+            path: *path,
+            index_in_bank: cursors[i],
+            class: profile.class,
+            start,
+            done,
+            pump_stall: pump_wait,
+            bus_wait,
+        });
+        cursors[i] += 1;
+        if cursors[i] < cmds.len() {
+            ready.push(Reverse((done, i)));
+        }
+    }
+
+    // Stamp standby accrual: the whole schedule over its wall clock, and
+    // each rank over its own (so per-rank entries are themselves valid
+    // schedules whose parallel merge reproduces the whole — the law
+    // checked in `tests/stats_properties.rs`).
+    stats.background_energy = power.background_energy(stats.makespan, 1.0);
+    for s in rank_stats.iter_mut() {
+        s.background_energy = power.background_energy(s.makespan, 1.0);
+    }
+
+    let bank_done =
+        entries.iter().enumerate().map(|(i, (path, _))| (*path, bank_free[i])).collect();
+    let rank_stats = rank_of.into_iter().map(|(id, idx)| (id, rank_stats[idx].clone())).collect();
+    Ok(Schedule { commands, stats, bank_done, rank_stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use crate::timing::Ddr3Timing;
+
+    fn t() -> Ddr3Timing {
+        Ddr3Timing::ddr3_1600()
+    }
+
+    fn per_channel_streams(
+        channels: usize,
+        ranks: usize,
+        banks: usize,
+        per_bank: usize,
+    ) -> Vec<(TopoPath, Vec<CommandProfile>)> {
+        let mut out = Vec::new();
+        for c in 0..channels {
+            for r in 0..ranks {
+                for b in 0..banks {
+                    out.push((TopoPath::new(c, r, b), vec![CommandProfile::ap(&t()); per_bank]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn channels_overlap_fully() {
+        let sched = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let one = sched.schedule(&per_channel_streams(1, 1, 8, 6)).unwrap();
+        let four = sched.schedule(&per_channel_streams(4, 1, 8, 6)).unwrap();
+        // Same per-channel work on four channels: identical makespan,
+        // four times the commands and dynamic energy.
+        assert_eq!(one.stats.makespan, four.stats.makespan);
+        assert_eq!(four.stats.total_commands(), 4 * one.stats.total_commands());
+        assert!((four.stats.energy.as_f64() - 4.0 * one.stats.energy.as_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranks_have_independent_pump_windows_but_share_the_bus() {
+        // Workload sized so one rank's pump window saturates: a second
+        // rank on the same channel must not inherit the deferrals (its
+        // own window is fresh), but its issues serialize on the bus.
+        let sched = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let one_rank = sched.schedule(&per_channel_streams(1, 1, 8, 8)).unwrap();
+        let two_ranks = sched.schedule(&per_channel_streams(1, 2, 8, 8)).unwrap();
+        // Two ranks double the pump capacity of the channel; the combined
+        // pump stall cannot exceed double a single rank's and the
+        // per-rank entries must each see their own window.
+        assert_eq!(two_ranks.rank_stats.len(), 2);
+        for ((_, _), rs) in &two_ranks.rank_stats {
+            assert!(rs.pump_stall.as_f64() <= one_rank.stats.pump_stall.as_f64() + 1e-9);
+        }
+        // The bus serializes: total makespan exceeds the one-rank run.
+        assert!(two_ranks.stats.makespan.as_f64() > one_rank.stats.makespan.as_f64());
+    }
+
+    #[test]
+    fn flat_embedding_matches_interleaved_scheduler() {
+        use crate::interleave::InterleavedScheduler;
+        for budget in [PumpBudget::unconstrained(), PumpBudget::jedec_ddr3_1600()] {
+            let flat: Vec<_> = (0..8)
+                .map(|b| {
+                    (
+                        b,
+                        vec![
+                            CommandProfile::aap(&t()),
+                            CommandProfile::app(&t()),
+                            CommandProfile::ap(&t()),
+                        ],
+                    )
+                })
+                .collect();
+            let lifted: Vec<_> =
+                flat.iter().map(|(b, v)| (TopoPath::flat_bank(*b), v.clone())).collect();
+            let a = InterleavedScheduler::new(budget.clone()).schedule(&flat).unwrap();
+            let b = HierarchicalScheduler::new(budget).schedule(&lifted).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn agrees_with_event_driven_controller_per_rank() {
+        // Each rank of a multi-channel schedule, re-run alone through the
+        // stateful controller, must reproduce the hierarchical makespan
+        // for single-rank channels: the rank owns both its bus and its
+        // pump window, so the hierarchy adds no coupling.
+        let sched = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let streams = per_channel_streams(4, 1, 8, 6);
+        let s = sched.schedule(&streams).unwrap();
+        assert_eq!(s.rank_stats.len(), 4);
+        for ((channel, rank), rs) in &s.rank_stats {
+            let flat: Vec<_> = streams
+                .iter()
+                .filter(|(p, _)| p.rank_id() == (*channel, *rank))
+                .map(|(p, v)| (p.bank, v.clone()))
+                .collect();
+            let mut c = Controller::new(8, PumpBudget::jedec_ddr3_1600());
+            let cs = c.run_streams(&flat).unwrap();
+            assert!(
+                (rs.makespan.as_f64() - cs.makespan.as_f64()).abs() < 1e-6,
+                "rank c{channel}.r{rank}: hierarchical {} vs controller {}",
+                rs.makespan,
+                cs.makespan
+            );
+            assert!((rs.pump_stall.as_f64() - cs.pump_stall.as_f64()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rank_stats_parallel_merge_reproduces_whole() {
+        let sched = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let s = sched.schedule(&per_channel_streams(3, 2, 4, 5)).unwrap();
+        let mut folded = RunStats::new();
+        for (_, rs) in &s.rank_stats {
+            folded.merge_parallel(rs);
+        }
+        assert_eq!(folded.commands, s.stats.commands);
+        assert_eq!(folded.makespan, s.stats.makespan);
+        assert!((folded.energy.as_f64() - s.stats.energy.as_f64()).abs() < 1e-6);
+        assert!((folded.pump_stall.as_f64() - s.stats.pump_stall.as_f64()).abs() < 1e-6);
+        assert_eq!(folded.background_energy, s.stats.background_energy);
+    }
+
+    #[test]
+    fn schedule_for_validates_paths() {
+        let topo = Topology::new(2, 1, crate::geometry::Geometry::tiny());
+        let sched = HierarchicalScheduler::new(PumpBudget::unconstrained());
+        let bad = vec![(TopoPath::new(2, 0, 0), vec![CommandProfile::ap(&t())])];
+        match sched.schedule_for(&topo, &bad) {
+            Err(DramError::PathOutOfRange { path, channels, .. }) => {
+                assert_eq!(path, TopoPath::new(2, 0, 0));
+                assert_eq!(channels, 2);
+            }
+            other => panic!("expected PathOutOfRange, got {other:?}"),
+        }
+        let good = vec![(TopoPath::new(1, 0, 1), vec![CommandProfile::ap(&t())])];
+        assert!(sched.schedule_for(&topo, &good).is_ok());
+    }
+
+    #[test]
+    fn stall_split_reconciles_exactly_in_picoseconds() {
+        use crate::telemetry::MemorySink;
+        let sched = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let mut sink = MemorySink::new();
+        sched.schedule_traced(&per_channel_streams(2, 2, 8, 8), &mut sink).unwrap();
+        assert!(sink.metrics.total_stall_ps > 0);
+        assert!(sink.metrics.stalls_reconcile());
+        for e in &sink.events {
+            assert!(e.waits_reconcile());
+        }
+    }
+}

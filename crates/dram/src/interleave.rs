@@ -14,6 +14,12 @@
 //! at t = 0 and is a pure function of its inputs, so results are
 //! reproducible and comparable across runs.
 //!
+//! This module is the single-rank view of the topology-aware
+//! [`crate::hierarchy::HierarchicalScheduler`]: `schedule` embeds its
+//! flat bank indices at channel 0, rank 0 ([`TopoPath::flat_bank`]) and
+//! runs the shared scheduling core, so the flat and hierarchical
+//! schedulers can never disagree on single-rank workloads.
+//!
 //! # Determinism
 //!
 //! The issue order is fully deterministic:
@@ -27,22 +33,24 @@
 //!    rank-wide activation budget is exhausted; the deferral is recorded
 //!    as that command's `pump_stall`.
 
-use crate::bank::BankState;
 use crate::command::{CommandClass, CommandProfile};
-use crate::constraint::{PumpBudget, PumpWindow};
+use crate::constraint::PumpBudget;
 use crate::error::DramError;
+use crate::geometry::TopoPath;
+use crate::hierarchy::schedule_core;
 use crate::power::PowerModel;
 use crate::stats::RunStats;
-use crate::telemetry::{CommandEvent, NullSink, StallReason, TraceSink};
+use crate::telemetry::{NullSink, TraceSink};
 use crate::units::{Ns, Ps};
 
-/// One command as actually issued on the shared bus.
+/// One command as actually issued on a channel's bus.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledCommand {
     /// Global issue order (0-based).
     pub seq: usize,
-    /// Bank the command executes on.
-    pub bank: usize,
+    /// Bank the command executes on. Flat single-rank schedules report
+    /// `c0.r0.b<bank>`.
+    pub path: TopoPath,
     /// Position within that bank's stream.
     pub index_in_bank: usize,
     /// Command classification.
@@ -51,9 +59,19 @@ pub struct ScheduledCommand {
     pub start: Ps,
     /// Completion instant.
     pub done: Ps,
-    /// Delay inserted before this command because the charge-pump/tFAW
-    /// window was exhausted (zero when the bank or bus was the limiter).
+    /// Delay inserted before this command because its rank's
+    /// charge-pump/tFAW window was exhausted.
     pub pump_stall: Ps,
+    /// Delay inserted before this command by in-order issue on its
+    /// channel's shared bus (zero when the bank itself was the limiter).
+    pub bus_wait: Ps,
+}
+
+impl ScheduledCommand {
+    /// Flat bank index, for single-rank traces.
+    pub fn bank(&self) -> usize {
+        self.path.bank
+    }
 }
 
 /// The full outcome of scheduling one batch of per-bank streams.
@@ -64,9 +82,16 @@ pub struct Schedule {
     /// Aggregate statistics: `busy_time` is the per-bank serial sum,
     /// `makespan` the true wall clock, `pump_stall` the summed deferrals.
     pub stats: RunStats,
-    /// Completion time of each bank that appeared in the input, keyed by
-    /// bank index (banks without work are absent).
-    pub bank_done: Vec<(usize, Ps)>,
+    /// Completion time of each bank that had work, keyed by path and
+    /// sorted by it (banks without work are absent).
+    pub bank_done: Vec<(TopoPath, Ps)>,
+    /// Per-rank statistics, keyed by `(channel, rank)` and sorted by it;
+    /// ranks without work are absent. Each entry is the stats of that
+    /// rank's sub-trace (its own makespan and standby accrual), so a
+    /// [`RunStats::merge_parallel`] fold over the entries reproduces the
+    /// whole-schedule `stats`. Flat schedules have at most one entry,
+    /// keyed `(0, 0)`.
+    pub rank_stats: Vec<((usize, usize), RunStats)>,
 }
 
 impl Schedule {
@@ -75,9 +100,30 @@ impl Schedule {
         self.stats.makespan
     }
 
-    /// The trace restricted to one bank, in issue order.
+    /// The trace restricted to one flat bank (channel 0, rank 0), in
+    /// issue order.
     pub fn bank_trace(&self, bank: usize) -> Vec<&ScheduledCommand> {
-        self.commands.iter().filter(|c| c.bank == bank).collect()
+        self.trace_for(TopoPath::flat_bank(bank))
+    }
+
+    /// The trace restricted to one bank path, in issue order.
+    pub fn trace_for(&self, path: TopoPath) -> Vec<&ScheduledCommand> {
+        self.commands.iter().filter(|c| c.path == path).collect()
+    }
+
+    /// The statistics of one rank's sub-trace, if it had work.
+    pub fn rank_stats_for(&self, channel: usize, rank: usize) -> Option<&RunStats> {
+        self.rank_stats.iter().find(|(id, _)| *id == (channel, rank)).map(|(_, s)| s)
+    }
+
+    /// Wall-clock makespan of one channel's sub-trace (zero when the
+    /// channel had no work).
+    pub fn channel_makespan(&self, channel: usize) -> Ns {
+        self.rank_stats
+            .iter()
+            .filter(|((c, _), _)| *c == channel)
+            .map(|(_, s)| s.makespan)
+            .fold(Ns::ZERO, |a, b| Ns(a.as_f64().max(b.as_f64())))
     }
 
     /// The first command that was stalled by the pump window, if any.
@@ -171,115 +217,16 @@ impl InterleavedScheduler {
         streams: &[(usize, Vec<CommandProfile>)],
         sink: &mut S,
     ) -> Result<Schedule, DramError> {
-        // Merge duplicate bank entries and sort by bank index so the
-        // tie-break below is by bank, not input order.
-        let mut merged: Vec<(usize, Vec<&CommandProfile>)> = Vec::new();
-        for (bank, cmds) in streams {
-            if *bank >= usize::MAX / 2 {
-                return Err(DramError::BankOutOfRange { bank: *bank, banks: usize::MAX / 2 });
-            }
-            match merged.iter_mut().find(|(b, _)| b == bank) {
-                Some((_, v)) => v.extend(cmds.iter()),
-                None => merged.push((*bank, cmds.iter().collect())),
-            }
-        }
-        merged.sort_by_key(|&(bank, _)| bank);
-
-        let mut banks: Vec<BankState> = (0..merged.len()).map(|_| BankState::new()).collect();
-        let mut pump = PumpWindow::new(self.budget.clone());
-        let mut cursors = vec![0usize; merged.len()];
-        let mut last_issue = Ps::ZERO;
-        let mut stats = RunStats::new();
-        let mut commands = Vec::with_capacity(merged.iter().map(|(_, v)| v.len()).sum());
-
-        loop {
-            // Earliest-bank-free-first among unfinished streams; ties go
-            // to the lowest bank index (merged is sorted by bank, and the
-            // strict `<` keeps the first/lowest candidate). The shared-bus
-            // clamp by `last_issue` applies at issue, not selection —
-            // matching `Controller::run_streams`.
-            let mut best: Option<(usize, Ps)> = None;
-            for (i, (_, cmds)) in merged.iter().enumerate() {
-                if cursors[i] >= cmds.len() {
-                    continue;
-                }
-                let t = banks[i].next_free(Ps::ZERO);
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((i, t));
-                }
-            }
-            let Some((i, bank_free)) = best else { break };
-            let (bank, cmds) = &merged[i];
-            let profile = cmds[cursors[i]];
-            let requested = bank_free.max(last_issue);
-
-            // Admit against the rank-wide pump window, deferring as needed.
-            let cost = self.budget.command_cost(profile);
-            let mut start = requested;
-            loop {
-                match pump.try_admit(start, cost) {
-                    Ok(()) => break,
-                    Err(retry) => start = retry,
-                }
-            }
-            let stall = start.saturating_sub(requested);
-            last_issue = start;
-            let done = banks[i].occupy(start, profile.duration.to_ps());
-
-            let energy = self.power.command_energy(profile);
-            stats.record(profile.class, profile.duration, profile.total_wordline_events, energy);
-            stats.pump_stall += stall.to_ns();
-            stats.makespan = Ns(stats.makespan.as_f64().max(done.to_ns().as_f64()));
-
-            // The request instant here is the bank-free time itself, so a
-            // wait is either the pump window or the shared-bus clamp.
-            let reason = if stall > Ps::ZERO {
-                StallReason::Pump
-            } else if requested > bank_free {
-                StallReason::Bus
-            } else {
-                StallReason::None
-            };
-            sink.record(&CommandEvent {
-                seq: commands.len() as u64,
-                bank: *bank,
-                class: profile.class,
-                issue: bank_free,
-                start,
-                done,
-                stall: start.saturating_sub(bank_free),
-                reason,
-                energy,
-            });
-
-            commands.push(ScheduledCommand {
-                seq: commands.len(),
-                bank: *bank,
-                index_in_bank: cursors[i],
-                class: profile.class,
-                start,
-                done,
-                pump_stall: stall,
-            });
-            cursors[i] += 1;
-        }
-
-        // Stamp the standby accrual over the schedule's wall clock so
-        // average-power figures include the background term (Fig. 13).
-        stats.background_energy = self.power.background_energy(stats.makespan, 1.0);
-
-        let bank_done = merged
-            .iter()
-            .enumerate()
-            .map(|(i, (bank, _))| (*bank, banks[i].busy_until()))
-            .collect();
-        Ok(Schedule { commands, stats, bank_done })
+        let lifted: Vec<(TopoPath, &[CommandProfile])> =
+            streams.iter().map(|(b, v)| (TopoPath::flat_bank(*b), v.as_slice())).collect();
+        schedule_core(&self.budget, &self.power, &lifted, sink)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::StallReason;
     use crate::timing::Ddr3Timing;
 
     fn t() -> Ddr3Timing {
@@ -319,7 +266,7 @@ mod tests {
             (1, vec![CommandProfile::ap(&t()); 2]),
         ];
         let s = sched.schedule(&streams).unwrap();
-        let order: Vec<usize> = s.commands.iter().map(|c| c.bank).collect();
+        let order: Vec<usize> = s.commands.iter().map(|c| c.bank()).collect();
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -358,6 +305,34 @@ mod tests {
         assert_eq!(s.commands[1].class, CommandClass::App);
         // One bank: fully serialized.
         assert_eq!(s.commands[1].start, s.commands[0].done);
+    }
+
+    #[test]
+    fn bank_done_omits_banks_without_work() {
+        // The `bank_done` doc promises "banks without work are absent":
+        // an explicitly empty stream must not materialize a (bank, 0)
+        // entry, whether it stands alone or rides along a duplicate.
+        let sched = InterleavedScheduler::new(PumpBudget::unconstrained());
+        let s = sched
+            .schedule(&[
+                (0, vec![CommandProfile::ap(&t())]),
+                (3, vec![]),
+                (1, vec![CommandProfile::ap(&t())]),
+            ])
+            .unwrap();
+        let banks: Vec<usize> = s.bank_done.iter().map(|(p, _)| p.bank).collect();
+        assert_eq!(banks, vec![0, 1]);
+        // An empty duplicate of a working bank must not disturb it either.
+        let s = sched
+            .schedule(&[(2, vec![]), (2, vec![CommandProfile::ap(&t())]), (2, vec![])])
+            .unwrap();
+        assert_eq!(s.bank_done.len(), 1);
+        assert_eq!(s.bank_done[0].0, TopoPath::flat_bank(2));
+        assert!(s.bank_done[0].1 > Ps::ZERO);
+        // A schedule of only empty streams reports no banks at all.
+        let s = sched.schedule(&[(0, vec![]), (1, vec![])]).unwrap();
+        assert!(s.bank_done.is_empty());
+        assert_eq!(s.stats.total_commands(), 0);
     }
 
     #[test]
@@ -404,12 +379,53 @@ mod tests {
         assert_eq!(sink.len(), traced.commands.len());
         for (event, cmd) in sink.events.iter().zip(traced.commands.iter()) {
             assert_eq!(event.seq as usize, cmd.seq);
-            assert_eq!(event.bank, cmd.bank);
+            assert_eq!(event.path, cmd.path);
             assert_eq!(event.start, cmd.start);
             assert_eq!(event.done, cmd.done);
         }
         // The pump-constrained run must attribute some stalls to the pump.
         assert!(sink.metrics.stalls_by_reason.contains_key("pump"));
+    }
+
+    #[test]
+    fn bus_and_pump_waits_split_exactly() {
+        // Regression for the stall-misattribution bug: a command delayed
+        // by both the shared bus and the pump window used to report the
+        // whole wait under `pump` in the trace. The split components must
+        // now reconcile exactly (integer picoseconds) with the total, and
+        // the metrics registry's per-reason sums with its total.
+        use crate::telemetry::MemorySink;
+        let sched = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+        // 12 banks, one AP each: seqs 0–3 issue at t = 0, seq 4 is pump-
+        // deferred to 40 ns, seqs 5–7 bus-wait to 40 ns, and seq 8 hits
+        // BOTH — the bus clamp to 40 ns and a again-full pump window
+        // pushing it to 80 ns.
+        let streams: Vec<_> = (0..12).map(|b| (b, vec![CommandProfile::ap(&t()); 2])).collect();
+        let mut sink = MemorySink::new();
+        let s = sched.schedule_traced(&streams, &mut sink).unwrap();
+
+        // Both causes must actually occur in this workload, including at
+        // least one command that waits on both at once.
+        assert!(sink.events.iter().any(|e| e.bus_wait > Ps::ZERO && e.pump_wait > Ps::ZERO));
+        for (e, c) in sink.events.iter().zip(s.commands.iter()) {
+            assert!(e.waits_reconcile(), "seq {}: waits do not sum to stall", e.seq);
+            assert_eq!(e.pump_wait, c.pump_stall);
+            assert_eq!(e.bus_wait, c.bus_wait);
+            // Dominance: a pump-deferred command reports `pump` even when
+            // it also waited on the bus; a bus-only wait reports `bus`.
+            assert_eq!(e.reason, e.dominant_reason());
+            if e.reason == StallReason::Bus {
+                assert_eq!(e.pump_wait, Ps::ZERO);
+            }
+        }
+        // Exact reconciliation in integer picoseconds, no f64 drift.
+        assert!(sink.metrics.total_stall_ps > 0);
+        assert!(sink.metrics.stalls_reconcile());
+        let pump_ps: u64 = s.commands.iter().map(|c| c.pump_stall.0).sum();
+        let bus_ps: u64 = s.commands.iter().map(|c| c.bus_wait.0).sum();
+        assert_eq!(sink.metrics.stall_ps_for(StallReason::Pump), pump_ps);
+        assert_eq!(sink.metrics.stall_ps_for(StallReason::Bus), bus_ps);
+        assert_eq!(sink.metrics.total_stall_ps, pump_ps + bus_ps);
     }
 
     #[test]

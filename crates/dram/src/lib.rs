@@ -20,6 +20,9 @@
 //! * [`interleave`] — a stateless, deterministic scheduler over per-bank
 //!   command streams, producing an exact bus trace and the true wall-clock
 //!   makespan for the batch execution layer.
+//! * [`hierarchy`] — the topology-aware generalization: channel/rank/bank
+//!   ([`geometry::Topology`]) scheduling with per-rank pump windows and
+//!   per-channel buses; the flat scheduler is its single-rank embedding.
 //! * [`telemetry`] — per-command trace sinks ([`telemetry::TraceSink`]),
 //!   counters/histograms ([`telemetry::MetricsRegistry`]), and JSON/CSV
 //!   exporters; the default [`telemetry::NullSink`] keeps the hot path free.
@@ -46,6 +49,7 @@ pub mod constraint;
 pub mod controller;
 pub mod error;
 pub mod geometry;
+pub mod hierarchy;
 pub mod interleave;
 pub mod json;
 pub mod power;
@@ -58,7 +62,8 @@ pub use command::{CommandClass, CommandProfile};
 pub use constraint::PumpBudget;
 pub use controller::Controller;
 pub use error::DramError;
-pub use geometry::{Geometry, RowAddr};
+pub use geometry::{Geometry, RowAddr, TopoPath, Topology};
+pub use hierarchy::HierarchicalScheduler;
 pub use interleave::{InterleavedScheduler, Schedule, ScheduledCommand};
 pub use json::Json;
 pub use power::PowerModel;

@@ -17,6 +17,7 @@
 //! parsed back and schema-checked without external dependencies.
 
 use crate::command::CommandClass;
+use crate::geometry::TopoPath;
 use crate::json::Json;
 use crate::stats::RunStats;
 use crate::units::{Ns, Picojoules, Ps};
@@ -64,12 +65,19 @@ impl fmt::Display for StallReason {
 }
 
 /// One issued command, as observed by a [`TraceSink`].
+///
+/// The wait is reported twice: `stall` is the total (`start - issue`),
+/// and the four `*_wait` fields split it exactly by cause — their sum
+/// always equals `stall` ([`CommandEvent::waits_reconcile`]). `reason`
+/// is the dominant non-zero component under the [`StallReason`]
+/// precedence, kept for coarse per-reason *counts*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommandEvent {
     /// Global issue order (0-based, per producing controller/scheduler).
     pub seq: u64,
-    /// Bank the command executed on.
-    pub bank: usize,
+    /// Bank the command executed on, as a topology path. Single-module
+    /// producers report `c0.r0.b<bank>` ([`TopoPath::flat_bank`]).
+    pub path: TopoPath,
     /// Command classification.
     pub class: CommandClass,
     /// When the producer *asked* for the command to start.
@@ -78,8 +86,16 @@ pub struct CommandEvent {
     pub start: Ps,
     /// When the command completed.
     pub done: Ps,
-    /// `start - issue`: how long the command waited.
+    /// `start - issue`: how long the command waited in total.
     pub stall: Ps,
+    /// Portion of `stall` spent waiting for the target bank to go idle.
+    pub bank_wait: Ps,
+    /// Portion of `stall` spent waiting for the shared channel bus.
+    pub bus_wait: Ps,
+    /// Portion of `stall` spent pushed past refresh blackouts.
+    pub refresh_wait: Ps,
+    /// Portion of `stall` deferred by the charge-pump window.
+    pub pump_wait: Ps,
     /// Dominant cause of the wait (see [`StallReason`]).
     pub reason: StallReason,
     /// Dynamic energy charged to this command.
@@ -90,6 +106,29 @@ impl CommandEvent {
     /// Command latency (`done - start`).
     pub fn latency(&self) -> Ps {
         self.done.saturating_sub(self.start)
+    }
+
+    /// Whether the per-cause waits sum exactly to the total stall.
+    /// Producers in this crate guarantee this; exporters and the
+    /// reconciliation tests assert it.
+    pub fn waits_reconcile(&self) -> bool {
+        self.bank_wait.0 + self.bus_wait.0 + self.refresh_wait.0 + self.pump_wait.0 == self.stall.0
+    }
+
+    /// Dominant stall reason derived from the wait split, under the
+    /// documented precedence pump > refresh > bus > bank.
+    pub fn dominant_reason(&self) -> StallReason {
+        if self.pump_wait > Ps::ZERO {
+            StallReason::Pump
+        } else if self.refresh_wait > Ps::ZERO {
+            StallReason::Refresh
+        } else if self.bus_wait > Ps::ZERO {
+            StallReason::Bus
+        } else if self.bank_wait > Ps::ZERO {
+            StallReason::Bank
+        } else {
+            StallReason::None
+        }
     }
 }
 
@@ -242,17 +281,23 @@ impl Default for Histogram {
     }
 }
 
-/// Aggregated telemetry: per-class and per-bank counters, stall-reason
-/// counts, and latency/stall histograms.
+/// Aggregated telemetry: per-class and per-path counters, stall-reason
+/// counts and exact stall time by cause, and latency/stall histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     /// Commands observed, by class label.
     pub commands_by_class: BTreeMap<String, u64>,
-    /// Commands observed, by bank.
-    pub commands_by_bank: BTreeMap<usize, u64>,
-    /// Stalled commands, by [`StallReason::label`] (reason `none` is not
-    /// counted).
+    /// Commands observed, by topology path (channel, rank, bank).
+    pub commands_by_path: BTreeMap<TopoPath, u64>,
+    /// Stalled commands, by dominant [`StallReason::label`] (reason
+    /// `none` is not counted).
     pub stalls_by_reason: BTreeMap<&'static str, u64>,
+    /// Exact stalled time in picoseconds, by cause. Unlike
+    /// `stalls_by_reason` this splits a multi-cause wait across its
+    /// components, so the values here always sum to `total_stall_ps`.
+    pub stall_ps_by_reason: BTreeMap<&'static str, u64>,
+    /// Exact total stalled time (`start - issue`, summed) in picoseconds.
+    pub total_stall_ps: u64,
     /// Command latency (`done - start`) distribution.
     pub latency: Histogram,
     /// Stall (`start - issue`) distribution, recorded only for stalled
@@ -275,12 +320,23 @@ impl MetricsRegistry {
     /// Folds one event into the counters and histograms.
     pub fn observe(&mut self, event: &CommandEvent) {
         *self.commands_by_class.entry(event.class.to_string()).or_insert(0) += 1;
-        *self.commands_by_bank.entry(event.bank).or_insert(0) += 1;
+        *self.commands_by_path.entry(event.path).or_insert(0) += 1;
         self.latency.observe(event.latency().to_ns());
         if event.reason != StallReason::None {
             *self.stalls_by_reason.entry(event.reason.label()).or_insert(0) += 1;
             self.stall.observe(event.stall.to_ns());
         }
+        for (label, wait) in [
+            (StallReason::Bank.label(), event.bank_wait),
+            (StallReason::Bus.label(), event.bus_wait),
+            (StallReason::Refresh.label(), event.refresh_wait),
+            (StallReason::Pump.label(), event.pump_wait),
+        ] {
+            if wait > Ps::ZERO {
+                *self.stall_ps_by_reason.entry(label).or_insert(0) += wait.0;
+            }
+        }
+        self.total_stall_ps += event.stall.0;
         self.energy += event.energy;
     }
 
@@ -299,17 +355,33 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Exact stalled time attributed to `reason`, in picoseconds.
+    pub fn stall_ps_for(&self, reason: StallReason) -> u64 {
+        self.stall_ps_by_reason.get(reason.label()).copied().unwrap_or(0)
+    }
+
+    /// Whether the per-cause stall times sum exactly to the total.
+    /// Holds by construction for every producer in this crate; the
+    /// regression tests assert it on traced runs.
+    pub fn stalls_reconcile(&self) -> bool {
+        self.stall_ps_by_reason.values().sum::<u64>() == self.total_stall_ps
+    }
+
     /// Adds another registry's observations into this one.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.commands_by_class {
             *self.commands_by_class.entry(k.clone()).or_insert(0) += v;
         }
-        for (&k, v) in &other.commands_by_bank {
-            *self.commands_by_bank.entry(k).or_insert(0) += v;
+        for (&k, v) in &other.commands_by_path {
+            *self.commands_by_path.entry(k).or_insert(0) += v;
         }
         for (&k, v) in &other.stalls_by_reason {
             *self.stalls_by_reason.entry(k).or_insert(0) += v;
         }
+        for (&k, v) in &other.stall_ps_by_reason {
+            *self.stall_ps_by_reason.entry(k).or_insert(0) += v;
+        }
+        self.total_stall_ps += other.total_stall_ps;
         self.latency.merge(&other.latency);
         self.stall.merge(&other.stall);
         self.energy += other.energy;
@@ -323,8 +395,8 @@ impl MetricsRegistry {
         let classes = Json::Obj(
             self.commands_by_class.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))).collect(),
         );
-        let banks = Json::Obj(
-            self.commands_by_bank
+        let paths = Json::Obj(
+            self.commands_by_path
                 .iter()
                 .map(|(k, &v)| (k.to_string(), Json::Num(v as f64)))
                 .collect(),
@@ -335,14 +407,22 @@ impl MetricsRegistry {
                 .map(|(&k, &v)| (k.to_string(), Json::Num(v as f64)))
                 .collect(),
         );
+        let stall_ps = Json::Obj(
+            self.stall_ps_by_reason
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Json::Num(v as f64)))
+                .collect(),
+        );
         let counters = Json::Obj(
             self.counters.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))).collect(),
         );
         Json::obj()
             .with("total_commands", Json::Num(self.total_commands() as f64))
             .with("commands_by_class", classes)
-            .with("commands_by_bank", banks)
+            .with("commands_by_path", paths)
             .with("stalls_by_reason", stalls)
+            .with("stall_ps_by_reason", stall_ps)
+            .with("total_stall_ps", Json::Num(self.total_stall_ps as f64))
             .with("latency", self.latency.to_json())
             .with("stall", self.stall.to_json())
             .with("dynamic_energy_pj", Json::Num(self.energy.as_f64()))
@@ -358,12 +438,19 @@ pub fn events_to_json(events: &[CommandEvent]) -> Json {
             .map(|e| {
                 Json::obj()
                     .with("seq", Json::Num(e.seq as f64))
-                    .with("bank", Json::Num(e.bank as f64))
+                    .with("path", Json::str(e.path.to_string()))
+                    .with("channel", Json::Num(e.path.channel as f64))
+                    .with("rank", Json::Num(e.path.rank as f64))
+                    .with("bank", Json::Num(e.path.bank as f64))
                     .with("class", Json::str(e.class.to_string()))
                     .with("issue_ps", Json::Num(e.issue.0 as f64))
                     .with("start_ps", Json::Num(e.start.0 as f64))
                     .with("done_ps", Json::Num(e.done.0 as f64))
                     .with("stall_ps", Json::Num(e.stall.0 as f64))
+                    .with("bank_wait_ps", Json::Num(e.bank_wait.0 as f64))
+                    .with("bus_wait_ps", Json::Num(e.bus_wait.0 as f64))
+                    .with("refresh_wait_ps", Json::Num(e.refresh_wait.0 as f64))
+                    .with("pump_wait_ps", Json::Num(e.pump_wait.0 as f64))
                     .with("reason", Json::str(e.reason.label()))
                     .with("energy_pj", Json::Num(e.energy.as_f64()))
             })
@@ -373,14 +460,30 @@ pub fn events_to_json(events: &[CommandEvent]) -> Json {
 
 /// Renders an event list as CSV with a header row.
 pub fn events_to_csv(events: &[CommandEvent]) -> String {
-    let mut out =
-        String::from("seq,bank,class,issue_ps,start_ps,done_ps,stall_ps,reason,energy_pj\n");
+    let mut out = String::from(
+        "seq,channel,rank,bank,class,issue_ps,start_ps,done_ps,stall_ps,\
+         bank_wait_ps,bus_wait_ps,refresh_wait_ps,pump_wait_ps,reason,energy_pj\n",
+    );
     for e in events {
         use std::fmt::Write as _;
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{}",
-            e.seq, e.bank, e.class, e.issue.0, e.start.0, e.done.0, e.stall.0, e.reason, e.energy.0
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            e.seq,
+            e.path.channel,
+            e.path.rank,
+            e.path.bank,
+            e.class,
+            e.issue.0,
+            e.start.0,
+            e.done.0,
+            e.stall.0,
+            e.bank_wait.0,
+            e.bus_wait.0,
+            e.refresh_wait.0,
+            e.pump_wait.0,
+            e.reason,
+            e.energy.0
         );
     }
     out
@@ -408,14 +511,19 @@ mod tests {
     use super::*;
 
     fn event(seq: u64, bank: usize, start: u64, stall: u64, reason: StallReason) -> CommandEvent {
+        let wait = Ps(stall);
         CommandEvent {
             seq,
-            bank,
+            path: TopoPath::flat_bank(bank),
             class: CommandClass::Ap,
             issue: Ps(start.saturating_sub(stall)),
             start: Ps(start),
             done: Ps(start + 48_750),
-            stall: Ps(stall),
+            stall: wait,
+            bank_wait: if reason == StallReason::Bank { wait } else { Ps::ZERO },
+            bus_wait: if reason == StallReason::Bus { wait } else { Ps::ZERO },
+            refresh_wait: if reason == StallReason::Refresh { wait } else { Ps::ZERO },
+            pump_wait: if reason == StallReason::Pump { wait } else { Ps::ZERO },
             reason,
             energy: Picojoules(100.0),
         }
@@ -439,11 +547,35 @@ mod tests {
         sink.record(&event(2, 0, 97_500, 48_750, StallReason::Bank));
         assert_eq!(sink.len(), 3);
         assert_eq!(sink.metrics.total_commands(), 3);
-        assert_eq!(sink.metrics.commands_by_bank[&0], 2);
+        assert_eq!(sink.metrics.commands_by_path[&TopoPath::flat_bank(0)], 2);
         assert_eq!(sink.metrics.stalls_by_reason["pump"], 1);
         assert_eq!(sink.metrics.stalls_by_reason["bank"], 1);
         assert_eq!(sink.metrics.stall.count, 2);
+        assert_eq!(sink.metrics.stall_ps_by_reason["pump"], 10_000);
+        assert_eq!(sink.metrics.stall_ps_by_reason["bank"], 48_750);
+        assert_eq!(sink.metrics.total_stall_ps, 58_750);
+        assert!(sink.metrics.stalls_reconcile());
         assert!((sink.metrics.energy.as_f64() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_waits_reconcile_per_reason() {
+        // One command delayed by both the bus and the pump: the split
+        // must keep both components, even though the dominant reason
+        // (and the count) goes to the pump.
+        let mut e = event(0, 3, 100_000, 15_000, StallReason::Pump);
+        e.pump_wait = Ps(9_000);
+        e.bus_wait = Ps(6_000);
+        assert!(e.waits_reconcile());
+        assert_eq!(e.dominant_reason(), StallReason::Pump);
+        let mut m = MetricsRegistry::new();
+        m.observe(&e);
+        assert_eq!(m.stalls_by_reason["pump"], 1);
+        assert!(!m.stalls_by_reason.contains_key("bus"));
+        assert_eq!(m.stall_ps_for(StallReason::Pump), 9_000);
+        assert_eq!(m.stall_ps_for(StallReason::Bus), 6_000);
+        assert_eq!(m.total_stall_ps, 15_000);
+        assert!(m.stalls_reconcile());
     }
 
     #[test]
@@ -514,12 +646,18 @@ mod tests {
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[1].get("reason").and_then(Json::as_str), Some("refresh"));
         assert_eq!(arr[1].get("stall_ps").and_then(Json::as_f64), Some(750.0));
+        assert_eq!(arr[1].get("refresh_wait_ps").and_then(Json::as_f64), Some(750.0));
+        assert_eq!(arr[1].get("path").and_then(Json::as_str), Some("c0.r0.b2"));
+        assert_eq!(arr[1].get("bank").and_then(Json::as_f64), Some(2.0));
 
         let csv = events_to_csv(&events);
         let mut lines = csv.lines();
         assert_eq!(
             lines.next(),
-            Some("seq,bank,class,issue_ps,start_ps,done_ps,stall_ps,reason,energy_pj")
+            Some(
+                "seq,channel,rank,bank,class,issue_ps,start_ps,done_ps,stall_ps,\
+                 bank_wait_ps,bus_wait_ps,refresh_wait_ps,pump_wait_ps,reason,energy_pj"
+            )
         );
         assert_eq!(lines.count(), 2);
     }

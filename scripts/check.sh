@@ -50,6 +50,11 @@ cargo run -q --release -p elp2im-bench --bin perf_report -- --soak --smoke --out
 cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_007.json"
 cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_007.json
 
+echo "==> topology scaling (emit + validate BENCH_008, deterministic)"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --topology --out "$trace_dir/bench_008.json" > /dev/null
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_008.json"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_008.json
+
 echo "==> batch bench smoke (vendored criterion --smoke fast path)"
 cargo bench -q -p elp2im-bench --bench batch -- --smoke > /dev/null
 

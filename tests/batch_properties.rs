@@ -8,7 +8,7 @@ use elp2im::core::batch::{BatchConfig, DeviceArray};
 use elp2im::core::bitvec::BitVec;
 use elp2im::core::compile::{CompileMode, LogicOp};
 use elp2im::dram::constraint::PumpBudget;
-use elp2im::dram::geometry::Geometry;
+use elp2im::dram::geometry::{Geometry, Topology};
 use proptest::prelude::*;
 
 fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
@@ -29,7 +29,12 @@ fn binary_ops() -> impl Strategy<Value = LogicOp> {
 fn array(banks: usize, budget: PumpBudget) -> DeviceArray {
     DeviceArray::new(BatchConfig {
         // 64-bit rows keep vectors multi-stripe even at small lengths.
-        geometry: Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 64, row_bytes: 8 },
+        topology: Topology::module(Geometry {
+            banks,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 64,
+            row_bytes: 8,
+        }),
         reserved_rows: 1,
         mode: CompileMode::LowLatency,
         budget,

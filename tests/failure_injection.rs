@@ -11,7 +11,7 @@ use elp2im::core::compile::{xor_sequence, CompileMode, LogicOp, Operands};
 use elp2im::core::engine::SubarrayEngine;
 use elp2im::core::primitive::{Primitive, RegulateMode, RowRef};
 use elp2im::dram::constraint::PumpBudget;
-use elp2im::dram::geometry::Geometry;
+use elp2im::dram::geometry::{Geometry, Topology};
 
 fn engine_with(a: &BitVec, b: &BitVec) -> SubarrayEngine {
     let mut e = SubarrayEngine::new(a.len(), 8, 2);
@@ -179,7 +179,12 @@ fn fault_model_on_one_bank_leaves_siblings_exact() {
 
 fn four_bank_array() -> DeviceArray {
     DeviceArray::new(BatchConfig {
-        geometry: Geometry { banks: 4, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 8 },
+        topology: Topology::module(Geometry {
+            banks: 4,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            row_bytes: 8,
+        }),
         reserved_rows: 1,
         mode: CompileMode::LowLatency,
         budget: PumpBudget::unconstrained(),

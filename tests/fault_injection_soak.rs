@@ -11,7 +11,7 @@ use elp2im::core::bitvec::BitVec;
 use elp2im::core::compile::{CompileMode, LogicOp};
 use elp2im::core::faulty::{ColumnFaultModel, FaultPolicy};
 use elp2im::dram::constraint::PumpBudget;
-use elp2im::dram::geometry::Geometry;
+use elp2im::dram::geometry::{Geometry, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,12 +30,12 @@ fn soak_ops() -> usize {
 /// profile's column count.
 fn faulted_array() -> DeviceArray {
     let mut m = DeviceArray::new(BatchConfig {
-        geometry: Geometry {
+        topology: Topology::module(Geometry {
             banks: 4,
             subarrays_per_bank: 2,
             rows_per_subarray: 32,
             row_bytes: 32,
-        },
+        }),
         reserved_rows: 2,
         mode: CompileMode::LowLatency,
         budget: PumpBudget::unconstrained(),

@@ -9,7 +9,7 @@ use elp2im::core::bitvec::BitVec;
 use elp2im::core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
 use elp2im::core::parse::parse_program;
 use elp2im::dram::constraint::PumpBudget;
-use elp2im::dram::geometry::Geometry;
+use elp2im::dram::geometry::{Geometry, Topology};
 use elp2im::dram::units::Ps;
 
 fn text_of(op: LogicOp, mode: CompileMode, reserved: usize) -> String {
@@ -67,7 +67,12 @@ fn golden_xor_seq6() {
 /// A two-bank DeviceArray with one stripe per bank, for schedule goldens.
 fn two_bank_array(budget: PumpBudget) -> DeviceArray {
     DeviceArray::new(BatchConfig {
-        geometry: Geometry { banks: 2, subarrays_per_bank: 1, rows_per_subarray: 32, row_bytes: 8 },
+        topology: Topology::module(Geometry {
+            banks: 2,
+            subarrays_per_bank: 1,
+            rows_per_subarray: 32,
+            row_bytes: 8,
+        }),
         reserved_rows: 1,
         mode: CompileMode::LowLatency,
         budget,
@@ -86,7 +91,7 @@ fn traced_op(budget: PumpBudget, op: LogicOp) -> (Vec<(usize, String, Ps, Ps)>, 
         .schedule
         .commands
         .iter()
-        .map(|c| (c.bank, c.class.to_string(), c.start, c.pump_stall))
+        .map(|c| (c.bank(), c.class.to_string(), c.start, c.pump_stall))
         .collect();
     (trace, run.schedule.stats.makespan.to_ps())
 }

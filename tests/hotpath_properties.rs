@@ -11,7 +11,7 @@ use elp2im::core::compile::{compile, CompileMode, LogicOp, Operands};
 use elp2im::core::engine::SubarrayEngine;
 use elp2im::core::primitive::RowRef;
 use elp2im::dram::constraint::PumpBudget;
-use elp2im::dram::geometry::Geometry;
+use elp2im::dram::geometry::{Geometry, Topology};
 use proptest::prelude::*;
 
 /// Lengths the word kernels must get right: single bit, one-under /
@@ -161,7 +161,7 @@ proptest! {
     ) {
         let data = &data[..len];
         let mut array = DeviceArray::new(BatchConfig {
-            geometry: Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 64, row_bytes },
+            topology: Topology::module(Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 64, row_bytes }),
             reserved_rows: 1,
             mode: CompileMode::LowLatency,
             budget: PumpBudget::unconstrained(),

@@ -7,11 +7,18 @@
 //! * `merge_sequential` over per-operation scheduler runs agrees with the
 //!   event-driven controller replaying the same operations back to back;
 //! * `merge_parallel` over single-bank schedules agrees with one
-//!   interleaved schedule of the same streams when banks don't contend.
+//!   interleaved schedule of the same streams when banks don't contend;
+//! * the hierarchical scheduler embeds the flat one (single-module paths
+//!   produce bit-identical schedules), channels fold with
+//!   `merge_parallel` under any budget (they share nothing), and each
+//!   single-rank channel's stats slice agrees with the event-driven
+//!   controller replaying that rank alone.
 
 use elp2im::dram::command::{CommandClass, CommandProfile};
 use elp2im::dram::constraint::PumpBudget;
 use elp2im::dram::controller::Controller;
+use elp2im::dram::geometry::TopoPath;
+use elp2im::dram::hierarchy::HierarchicalScheduler;
 use elp2im::dram::interleave::InterleavedScheduler;
 use elp2im::dram::stats::RunStats;
 use elp2im::dram::timing::Ddr3Timing;
@@ -163,5 +170,88 @@ proptest! {
             folded.merge_parallel(&s.stats);
         }
         assert_stats_close(&folded, &whole.stats);
+    }
+
+    /// Single-module paths through the hierarchical scheduler reproduce
+    /// the flat interleaved scheduler bit for bit — same commands, same
+    /// instants, same stats — even under the constrained JEDEC budget.
+    #[test]
+    fn hierarchical_flat_embedding_matches_interleaved(
+        streams in proptest::collection::vec(profile_stream(), 1..5),
+    ) {
+        let flat = InterleavedScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let hier = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let banked: Vec<_> = streams.iter().cloned().enumerate().collect();
+        let pathed: Vec<_> = streams
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(b, s)| (TopoPath::flat_bank(b), s))
+            .collect();
+        prop_assert_eq!(flat.schedule(&banked).unwrap(), hier.schedule(&pathed).unwrap());
+    }
+
+    /// Channels share no hardware, so folding per-channel hierarchical
+    /// schedules with `merge_parallel` reproduces the whole multi-channel
+    /// multi-rank schedule's stats — even under the constrained JEDEC
+    /// budget, where banks *within* a rank do contend.
+    #[test]
+    fn hierarchical_channels_fold_as_parallel_merge(
+        chans in proptest::collection::vec(
+            proptest::collection::vec((0usize..2, 0usize..3, profile_stream()), 1..4),
+            1..4,
+        ),
+    ) {
+        let sched = HierarchicalScheduler::new(PumpBudget::jedec_ddr3_1600());
+        let mut all = Vec::new();
+        let mut folded = RunStats::new();
+        for (c, banks) in chans.iter().enumerate() {
+            let alone: Vec<_> = banks
+                .iter()
+                .cloned()
+                .map(|(r, b, s)| (TopoPath::new(c, r, b), s))
+                .collect();
+            let s = sched.schedule(&alone).unwrap();
+            folded.merge_parallel(&s.stats);
+            all.extend(alone);
+        }
+        let whole = sched.schedule(&all).unwrap();
+        assert_stats_close(&folded, &whole.stats);
+    }
+
+    /// With one rank per channel, bus and pump domains coincide, so each
+    /// channel's stats slice of the hierarchical schedule agrees with the
+    /// event-driven controller replaying that rank's streams alone.
+    #[test]
+    fn per_rank_stats_agree_with_controller(
+        ranks in proptest::collection::vec(
+            proptest::collection::vec(profile_stream(), 1..4),
+            1..4,
+        ),
+    ) {
+        let budget = PumpBudget::jedec_ddr3_1600();
+        let sched = HierarchicalScheduler::new(budget.clone());
+        let streams: Vec<_> = ranks
+            .iter()
+            .enumerate()
+            .flat_map(|(c, banks)| {
+                banks
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .map(move |(b, s)| (TopoPath::new(c, 0, b), s))
+            })
+            .collect();
+        let whole = sched.schedule(&streams).unwrap();
+        for (c, banks) in ranks.iter().enumerate() {
+            let mut ctrl = Controller::new(banks.len(), budget.clone());
+            let banked: Vec<_> = banks.iter().cloned().enumerate().collect();
+            let replay = ctrl.run_streams(&banked).unwrap();
+            let slice = whole.rank_stats_for(c, 0).expect("every channel has work");
+            prop_assert_eq!(slice.commands.clone(), replay.commands.clone());
+            prop_assert!((slice.busy_time.as_f64() - replay.busy_time.as_f64()).abs() < 1e-6);
+            prop_assert!((slice.makespan.as_f64() - replay.makespan.as_f64()).abs() < 1e-6);
+            prop_assert!((slice.pump_stall.as_f64() - replay.pump_stall.as_f64()).abs() < 1e-6);
+        }
     }
 }
