@@ -16,10 +16,12 @@ use elp2im_core::analysis::{
     analyze, infer_live_in, infer_shape, verify_transform, AnalysisReport, Severity,
 };
 use elp2im_core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
+use elp2im_core::expr::{compile_expr_greedy, Expr, ExprOperands};
 use elp2im_core::isa::Program;
 use elp2im_core::optimizer::{optimize_validated, PhysRow};
 use elp2im_core::parse::parse_program;
 use elp2im_core::primitive::{Primitive, RegulateMode, RowRef};
+use elp2im_core::synth::{synthesize, SynthOperands};
 use elp2im_core::validate::SubarrayShape;
 use elp2im_dram::json::Json;
 
@@ -200,7 +202,40 @@ fn corpus() -> Vec<Job> {
             shape: Some(SubarrayShape { data_rows: 4, dcc_rows: 2 }),
         });
     }
+    for (label, outputs, rows) in synth_cases() {
+        let prog = synthesize(&outputs, &rows, CompileMode::LowLatency, 2)
+            .expect("synth corpus synthesizes")
+            .program;
+        let max_row =
+            rows.inputs.iter().chain(&rows.dsts).chain(&rows.temps).max().copied().unwrap_or(0);
+        jobs.push(Job {
+            name: format!("synth:{label}"),
+            prog,
+            live_in: Some(rows.inputs.iter().map(|&r| PhysRow::Data(r)).collect()),
+            shape: Some(SubarrayShape { data_rows: max_row + 1, dcc_rows: 2 }),
+        });
+    }
     jobs
+}
+
+/// The synthesized-program corpus: every case runs through the full
+/// network → e-graph → extraction → translation-validation pipeline, and
+/// the resulting programs are linted like any other (and equivalence-
+/// checked against the greedy lowering in `--self-test`).
+fn synth_cases() -> Vec<(&'static str, Vec<Expr>, SynthOperands)> {
+    let v = Expr::var;
+    let rows = |vars: usize, outs: usize| SynthOperands {
+        inputs: (0..vars).collect(),
+        dsts: (vars..vars + outs).collect(),
+        temps: (vars + outs..vars + outs + 6).collect(),
+    };
+    vec![
+        ("xor-from-sop", vec![(v(0) & !v(1)) | (!v(0) & v(1))], rows(2, 1)),
+        ("maj3", vec![Expr::maj(v(0), v(1), v(2))], rows(3, 1)),
+        ("mux", vec![Expr::mux(v(0), v(1), v(2))], rows(3, 1)),
+        ("and-xor-3input", vec![(v(0) & v(1)) ^ v(2)], rows(3, 1)),
+        ("full-adder", vec![v(0) ^ v(1) ^ v(2), Expr::maj(v(0), v(1), v(2))], rows(3, 2)),
+    ]
 }
 
 /// Resolves the analysis context (job pragma > CLI default > inferred)
@@ -364,6 +399,9 @@ fn self_test() -> i32 {
     let mut failures = 0;
     let mut discharged = 0;
     for job in corpus() {
+        if job.name.starts_with("synth:") {
+            continue; // synthesized programs are checked against greedy below
+        }
         let mut preserve = job.live_in.clone().unwrap_or_default();
         let dst = PhysRow::Data(Operands::standard().dst);
         if !preserve.contains(&dst) {
@@ -373,6 +411,41 @@ fn self_test() -> i32 {
             Ok(_) => discharged += 1,
             Err(e) => {
                 eprintln!("self-test: translation validation failed for {}: {e}", job.name);
+                failures += 1;
+            }
+        }
+    }
+    // Synthesized programs must be truth-table equivalent to the greedy
+    // structural lowering of the same network on every destination row.
+    for (label, outputs, rows) in synth_cases() {
+        let synth_prog = match synthesize(&outputs, &rows, CompileMode::LowLatency, 2) {
+            Ok(s) => s.program,
+            Err(e) => {
+                eprintln!("self-test: synthesis failed for synth:{label}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let mut greedy = Program::new(format!("greedy:{label}"), vec![]);
+        for (k, e) in outputs.iter().enumerate() {
+            let greedy_rows = ExprOperands {
+                inputs: rows.inputs.clone(),
+                dst: rows.dsts[k],
+                temps: rows.temps.clone(),
+            };
+            match compile_expr_greedy(e, &greedy_rows, CompileMode::LowLatency, 2) {
+                Ok(p) => greedy = greedy.then(p),
+                Err(err) => {
+                    eprintln!("self-test: greedy reference failed for synth:{label}: {err}");
+                    failures += 1;
+                }
+            }
+        }
+        let observable: Vec<PhysRow> = rows.dsts.iter().map(|&r| PhysRow::Data(r)).collect();
+        match verify_transform(&greedy, &synth_prog, Some(&observable)) {
+            Ok(()) => discharged += 1,
+            Err(e) => {
+                eprintln!("self-test: synth:{label} disagrees with greedy lowering: {e}");
                 failures += 1;
             }
         }

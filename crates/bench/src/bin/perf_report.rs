@@ -21,10 +21,17 @@
 //! bit-identically; `--check` enforces the near-linear scaling invariant
 //! (4-channel makespan ≤ 0.35× single-channel).
 //!
+//! `BENCH_009.json` is the logic-synthesis record: per-function modeled
+//! latency of the e-graph synthesizer's output vs the hand-written or
+//! greedy reference lowering (see `elp2im_bench::synthbench`). Fully
+//! deterministic; `--check` enforces that the auto-synthesized XOR
+//! rediscovers the Fig. 8 seq6 cost (≤ 297 ns).
+//!
 //! Usage:
 //!   perf_report [--smoke] [--out PATH]   measure and emit BENCH_006
 //!   perf_report --soak [--smoke] [--out PATH]   run and emit BENCH_007
 //!   perf_report --topology [--out PATH]  model and emit BENCH_008
+//!   perf_report --synth [--out PATH]     synthesize and emit BENCH_009
 //!   perf_report --check PATH             validate an emitted report
 //!
 //! `--smoke` runs one short sample per workload (seconds, not minutes);
@@ -332,9 +339,10 @@ fn check(path: &str) -> Result<(), String> {
         "bench_006" => check_bench_006(&doc),
         "bench_007" => check_bench_007(&doc),
         "bench_008" => check_bench_008(&doc),
-        other => Err(format!(
-            "experiment must be \"bench_006\", \"bench_007\", or \"bench_008\", got {other:?}"
-        )),
+        "bench_009" => check_bench_009(&doc),
+        other => {
+            Err(format!("experiment must be \"bench_006\" through \"bench_009\", got {other:?}"))
+        }
     }
 }
 
@@ -405,6 +413,42 @@ fn check_bench_008(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// BENCH_009 invariants: the auto-synthesized XOR must match or beat the
+/// hand-written Fig. 8 seq6 cost (297 ns), and no row may regress past
+/// its reference lowering.
+fn check_bench_009(doc: &Json) -> Result<(), String> {
+    let rows = doc.get("rows").and_then(Json::as_array).expect("validated");
+    let mut saw_xor = false;
+    for row in rows.iter().filter_map(Json::as_array) {
+        let name = row.first().and_then(Json::as_str).unwrap_or_default();
+        let cell = |i: usize, what: &str| -> Result<f64, String> {
+            row.get(i)
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse::<f64>().ok())
+                .ok_or_else(|| format!("{name}: unparsable {what} cell"))
+        };
+        let reference = cell(2, "reference ns")?;
+        let synth = cell(3, "synth ns")?;
+        if synth > reference + 1e-9 {
+            return Err(format!(
+                "{name}: synthesis {synth} ns regresses past reference {reference} ns"
+            ));
+        }
+        if name.starts_with("xor2") {
+            saw_xor = true;
+            if synth > 297.0 {
+                return Err(format!(
+                    "auto-synthesized XOR {synth} ns must be <= 297 ns (Fig. 8 seq6)"
+                ));
+            }
+        }
+    }
+    if !saw_xor {
+        return Err("missing the xor2 headline row".into());
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--check") {
@@ -424,13 +468,16 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let soak = args.iter().any(|a| a == "--soak");
     let topology = args.iter().any(|a| a == "--topology");
+    let synth = args.iter().any(|a| a == "--synth");
     let out = args.iter().position(|a| a == "--out").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--out requires a path");
             std::process::exit(2);
         })
     });
-    let table = if topology {
+    let table = if synth {
+        elp2im_bench::synthbench::build_synth_table()
+    } else if topology {
         build_topology_table()
     } else if soak {
         elp2im_bench::soak::build_soak_table(smoke)

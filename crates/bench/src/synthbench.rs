@@ -1,0 +1,161 @@
+//! BENCH_009 — the e-graph logic-synthesis latency record.
+//!
+//! Compares, per function, the latency of the hand-written / greedy
+//! structural lowering against the auto-synthesized program produced by
+//! [`elp2im_core::synth`] (equality saturation + cost-model extraction +
+//! truth-table translation validation). Everything here is *modeled*
+//! DDR3-1600 latency of the compiled primitive sequence — no host timing
+//! — so the emitted document regenerates bit-identically and the headline
+//! invariant (auto-synthesized XOR rediscovers the Fig. 8 seq6 cost) can
+//! be `--check`-enforced in CI.
+
+use crate::report::Table;
+use elp2im_core::compile::{compile, CompileMode, LogicOp, Operands};
+use elp2im_core::expr::{compile_expr_greedy, Expr, ExprOperands};
+use elp2im_core::synth::{synthesize, SynthOperands};
+use elp2im_dram::timing::Ddr3Timing;
+
+/// One benchmark case: a named function with its reference lowering.
+struct Case {
+    name: &'static str,
+    /// The outputs to synthesize together (multi-output cases share gates).
+    outputs: Vec<Expr>,
+    vars: usize,
+    /// Reference latency in ns and how it was obtained.
+    reference: (&'static str, f64),
+}
+
+fn cases(t: &Ddr3Timing) -> Vec<Case> {
+    let v = Expr::var;
+    let greedy = |outputs: &[Expr], vars: usize| -> f64 {
+        outputs
+            .iter()
+            .map(|e| {
+                let rows = ExprOperands {
+                    inputs: (0..vars).collect(),
+                    dst: vars,
+                    temps: (vars + 1..vars + 9).collect(),
+                };
+                compile_expr_greedy(e, &rows, CompileMode::LowLatency, 2)
+                    .expect("greedy reference compiles")
+                    .latency(t)
+                    .as_f64()
+            })
+            .sum()
+    };
+    let hand = |op: LogicOp| -> f64 {
+        compile(op, CompileMode::LowLatency, Operands::standard(), 2)
+            .expect("hand reference compiles")
+            .latency(t)
+            .as_f64()
+    };
+
+    let xor_sop = (v(0) & !v(1)) | (!v(0) & v(1));
+    let maj3 = Expr::maj(v(0), v(1), v(2));
+    let maj3_sop = Expr::majority(v(0), v(1), v(2));
+    let mux = Expr::mux(v(0), v(1), v(2));
+    let three_input = (v(0) & v(1)) ^ v(2);
+    let adder = vec![v(0) ^ v(1) ^ v(2), Expr::maj(v(0), v(1), v(2))];
+    vec![
+        Case {
+            name: "xor2 (from SOP a!b + !ab)",
+            outputs: vec![xor_sop],
+            vars: 2,
+            reference: ("hand Fig. 8 seq6", hand(LogicOp::Xor)),
+        },
+        Case {
+            name: "and2",
+            outputs: vec![v(0) & v(1)],
+            vars: 2,
+            reference: ("hand compile", hand(LogicOp::And)),
+        },
+        Case {
+            name: "nand2",
+            outputs: vec![!(v(0) & v(1))],
+            vars: 2,
+            reference: ("hand compile", hand(LogicOp::Nand)),
+        },
+        Case {
+            name: "maj3 (AB+AC+BC)",
+            outputs: vec![maj3],
+            vars: 3,
+            reference: ("greedy SOP lowering", greedy(&[maj3_sop], 3)),
+        },
+        Case {
+            name: "mux2:1",
+            outputs: vec![mux.clone()],
+            vars: 3,
+            reference: ("greedy lowering", greedy(&[mux], 3)),
+        },
+        Case {
+            name: "(a&b)^c",
+            outputs: vec![three_input.clone()],
+            vars: 3,
+            reference: ("greedy lowering", greedy(&[three_input], 3)),
+        },
+        Case {
+            name: "full adder (sum+carry)",
+            outputs: adder.clone(),
+            vars: 3,
+            reference: ("greedy, outputs separate", greedy(&adder, 3)),
+        },
+    ]
+}
+
+/// Builds the BENCH_009 table. Fully deterministic: modeled latencies of
+/// compiled sequences only.
+pub fn build_synth_table() -> Table {
+    let t = Ddr3Timing::ddr3_1600();
+    let mut table = Table::new(
+        "BENCH_009: e-graph logic synthesis vs hand-written/greedy lowering",
+        &["function", "reference", "reference ns", "synth ns", "speedup", "gates", "primitives"],
+    );
+    for case in cases(&t) {
+        let rows = SynthOperands {
+            inputs: (0..case.vars).collect(),
+            dsts: (case.vars..case.vars + case.outputs.len()).collect(),
+            temps: (case.vars + case.outputs.len()..case.vars + case.outputs.len() + 8).collect(),
+        };
+        let s = synthesize(&case.outputs, &rows, CompileMode::LowLatency, 2)
+            .expect("bench cases synthesize");
+        let synth_ns = s.program.latency(&t).as_f64();
+        let (ref_how, ref_ns) = case.reference;
+        table.push(vec![
+            case.name.to_string(),
+            ref_how.to_string(),
+            format!("{ref_ns:.1}"),
+            format!("{synth_ns:.1}"),
+            format!("{:.2}x", ref_ns / synth_ns),
+            s.gates.to_string(),
+            s.program.len().to_string(),
+        ]);
+    }
+    table.note("modeled DDR3-1600 latency of the compiled primitive sequence; no host timing");
+    table.note("every synthesized program is truth-table translation-validated before timing");
+    table.note("--check invariant: auto-synthesized xor2 latency <= 297 ns (Fig. 8 seq6)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elp2im_dram::json::Json;
+
+    #[test]
+    fn synth_table_is_deterministic_and_meets_the_xor_target() {
+        let a = build_synth_table();
+        let b = build_synth_table();
+        assert_eq!(a, b, "BENCH_009 must regenerate bit-identically");
+        let xor = a.rows.iter().find(|r| r[0].starts_with("xor2")).expect("xor2 row present");
+        let synth_ns: f64 = xor[3].parse().unwrap();
+        assert!(synth_ns <= 297.0, "auto XOR {synth_ns} ns");
+        // Synthesis never loses to the reference on any row.
+        for row in &a.rows {
+            let reference: f64 = row[2].parse().unwrap();
+            let synth: f64 = row[3].parse().unwrap();
+            assert!(synth <= reference + 1e-9, "{}: {synth} ns vs {reference} ns", row[0]);
+        }
+        crate::report::validate_report(&Json::parse(&a.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(a.slug(), "bench_009");
+    }
+}

@@ -121,6 +121,13 @@ impl TruthTable {
         TruthTable { vars: self.vars, words }
     }
 
+    /// Pointwise exclusive or.
+    pub fn xor(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.vars, other.vars);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
+        TruthTable { vars: self.vars, words }
+    }
+
     /// The function value under assignment `m` (bit `j` of `m` = variable
     /// `j`).
     pub fn eval(&self, m: usize) -> bool {

@@ -21,6 +21,8 @@ use crate::isa::Program;
 use crate::optimizer::PhysRow;
 use crate::primitive::{Primitive, RegulateMode, RowRef};
 use crate::validate::SubarrayShape;
+use elp2im_dram::timing::Ddr3Timing;
+use elp2im_dram::units::Ns;
 use std::fmt;
 
 /// A bulk Boolean operation.
@@ -349,6 +351,28 @@ pub fn compile(
     let live_in = declared_live_in(op.is_unary(), mode == CompileMode::InPlace, rows);
     self_check(&prog, rows, reserved_rows, &live_in)?;
     Ok(prog)
+}
+
+/// The Table-1 latency of one compiled `op` gate under `mode` with
+/// `reserved_rows` dual-contact rows — the per-gate entry of the synthesis
+/// extraction cost model ([`crate::synth`]). `None` when the op cannot
+/// compile under that strategy (e.g. XOR in-place).
+///
+/// The cost is measured on the actual compiled sequence, so it tracks the
+/// compiler (seq5 vs seq6 XOR, fused NAND/NOR/XNOR) instead of a separate
+/// constant table that could drift.
+pub fn gate_latency(
+    op: LogicOp,
+    mode: CompileMode,
+    reserved_rows: usize,
+    t: &Ddr3Timing,
+) -> Option<Ns> {
+    let rows = match mode {
+        // In-place requires b == dst; use a layout that satisfies it.
+        CompileMode::InPlace => Operands { a: 0, b: 2, dst: 2, scratch: None },
+        _ => Operands::standard(),
+    };
+    compile(op, mode, rows, reserved_rows).ok().map(|p| p.latency(t))
 }
 
 /// Builds XOR sequence `n` of Fig. 8 (`n` in `1..=6`).

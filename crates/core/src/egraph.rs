@@ -1,0 +1,640 @@
+//! A hand-rolled e-graph with equality saturation for boolean logic
+//! networks (no external dependencies).
+//!
+//! The synthesis pipeline ([`crate::synth`]) ingests an
+//! [`Expr`](crate::expr::Expr) into this graph, saturates it under a small
+//! rule set (De Morgan, absorption/factoring, XOR recognition and
+//! decomposition, MAJ identities, constant folding), and then extracts the
+//! cheapest implementation per equivalence class under the Table-1 latency
+//! cost model. The design follows the classic egg recipe — hashcons +
+//! union-find + congruence-closure `rebuild` — sized for boolean networks
+//! of at most [`crate::analysis::MAX_VARS`] inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An equivalence-class identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Id(u32);
+
+impl Id {
+    /// The class index (stable once canonical).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One operator node whose operands are equivalence classes.
+///
+/// Commutative operands are kept sorted, so hashconsing identifies
+/// `And(a, b)` with `And(b, a)` for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// Input variable `i`.
+    Var(u32),
+    /// A boolean constant.
+    Const(bool),
+    /// Negation.
+    Not(Id),
+    /// Conjunction.
+    And(Id, Id),
+    /// Disjunction.
+    Or(Id, Id),
+    /// Exclusive or.
+    Xor(Id, Id),
+    /// Three-input majority.
+    Maj(Id, Id, Id),
+}
+
+impl Node {
+    /// Operand classes, in order.
+    pub fn children(&self) -> Vec<Id> {
+        match *self {
+            Node::Var(_) | Node::Const(_) => Vec::new(),
+            Node::Not(a) => vec![a],
+            Node::And(a, b) | Node::Or(a, b) | Node::Xor(a, b) => vec![a, b],
+            Node::Maj(a, b, c) => vec![a, b, c],
+        }
+    }
+}
+
+/// A right-hand-side template for a rewrite: instantiated with
+/// [`EGraph::add_template`] after the immutable matching scan.
+#[derive(Debug, Clone)]
+enum Rhs {
+    Class(Id),
+    Const(bool),
+    Not(Box<Rhs>),
+    And(Box<Rhs>, Box<Rhs>),
+    Or(Box<Rhs>, Box<Rhs>),
+    Xor(Box<Rhs>, Box<Rhs>),
+}
+
+impl Rhs {
+    fn class(id: Id) -> Rhs {
+        Rhs::Class(id)
+    }
+    fn not(a: Rhs) -> Rhs {
+        Rhs::Not(Box::new(a))
+    }
+    fn and(a: Rhs, b: Rhs) -> Rhs {
+        Rhs::And(Box::new(a), Box::new(b))
+    }
+    fn or(a: Rhs, b: Rhs) -> Rhs {
+        Rhs::Or(Box::new(a), Box::new(b))
+    }
+    fn xor(a: Rhs, b: Rhs) -> Rhs {
+        Rhs::Xor(Box::new(a), Box::new(b))
+    }
+}
+
+/// Saturation statistics (for reports and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturationStats {
+    /// Rewrite iterations performed.
+    pub iterations: usize,
+    /// Total hashconsed nodes after saturation.
+    pub nodes: usize,
+    /// Canonical equivalence classes after saturation.
+    pub classes: usize,
+    /// Whether saturation reached a fixpoint (vs hitting the node budget).
+    pub saturated: bool,
+}
+
+/// Growth limits for [`EGraph::saturate`]. Boolean networks over ≤16
+/// inputs stay small; the limits are a backstop against rule blowup.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationLimits {
+    /// Stop growing once this many hashconsed nodes exist.
+    pub max_nodes: usize,
+    /// Maximum rewrite iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for SaturationLimits {
+    fn default() -> Self {
+        SaturationLimits { max_nodes: 6_000, max_iterations: 12 }
+    }
+}
+
+/// The e-graph: a union-find over equivalence classes, each holding a set
+/// of hashconsed operator nodes.
+#[derive(Debug, Default)]
+pub struct EGraph {
+    /// Union-find parent pointers (indexed by raw id).
+    parent: Vec<u32>,
+    /// Nodes per class, indexed by raw id (empty for non-canonical ids).
+    classes: Vec<Vec<Node>>,
+    /// Canonical node → canonical class.
+    memo: HashMap<Node, Id>,
+}
+
+impl EGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total nodes across all classes.
+    pub fn node_count(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of canonical classes.
+    pub fn class_count(&self) -> usize {
+        (0..self.parent.len()).filter(|&i| self.parent[i] as usize == i).count()
+    }
+
+    /// Canonical representative of `id`.
+    pub fn find(&self, id: Id) -> Id {
+        let mut i = id.0;
+        while self.parent[i as usize] != i {
+            i = self.parent[i as usize];
+        }
+        Id(i)
+    }
+
+    fn canonicalize(&self, node: Node) -> Node {
+        match node {
+            Node::Var(_) | Node::Const(_) => node,
+            Node::Not(a) => Node::Not(self.find(a)),
+            Node::And(a, b) => {
+                let (a, b) = sort2(self.find(a), self.find(b));
+                Node::And(a, b)
+            }
+            Node::Or(a, b) => {
+                let (a, b) = sort2(self.find(a), self.find(b));
+                Node::Or(a, b)
+            }
+            Node::Xor(a, b) => {
+                let (a, b) = sort2(self.find(a), self.find(b));
+                Node::Xor(a, b)
+            }
+            Node::Maj(a, b, c) => {
+                let mut v = [self.find(a), self.find(b), self.find(c)];
+                v.sort_unstable();
+                Node::Maj(v[0], v[1], v[2])
+            }
+        }
+    }
+
+    /// Adds (or finds) a node, returning its class.
+    pub fn add(&mut self, node: Node) -> Id {
+        let node = self.canonicalize(node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.find(id);
+        }
+        let id = Id(self.parent.len() as u32);
+        self.parent.push(id.0);
+        self.classes.push(vec![node]);
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Nodes of the (canonical) class containing `id`.
+    pub fn nodes(&self, id: Id) -> &[Node] {
+        &self.classes[self.find(id).index()]
+    }
+
+    /// The class holding `Not(a)`, if one exists.
+    pub fn negation_of(&self, a: Id) -> Option<Id> {
+        self.memo.get(&Node::Not(self.find(a))).map(|&id| self.find(id))
+    }
+
+    /// Whether classes `a` and `b` are known complements of one another.
+    pub fn complementary(&self, a: Id, b: Id) -> bool {
+        let (a, b) = (self.find(a), self.find(b));
+        self.negation_of(a) == Some(b) || self.negation_of(b) == Some(a)
+    }
+
+    /// Merges the classes of `a` and `b`; returns `true` if they were
+    /// distinct. Callers must [`EGraph::rebuild`] before further matching.
+    pub fn union(&mut self, a: Id, b: Id) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Merge the smaller node set into the larger.
+        let (keep, merge) = if self.classes[ra.index()].len() >= self.classes[rb.index()].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[merge.index()] = keep.0;
+        let moved = std::mem::take(&mut self.classes[merge.index()]);
+        self.classes[keep.index()].extend(moved);
+        true
+    }
+
+    /// Restores the hashcons + congruence invariants after unions: nodes
+    /// are re-canonicalized, duplicate nodes inside a class deduplicated,
+    /// and congruent nodes (equal after canonicalization) force their
+    /// classes to merge, to a fixpoint.
+    pub fn rebuild(&mut self) {
+        loop {
+            let mut pending: Vec<(Id, Id)> = Vec::new();
+            let mut memo: HashMap<Node, Id> = HashMap::new();
+            for i in 0..self.classes.len() {
+                if self.parent[i] as usize != i {
+                    continue;
+                }
+                let id = Id(i as u32);
+                let nodes = std::mem::take(&mut self.classes[i]);
+                let mut rebuilt: Vec<Node> = Vec::with_capacity(nodes.len());
+                for n in nodes {
+                    let n = self.canonicalize(n);
+                    if !rebuilt.contains(&n) {
+                        rebuilt.push(n);
+                    }
+                    match memo.get(&n) {
+                        Some(&other) if self.find(other) != id => {
+                            pending.push((other, id));
+                        }
+                        Some(_) => {}
+                        None => {
+                            memo.insert(n, id);
+                        }
+                    }
+                }
+                self.classes[i] = rebuilt;
+            }
+            self.memo = memo;
+            if pending.is_empty() {
+                break;
+            }
+            for (a, b) in pending {
+                self.union(a, b);
+            }
+        }
+    }
+
+    /// Canonical class ids, ascending.
+    pub fn class_ids(&self) -> Vec<Id> {
+        (0..self.parent.len())
+            .filter(|&i| self.parent[i] as usize == i)
+            .map(|i| Id(i as u32))
+            .collect()
+    }
+
+    fn add_template(&mut self, rhs: &Rhs) -> Id {
+        match rhs {
+            Rhs::Class(id) => self.find(*id),
+            Rhs::Const(v) => self.add(Node::Const(*v)),
+            Rhs::Not(a) => {
+                let a = self.add_template(a);
+                self.add(Node::Not(a))
+            }
+            Rhs::And(a, b) => {
+                let (a, b) = (self.add_template(a), self.add_template(b));
+                self.add(Node::And(a, b))
+            }
+            Rhs::Or(a, b) => {
+                let (a, b) = (self.add_template(a), self.add_template(b));
+                self.add(Node::Or(a, b))
+            }
+            Rhs::Xor(a, b) => {
+                let (a, b) = (self.add_template(a), self.add_template(b));
+                self.add(Node::Xor(a, b))
+            }
+        }
+    }
+
+    /// Runs equality saturation under the boolean rule set until fixpoint
+    /// or `limits` are hit. Returns the run statistics.
+    pub fn saturate(&mut self, limits: SaturationLimits) -> SaturationStats {
+        let mut iterations = 0;
+        let mut saturated = false;
+        while iterations < limits.max_iterations {
+            iterations += 1;
+            let matches = self.scan_rules();
+            let mut changed = false;
+            for (class, rhs) in &matches {
+                if self.node_count() > limits.max_nodes {
+                    break;
+                }
+                let new = self.add_template(rhs);
+                changed |= self.union(*class, new);
+            }
+            self.rebuild();
+            if !changed {
+                saturated = true;
+                break;
+            }
+            if self.node_count() > limits.max_nodes {
+                break;
+            }
+        }
+        SaturationStats {
+            iterations,
+            nodes: self.node_count(),
+            classes: self.class_count(),
+            saturated,
+        }
+    }
+
+    /// Immutable matching pass: every rule instance as `(class, rhs)` pairs
+    /// to union after instantiation.
+    #[allow(clippy::too_many_lines)]
+    fn scan_rules(&self) -> Vec<(Id, Rhs)> {
+        let mut out: Vec<(Id, Rhs)> = Vec::new();
+        for id in self.class_ids() {
+            for node in self.nodes(id) {
+                self.match_node(id, node, &mut out);
+            }
+        }
+        out
+    }
+
+    fn const_of(&self, id: Id) -> Option<bool> {
+        self.nodes(id).iter().find_map(|n| match n {
+            Node::Const(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    fn match_node(&self, id: Id, node: &Node, out: &mut Vec<(Id, Rhs)>) {
+        let c = Rhs::class;
+        match *node {
+            Node::Var(_) | Node::Const(_) => {}
+            Node::Not(a) => {
+                // Double negation: !!x = x.
+                for inner in self.nodes(a) {
+                    match *inner {
+                        Node::Not(x) => out.push((id, c(x))),
+                        // De Morgan (forward): !(x·y) = !x + !y, dual.
+                        Node::And(x, y) => {
+                            out.push((id, Rhs::or(Rhs::not(c(x)), Rhs::not(c(y)))));
+                        }
+                        Node::Or(x, y) => {
+                            out.push((id, Rhs::and(Rhs::not(c(x)), Rhs::not(c(y)))));
+                        }
+                        // Push the negation into one XOR operand.
+                        Node::Xor(x, y) => out.push((id, Rhs::xor(Rhs::not(c(x)), c(y)))),
+                        Node::Const(v) => out.push((id, Rhs::Const(!v))),
+                        Node::Var(_) | Node::Maj(..) => {}
+                    }
+                }
+            }
+            Node::And(a, b) => {
+                if a == b {
+                    out.push((id, c(a))); // idempotence
+                }
+                if self.complementary(a, b) {
+                    out.push((id, Rhs::Const(false))); // x·!x = 0
+                }
+                for (x, y) in [(a, b), (b, a)] {
+                    match self.const_of(x) {
+                        Some(true) => out.push((id, c(y))),               // 1·y = y
+                        Some(false) => out.push((id, Rhs::Const(false))), // 0·y = 0
+                        None => {}
+                    }
+                    for inner in self.nodes(y) {
+                        match *inner {
+                            // Absorption: x·(x + z) = x.
+                            Node::Or(p, q) if p == x || q == x => out.push((id, c(x))),
+                            // Associativity rotation: (p·q)·x = p·(q·x).
+                            Node::And(p, q) => {
+                                out.push((id, Rhs::and(c(p), Rhs::and(c(q), c(x)))));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                // De Morgan (reverse): !p·!q = !(p + q) — a NOR, one fused
+                // gate at extraction instead of three.
+                if let (Some(an), Some(bn)) = (self.not_operand(a), self.not_operand(b)) {
+                    out.push((id, Rhs::not(Rhs::or(c(an), c(bn)))));
+                }
+            }
+            Node::Or(a, b) => {
+                if a == b {
+                    out.push((id, c(a)));
+                }
+                if self.complementary(a, b) {
+                    out.push((id, Rhs::Const(true))); // x + !x = 1
+                }
+                for (x, y) in [(a, b), (b, a)] {
+                    match self.const_of(x) {
+                        Some(false) => out.push((id, c(y))),            // 0 + y = y
+                        Some(true) => out.push((id, Rhs::Const(true))), // 1 + y = 1
+                        None => {}
+                    }
+                    for inner in self.nodes(y) {
+                        match *inner {
+                            // Absorption: x + x·z = x.
+                            Node::And(p, q) if p == x || q == x => out.push((id, c(x))),
+                            // Associativity rotation.
+                            Node::Or(p, q) => {
+                                out.push((id, Rhs::or(c(p), Rhs::or(c(q), c(x)))));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if let (Some(an), Some(bn)) = (self.not_operand(a), self.not_operand(b)) {
+                    // !p + !q = !(p·q) — a NAND.
+                    out.push((id, Rhs::not(Rhs::and(c(an), c(bn)))));
+                }
+                // Factoring and XOR/XNOR recognition over sums of products.
+                for left in self.nodes(a) {
+                    let Node::And(p, q) = *left else { continue };
+                    for right in self.nodes(b) {
+                        let Node::And(r, s) = *right else { continue };
+                        // Shared-factor extraction: p·q + p·s = p·(q + s).
+                        for (f, rest_l, rest_r) in [
+                            (p, q, if r == p { Some(s) } else { None }),
+                            (p, q, if s == p { Some(r) } else { None }),
+                            (q, p, if r == q { Some(s) } else { None }),
+                            (q, p, if s == q { Some(r) } else { None }),
+                        ] {
+                            if let Some(rr) = rest_r {
+                                out.push((id, Rhs::and(c(f), Rhs::or(c(rest_l), c(rr)))));
+                            }
+                        }
+                        // p·q + !p·!q = XNOR(p, q); the complementary
+                        // pairing p·!y + !p·y arrives as the same pattern
+                        // with q = !y, and the Not-push rules normalize it
+                        // to a plain XOR.
+                        for (r2, s2) in [(r, s), (s, r)] {
+                            if self.complementary(p, r2) && self.complementary(q, s2) {
+                                out.push((id, Rhs::not(Rhs::xor(c(p), c(q)))));
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Xor(a, b) => {
+                if a == b {
+                    out.push((id, Rhs::Const(false))); // x ⊕ x = 0
+                }
+                if self.complementary(a, b) {
+                    out.push((id, Rhs::Const(true))); // x ⊕ !x = 1
+                }
+                for (x, y) in [(a, b), (b, a)] {
+                    match self.const_of(x) {
+                        Some(false) => out.push((id, c(y))),          // 0 ⊕ y = y
+                        Some(true) => out.push((id, Rhs::not(c(y)))), // 1 ⊕ y = !y
+                        None => {}
+                    }
+                    // Pull negations out: !x ⊕ y = !(x ⊕ y).
+                    if let Some(xn) = self.not_operand(x) {
+                        out.push((id, Rhs::not(Rhs::xor(c(xn), c(y)))));
+                    }
+                }
+                // XOR decomposition into a sum of products (lets the
+                // saturation discover sharing with existing product terms).
+                out.push((
+                    id,
+                    Rhs::or(Rhs::and(c(a), Rhs::not(c(b))), Rhs::and(Rhs::not(c(a)), c(b))),
+                ));
+            }
+            Node::Maj(a, b, x) => {
+                // Pairs collapse: MAJ(a, a, c) = a; MAJ(a, !a, c) = c.
+                for (p, q, r) in [(a, b, x), (a, x, b), (b, x, a)] {
+                    if p == q {
+                        out.push((id, c(p)));
+                    }
+                    if self.complementary(p, q) {
+                        out.push((id, c(r)));
+                    }
+                    match self.const_of(p) {
+                        Some(false) => out.push((id, Rhs::and(c(q), c(r)))),
+                        Some(true) => out.push((id, Rhs::or(c(q), c(r)))),
+                        None => {}
+                    }
+                }
+                // 4-gate decomposition: MAJ(a,b,c) = a·b + c·(a + b).
+                out.push((id, Rhs::or(Rhs::and(c(a), c(b)), Rhs::and(c(x), Rhs::or(c(a), c(b))))));
+            }
+        }
+    }
+
+    /// If class `x` contains a `Not(y)` node, the inner class `y`.
+    fn not_operand(&self, x: Id) -> Option<Id> {
+        self.nodes(x).iter().find_map(|n| match n {
+            Node::Not(y) => Some(self.find(*y)),
+            _ => None,
+        })
+    }
+}
+
+fn sort2(a: Id, b: Id) -> (Id, Id) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(g: &mut EGraph, n: u32) -> Vec<Id> {
+        (0..n).map(|i| g.add(Node::Var(i))).collect()
+    }
+
+    #[test]
+    fn hashconsing_identifies_commuted_operands() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 2);
+        let ab = g.add(Node::And(v[0], v[1]));
+        let ba = g.add(Node::And(v[1], v[0]));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn double_negation_saturates_to_identity() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 1);
+        let n = g.add(Node::Not(v[0]));
+        let nn = g.add(Node::Not(n));
+        g.saturate(SaturationLimits::default());
+        assert_eq!(g.find(nn), g.find(v[0]));
+    }
+
+    #[test]
+    fn complement_folds_to_constants() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 1);
+        let n = g.add(Node::Not(v[0]));
+        let and = g.add(Node::And(v[0], n));
+        let or = g.add(Node::Or(v[0], n));
+        g.saturate(SaturationLimits::default());
+        let f = g.add(Node::Const(false));
+        let t = g.add(Node::Const(true));
+        assert_eq!(g.find(and), g.find(f));
+        assert_eq!(g.find(or), g.find(t));
+    }
+
+    #[test]
+    fn de_morgan_joins_both_forms() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 2);
+        let and = g.add(Node::And(v[0], v[1]));
+        let nand = g.add(Node::Not(and));
+        let na = g.add(Node::Not(v[0]));
+        let nb = g.add(Node::Not(v[1]));
+        let or_form = g.add(Node::Or(na, nb));
+        g.saturate(SaturationLimits::default());
+        assert_eq!(g.find(nand), g.find(or_form));
+    }
+
+    #[test]
+    fn sop_form_of_xor_is_recognized() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 2);
+        let na = g.add(Node::Not(v[0]));
+        let nb = g.add(Node::Not(v[1]));
+        let l = g.add(Node::And(v[0], nb));
+        let r = g.add(Node::And(na, v[1]));
+        let sop = g.add(Node::Or(l, r));
+        let stats = g.saturate(SaturationLimits::default());
+        let xor = g.add(Node::Xor(v[0], v[1]));
+        assert_eq!(g.find(sop), g.find(xor), "after {stats:?}");
+    }
+
+    #[test]
+    fn maj_with_constant_becomes_and_or() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 2);
+        let f = g.add(Node::Const(false));
+        let t = g.add(Node::Const(true));
+        let maj0 = g.add(Node::Maj(v[0], v[1], f));
+        let maj1 = g.add(Node::Maj(v[0], v[1], t));
+        g.saturate(SaturationLimits::default());
+        let and = g.add(Node::And(v[0], v[1]));
+        let or = g.add(Node::Or(v[0], v[1]));
+        assert_eq!(g.find(maj0), g.find(and));
+        assert_eq!(g.find(maj1), g.find(or));
+    }
+
+    #[test]
+    fn absorption_collapses() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 2);
+        let or = g.add(Node::Or(v[0], v[1]));
+        let and = g.add(Node::And(v[0], or));
+        g.saturate(SaturationLimits::default());
+        assert_eq!(g.find(and), g.find(v[0]));
+    }
+
+    #[test]
+    fn saturation_respects_node_budget() {
+        let mut g = EGraph::new();
+        let v = vars(&mut g, 6);
+        let mut acc = v[0];
+        for &x in &v[1..] {
+            let l = g.add(Node::Xor(acc, x));
+            acc = l;
+        }
+        let stats = g.saturate(SaturationLimits { max_nodes: 40, max_iterations: 50 });
+        assert!(stats.nodes <= 40 + 64, "budget roughly respected: {stats:?}");
+    }
+}

@@ -71,6 +71,10 @@ pub enum CoreError {
     /// The static analyzer rejected the program before execution (the §5.1
     /// memory-controller check a buffered sequence must pass).
     StaticViolation(Violation),
+    /// The logic-synthesis pipeline could not produce (or could not prove)
+    /// a program for the requested network; callers fall back to greedy
+    /// lowering.
+    SynthesisFailed(String),
 }
 
 impl fmt::Display for CoreError {
@@ -107,6 +111,7 @@ impl fmt::Display for CoreError {
                 f.write_str("this sequence needs a scratch data row (none provided)")
             }
             CoreError::StaticViolation(v) => write!(f, "statically invalid program: {v}"),
+            CoreError::SynthesisFailed(reason) => write!(f, "logic synthesis failed: {reason}"),
         }
     }
 }

@@ -46,6 +46,12 @@ impl Program {
         &self.primitives
     }
 
+    /// Consumes the program, yielding its primitive sequence without
+    /// copying (for callers that rename or rewrap an owned program).
+    pub fn into_primitives(self) -> Vec<Primitive> {
+        self.primitives
+    }
+
     /// Number of primitives (the paper's "commands"/"cycles" count).
     pub fn len(&self) -> usize {
         self.primitives.len()

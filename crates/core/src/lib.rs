@@ -17,6 +17,12 @@
 //! * [`analysis`] — the static sequence verifier: an abstract interpreter
 //!   over the pseudo-precharge state machine (the §5.1 memory-controller
 //!   check) plus the optimizer translation-validation obligations.
+//! * [`egraph`] — a small hand-rolled equality-saturation e-graph over
+//!   boolean networks (De Morgan, absorption, factoring, XOR and MAJ
+//!   identities), the rewrite stage of the synthesizer.
+//! * [`synth`] — the logic-synthesis compiler: expression networks →
+//!   e-graph saturation → minimum-latency extraction under the Table-1
+//!   cost model → truth-table translation validation.
 //! * [`rowmap`] — subarray row allocation with reserved-row bookkeeping.
 //! * [`device`] — [`device::Elp2imDevice`], the user-facing bulk bitwise
 //!   device.
@@ -50,6 +56,7 @@ pub mod batch;
 pub mod bitvec;
 pub mod compile;
 pub mod device;
+pub mod egraph;
 pub mod engine;
 pub mod error;
 pub mod expr;
@@ -60,6 +67,7 @@ pub mod optimizer;
 pub mod parse;
 pub mod primitive;
 pub mod rowmap;
+pub mod synth;
 pub mod validate;
 
 pub use analysis::{analyze, verify_transform, AnalysisReport, Diagnostic, Severity};
@@ -69,6 +77,8 @@ pub use compile::{CompileMode, LogicOp};
 pub use device::{CheckedOp, DeviceConfig, Elp2imDevice};
 pub use engine::SubarrayEngine;
 pub use error::CoreError;
+pub use expr::{compile_expr, compile_expr_greedy, Expr, ExprOperands};
 pub use faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
 pub use isa::Program;
 pub use primitive::{Primitive, RegulateMode, RowRef};
+pub use synth::{synthesize, SynthOperands, Synthesis};

@@ -273,6 +273,9 @@ impl Elp2imModule {
                 return Err(CoreError::InvalidHandle(max));
             }
         }
+        // MAJ/ITE nodes lower through their AND/OR/NOT expansion here (the
+        // module works gate-at-a-time; the synthesizer handles them natively).
+        let expr = expr.expand();
         let mut total = RunStats::new();
         let mut cache: HashMap<Expr, VecHandle> = HashMap::new();
 
@@ -305,6 +308,7 @@ impl Elp2imModule {
                     let hy = walk(m, y, inputs, cache, total)?;
                     m.binary(op, hx, hy)?
                 }
+                Expr::Maj(..) | Expr::Ite(..) => unreachable!("expanded at entry"),
             };
             // Sequential composition: makespans add (merge_parallel would
             // take the max, which models parallel composition).
@@ -313,7 +317,7 @@ impl Elp2imModule {
             Ok(h)
         }
 
-        let result = walk(self, expr, inputs, &mut cache, &mut total)?;
+        let result = walk(self, &expr, inputs, &mut cache, &mut total)?;
         // Release intermediates other than the result (inputs are callers').
         for (_, h) in cache {
             if h != result {
@@ -367,6 +371,9 @@ impl Elp2imModule {
                 return Err(CoreError::InvalidHandle(max));
             }
         }
+        // MAJ/ITE nodes lower through their AND/OR/NOT expansion here (the
+        // module works gate-at-a-time; the synthesizer handles them natively).
+        let expr = expr.expand();
         // Assign each distinct subexpression a DAG depth.
         fn depth_of(e: &Expr, depths: &mut HashMap<Expr, usize>) -> usize {
             if let Some(&d) = depths.get(e) {
@@ -378,12 +385,13 @@ impl Elp2imModule {
                 Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
                     depth_of(a, depths).max(depth_of(b, depths)) + 1
                 }
+                Expr::Maj(..) | Expr::Ite(..) => unreachable!("expanded at entry"),
             };
             depths.insert(e.clone(), d);
             d
         }
         let mut depths = HashMap::new();
-        let max_depth = depth_of(expr, &mut depths);
+        let max_depth = depth_of(&expr, &mut depths);
 
         let mut handles: HashMap<Expr, VecHandle> = HashMap::new();
         let mut total = RunStats::new();
@@ -416,6 +424,7 @@ impl Elp2imModule {
                         let hb = resolve(b, &handles);
                         self.prepare_op(op, ha, Some(hb))?
                     }
+                    Expr::Maj(..) | Expr::Ite(..) => unreachable!("expanded at entry"),
                 };
                 for (bank, profiles) in streams {
                     match level_streams.iter_mut().find(|(bk, _)| *bk == bank) {
@@ -432,7 +441,7 @@ impl Elp2imModule {
             // Levels execute one after another: sequential composition.
             total.merge_sequential(&stats);
         }
-        let result = match expr {
+        let result = match &expr {
             Expr::Var(i) => inputs[*i],
             other => handles[other],
         };

@@ -55,6 +55,11 @@ cargo run -q --release -p elp2im-bench --bin perf_report -- --topology --out "$t
 cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_008.json"
 cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_008.json
 
+echo "==> logic synthesis (emit + validate BENCH_009, deterministic; auto-XOR <= 297 ns)"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --synth --out "$trace_dir/bench_009.json" > /dev/null
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check "$trace_dir/bench_009.json"
+cargo run -q --release -p elp2im-bench --bin perf_report -- --check BENCH_009.json
+
 echo "==> batch bench smoke (vendored criterion --smoke fast path)"
 cargo bench -q -p elp2im-bench --bench batch -- --smoke > /dev/null
 
