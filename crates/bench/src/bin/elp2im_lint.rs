@@ -15,15 +15,23 @@
 use elp2im_core::analysis::{
     analyze, infer_live_in, infer_shape, verify_transform, AnalysisReport, Severity,
 };
+use elp2im_core::batch::{BatchConfig, DeviceArray};
+use elp2im_core::bitvec::BitVec;
 use elp2im_core::compile::{compile, xor_sequence, CompileMode, LogicOp, Operands};
 use elp2im_core::expr::{compile_expr_greedy, Expr, ExprOperands};
 use elp2im_core::isa::Program;
 use elp2im_core::optimizer::{optimize_validated, PhysRow};
 use elp2im_core::parse::parse_program;
+use elp2im_core::planlint::{certify, BatchPlan, PlanReport, PlanStep};
 use elp2im_core::primitive::{Primitive, RegulateMode, RowRef};
 use elp2im_core::synth::{synthesize, SynthOperands};
 use elp2im_core::validate::SubarrayShape;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::geometry::{Geometry, TopoPath, Topology};
 use elp2im_dram::json::Json;
+use elp2im_dram::units::Ps;
+use elp2im_dram::verify::ClaimedCommand;
+use std::sync::Arc;
 
 const USAGE: &str = "elp2im-lint: static verification of ELP2IM primitive programs
 
@@ -42,6 +50,11 @@ live-in set to fire).
 
 options:
     --corpus          lint every compiled operation and XOR sequence
+    --plan            plan mode: each FILE is one batch plan for the
+                      plan-level verifier (borrow checker, cross-stream
+                      hazards, static timing); with --corpus, certify
+                      every compiled program as a one-step plan plus the
+                      batch plans DeviceArray prepares
     --self-test       discharge the optimizer translation-validation
                       obligations and check seeded mutations are rejected
     --json            emit an `elp2im-lint-v1` JSON document on stdout
@@ -49,7 +62,20 @@ options:
     --shape DxR       default subarray shape, e.g. 16x2
     --deny-warnings   exit 1 if any warning-severity diagnostic is emitted
     --deny-notes      exit 1 if any note-severity diagnostic is emitted
-    -h, --help        show this help";
+    -h, --help        show this help
+
+Plan files (`--plan`) use pragmas plus `step` lines:
+    # plan-topology: 1x1x2        channels x ranks x banks
+    # plan-shape: 16x2            data rows x reserved (DCC) rows
+    # plan-budget: jedec          charge-pump budget (or `unconstrained`)
+    # plan-refresh: 7800x350      refresh interval x duration, ns
+    # plan-live: b0.s0: r0 r1 R0  live rows of one (bank, subarray)
+    step b0.s0: AAP([r2],r0)      a program bound to bank 0, subarray 0
+    step b0.s0 @b1: AP(r0)        same, issuing on bank 1's stream
+    # plan-claim: b0@0 b1@1000    claimed issue instants (bank@picoseconds,
+                                  k-th mention of a bank = k-th command of
+                                  its stream); without claims the plan is
+                                  scheduled and the schedule re-verified";
 
 /// One program to lint, with any declared context.
 struct Job {
@@ -62,6 +88,7 @@ struct Job {
 #[derive(Default)]
 struct Options {
     corpus: bool,
+    plan: bool,
     self_test: bool,
     json: bool,
     deny_warnings: bool,
@@ -96,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--corpus" => opts.corpus = true,
+            "--plan" => opts.plan = true,
             "--self-test" => opts.self_test = true,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -236,6 +264,302 @@ fn synth_cases() -> Vec<(&'static str, Vec<Expr>, SynthOperands)> {
         ("and-xor-3input", vec![(v(0) & v(1)) ^ v(2)], rows(3, 1)),
         ("full-adder", vec![v(0) ^ v(1) ^ v(2), Expr::maj(v(0), v(1), v(2))], rows(3, 2)),
     ]
+}
+
+/// Parses a `bN.sM` placement token.
+fn parse_unit_sub(tok: &str) -> Option<(usize, usize)> {
+    let (u, s) = tok.strip_prefix('b')?.split_once(".s")?;
+    Some((u.trim().parse().ok()?, s.trim().parse().ok()?))
+}
+
+/// Parses one plan file (see the `--plan` section of the usage text) into
+/// a named [`BatchPlan`].
+fn load_plan_file(path: &str) -> Result<(String, BatchPlan), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut topo_spec: Option<(usize, usize, usize)> = None;
+    let mut shape: Option<SubarrayShape> = None;
+    let mut budget = PumpBudget::unconstrained();
+    let mut refresh: Option<(u64, u64)> = None;
+    let mut live: Vec<((usize, usize), Vec<PhysRow>)> = Vec::new();
+    // (unit, subarray, stream override, program)
+    let mut steps: Vec<(usize, usize, Option<usize>, Program)> = Vec::new();
+    let mut claims: Vec<(usize, u64)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        let bad = |what: &str| format!("{path}:{lineno}: {what}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(spec) = rest.strip_prefix("plan-topology:") {
+                let parts: Vec<usize> =
+                    spec.split('x').filter_map(|t| t.trim().parse().ok()).collect();
+                match parts.as_slice() {
+                    [c, r, b] => topo_spec = Some((*c, *r, *b)),
+                    _ => return Err(bad("plan-topology wants CxRxB, e.g. 1x1x8")),
+                }
+            } else if let Some(spec) = rest.strip_prefix("plan-shape:") {
+                shape = Some(parse_shape(spec).ok_or_else(|| bad("bad plan-shape value"))?);
+            } else if let Some(spec) = rest.strip_prefix("plan-budget:") {
+                budget = match spec.trim() {
+                    "jedec" => PumpBudget::jedec_ddr3_1600(),
+                    "unconstrained" => PumpBudget::unconstrained(),
+                    _ => return Err(bad("plan-budget is `jedec` or `unconstrained`")),
+                };
+            } else if let Some(spec) = rest.strip_prefix("plan-refresh:") {
+                let (i, d) =
+                    spec.split_once('x').ok_or_else(|| bad("plan-refresh wants IxD ns"))?;
+                refresh = Some((
+                    i.trim().parse().map_err(|_| bad("bad refresh interval"))?,
+                    d.trim().parse().map_err(|_| bad("bad refresh duration"))?,
+                ));
+            } else if let Some(spec) = rest.strip_prefix("plan-live:") {
+                let (place, rows) =
+                    spec.split_once(':').ok_or_else(|| bad("plan-live wants bN.sM: rows"))?;
+                let unit_sub =
+                    parse_unit_sub(place.trim()).ok_or_else(|| bad("bad bN.sM placement"))?;
+                let rows = parse_row_list(rows, char::is_whitespace)
+                    .ok_or_else(|| bad("bad plan-live row list"))?;
+                live.push((unit_sub, rows));
+            } else if let Some(spec) = rest.strip_prefix("plan-claim:") {
+                for tok in spec.split_whitespace() {
+                    let (bank, start) = tok
+                        .strip_prefix('b')
+                        .and_then(|t| t.split_once('@'))
+                        .ok_or_else(|| bad("plan-claim tokens look like b0@12345"))?;
+                    claims.push((
+                        bank.parse().map_err(|_| bad("bad claim bank"))?,
+                        start.parse().map_err(|_| bad("bad claim start (picoseconds)"))?,
+                    ));
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("step ") {
+            let (place, body) =
+                rest.split_once(':').ok_or_else(|| bad("step wants bN.sM: prmt"))?;
+            let mut place = place.split_whitespace();
+            let unit_sub =
+                place.next().and_then(parse_unit_sub).ok_or_else(|| bad("bad bN.sM placement"))?;
+            let stream = match place.next() {
+                Some(tok) => Some(
+                    tok.strip_prefix("@b")
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("stream override looks like @b1"))?,
+                ),
+                None => None,
+            };
+            let name = format!("step#{}", steps.len());
+            let prog = parse_program(&name, body.trim()).map_err(|e| bad(&e.to_string()))?;
+            steps.push((unit_sub.0, unit_sub.1, stream, prog));
+            continue;
+        }
+        return Err(bad("plan files hold pragmas and `step` lines only"));
+    }
+    let max_unit = steps
+        .iter()
+        .map(|s| s.0.max(s.2.unwrap_or(0)))
+        .chain(claims.iter().map(|c| c.0))
+        .max()
+        .unwrap_or(0);
+    let (c, r, b) = topo_spec.unwrap_or((1, 1, max_unit + 1));
+    let shape = shape.unwrap_or(SubarrayShape { data_rows: 16, dcc_rows: 2 });
+    let topology = Topology::new(
+        c,
+        r,
+        Geometry {
+            banks: b.max(1),
+            subarrays_per_bank: steps.iter().map(|s| s.1 + 1).max().unwrap_or(1),
+            rows_per_subarray: shape.data_rows.max(1),
+            row_bytes: 8,
+        },
+    );
+    let mut plan = BatchPlan::new(topology, budget, shape);
+    plan.refresh = refresh.map(|(i, d)| (Ps(i * 1000), Ps(d * 1000)));
+    for ((unit, sub), rows) in live {
+        plan.live_in.entry((unit, sub)).or_default().extend(rows);
+    }
+    let total = plan.topology.total_banks();
+    for (unit, sub, stream, prog) in steps {
+        let flat = stream.unwrap_or(unit);
+        let stream = if flat < total {
+            plan.topology.path(flat)
+        } else {
+            TopoPath::flat_bank(flat) // out of topology: the verifier rejects it
+        };
+        plan.steps.push(PlanStep { unit, subarray: sub, stream, program: Arc::new(prog) });
+    }
+    if !claims.is_empty() {
+        let mut list = Vec::with_capacity(claims.len());
+        for (bank, start) in claims {
+            if bank >= total {
+                return Err(format!("{path}: claim names bank {bank} outside the topology"));
+            }
+            list.push(ClaimedCommand { path: plan.topology.path(bank), start: Ps(start) });
+        }
+        plan.claims = Some(list);
+    }
+    Ok((path.to_string(), plan))
+}
+
+/// The plan corpus: every program-corpus job lifted to a one-step plan,
+/// plus the batch plans [`DeviceArray`] actually prepares for every logic
+/// operation over representative topologies and compile modes.
+fn plan_corpus() -> Vec<(String, BatchPlan)> {
+    let mut plans = Vec::new();
+    for job in corpus() {
+        let live = job.live_in.clone().unwrap_or_else(|| infer_live_in(&job.prog));
+        let shape = job.shape.unwrap_or(SubarrayShape { data_rows: 16, dcc_rows: 2 });
+        let topology = Topology::module(Geometry {
+            banks: 1,
+            subarrays_per_bank: 1,
+            rows_per_subarray: shape.data_rows.max(1),
+            row_bytes: 8,
+        });
+        let mut plan = BatchPlan::new(topology, PumpBudget::unconstrained(), shape);
+        plan.live_in.insert((0, 0), live.into_iter().collect());
+        plan.steps.push(PlanStep {
+            unit: 0,
+            subarray: 0,
+            stream: plan.topology.path(0),
+            program: Arc::new(job.prog),
+        });
+        plans.push((format!("plan:{}", job.name), plan));
+    }
+    for (label, channels, ranks, banks) in [("module", 1usize, 1usize, 4usize), ("2x2", 2, 2, 2)] {
+        for mode in [CompileMode::LowLatency, CompileMode::HighThroughput] {
+            let geometry =
+                Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 32, row_bytes: 32 };
+            let mut array = DeviceArray::new(BatchConfig {
+                topology: Topology::new(channels, ranks, geometry),
+                reserved_rows: 2,
+                mode,
+                budget: PumpBudget::jedec_ddr3_1600(),
+            });
+            let bits = array.row_bits() * array.banks() * 2;
+            let a = array.store(&BitVec::ones(bits)).expect("plan corpus store");
+            let b = array.store(&BitVec::zeros(bits)).expect("plan corpus store");
+            for op in LogicOp::ALL {
+                let plan = if op.is_unary() {
+                    array.plan(op, a, None)
+                } else {
+                    array.plan(op, a, Some(b))
+                }
+                .expect("plan corpus prepares");
+                plans.push((format!("batch:{label}:{mode:?}:{}", op.name()), plan));
+            }
+        }
+    }
+    plans
+}
+
+fn plan_severity_counts(reports: &[(String, PlanReport)]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for (_, report) in reports {
+        for d in report.diagnostics() {
+            match d.severity {
+                Severity::Error => counts.0 += 1,
+                Severity::Warning => counts.1 += 1,
+                Severity::Note => counts.2 += 1,
+            }
+        }
+    }
+    counts
+}
+
+fn print_plan_human(reports: &[(String, PlanReport)]) {
+    for (name, report) in reports {
+        let status = if !report.is_accepted() {
+            "FAIL".to_string()
+        } else {
+            let base = if report.diagnostics().is_empty() { "ok" } else { "ok (with diagnostics)" };
+            match report.makespan() {
+                Some(ms) => format!("{base}, proven makespan {:.1} ns", ms.as_f64()),
+                None => base.to_string(),
+            }
+        };
+        println!("{name}: {status}");
+        for d in report.diagnostics() {
+            println!("  {}: {d}", d.severity);
+        }
+    }
+    let (errors, warnings, notes) = plan_severity_counts(reports);
+    println!("{} plans, {errors} errors, {warnings} warnings, {notes} notes", reports.len());
+}
+
+fn print_plan_json(reports: &[(String, PlanReport)]) {
+    let plans: Vec<Json> = reports
+        .iter()
+        .map(|(name, report)| {
+            let diags: Vec<Json> = report
+                .diagnostics()
+                .iter()
+                .map(|d| {
+                    Json::obj()
+                        .with("severity", Json::str(d.severity.to_string()))
+                        .with("kind", Json::str(d.kind.slug()))
+                        .with("step", d.step.map_or(Json::Null, |s| Json::Num(s as f64)))
+                        .with("message", Json::str(d.to_string()))
+                })
+                .collect();
+            Json::obj()
+                .with("name", Json::str(name))
+                .with("accepted", Json::Bool(report.is_accepted()))
+                .with(
+                    "makespan_ns",
+                    report.makespan().map_or(Json::Null, |m| Json::Num(m.as_f64())),
+                )
+                .with("diagnostics", Json::Arr(diags))
+        })
+        .collect();
+    let (errors, warnings, notes) = plan_severity_counts(reports);
+    let doc = Json::obj()
+        .with("schema", Json::str("elp2im-lint-v1"))
+        .with("plans", Json::Arr(plans))
+        .with(
+            "summary",
+            Json::obj()
+                .with("plans", Json::Num(reports.len() as f64))
+                .with("errors", Json::Num(errors as f64))
+                .with("warnings", Json::Num(warnings as f64))
+                .with("notes", Json::Num(notes as f64)),
+        );
+    println!("{}", doc.pretty());
+}
+
+/// `--plan` mode: certify plan files (and, with `--corpus`, the plan
+/// corpus) with the plan-level static verifier.
+fn run_plan_mode(opts: &Options) -> i32 {
+    let mut plans = Vec::new();
+    if opts.corpus {
+        plans.extend(plan_corpus());
+    }
+    for file in &opts.files {
+        match load_plan_file(file) {
+            Ok(named) => plans.push(named),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    }
+    let reports: Vec<(String, PlanReport)> =
+        plans.iter().map(|(name, plan)| (name.clone(), certify(plan))).collect();
+    if opts.json {
+        print_plan_json(&reports);
+    } else {
+        print_plan_human(&reports);
+    }
+    let (errors, warnings, notes) = plan_severity_counts(&reports);
+    if errors > 0 {
+        2
+    } else if (opts.deny_warnings && warnings > 0) || (opts.deny_notes && notes > 0) {
+        1
+    } else {
+        0
+    }
 }
 
 /// Resolves the analysis context (job pragma > CLI default > inferred)
@@ -484,6 +808,10 @@ fn run() -> i32 {
             return 3;
         }
     };
+
+    if opts.plan {
+        return run_plan_mode(&opts);
+    }
 
     let mut jobs = Vec::new();
     if opts.corpus {

@@ -143,6 +143,41 @@ fn measured_rows(smoke: bool) -> (Vec<Row>, RunStats) {
     let (_, run) = array.binary(LogicOp::And, ha, hb).unwrap();
     let device_stats = run.stats().clone();
 
+    // Plan-level static verifier overhead at deployment-scale row width.
+    // The analyzer's cost is per plan step (its scheduler replay never
+    // moves row data), so the right denominator is an op over rank-level
+    // rows — 64 KB, eight x8 chips opening an 8 KB row in lockstep — not
+    // the deliberately small bench geometry above. All 64 subarrays get
+    // one stripe. The baseline cell holds the measured op time, so the
+    // speedup column reads as op/certify — the inverse of the analyzer's
+    // overhead (`--check` enforces overhead < 5%).
+    let wide = Geometry { row_bytes: 65536, ..bench_geometry(8) };
+    let mut array = DeviceArray::new(BatchConfig {
+        topology: Topology::module(wide),
+        budget: PumpBudget::unconstrained(),
+        ..BatchConfig::default()
+    });
+    let wide_bits = wide.row_bits() * wide.banks * wide.subarrays_per_bank;
+    let wa: BitVec = (0..wide_bits).map(|i| i % 3 == 0).collect();
+    let wb: BitVec = (0..wide_bits).map(|i| i % 7 == 0).collect();
+    let ha = array.store(&wa).unwrap();
+    let hb = array.store(&wb).unwrap();
+    let op = measure(smoke, || {
+        let (hc, run) = array.binary(LogicOp::And, ha, hb).unwrap();
+        std::hint::black_box(run.stats().makespan);
+        array.release(hc).unwrap();
+    });
+    let plan = array.plan(LogicOp::And, ha, Some(hb)).unwrap();
+    let measured = measure(smoke, || {
+        std::hint::black_box(elp2im_core::planlint::certify(&plan).is_accepted());
+    });
+    rows.push(Row {
+        name: "planlint/certify_bulk_and/rank_rows",
+        elements: Some(wide_bits as u64),
+        baseline_us: op.as_nanos() as f64 / 1e3,
+        measured,
+    });
+
     // Engine microbenchmarks (from `benches/engine.rs`).
     for (width, and_us, xor_us) in [(1024usize, 0.472, 1.060), (8192, 0.563, 1.373)] {
         let (and_name, xor_name): (&'static str, &'static str) = if width == 1024 {
@@ -261,6 +296,11 @@ fn build_table(smoke: bool) -> Table {
     ));
     t.note("measured column: median of 5 samples, ~20 ms per sample, std::time::Instant");
     t.note("stats block: modeled DRAM schedule of the 8-bank bulk AND (not host time)");
+    t.note(
+        "planlint row: a 64-stripe bulk AND over rank-level 64 KB rows; the baseline \
+         column is the measured op itself, so its speedup cell is op/certify and \
+         --check requires certify < 5% of the op",
+    );
     if smoke {
         t.note("SMOKE RUN: single short sample per workload; timings are not meaningful");
     }
@@ -354,6 +394,35 @@ fn check_bench_006(doc: &Json) -> Result<(), String> {
     });
     if !has_headline {
         return Err("missing the batch_bulk_and/banks/8 headline row".into());
+    }
+    // Analyzer-overhead invariant: the static plan verifier must cost
+    // less than 5% of the batch op it certifies. The planlint row's
+    // baseline cell holds the measured op time (see the table note), so
+    // overhead = measured / baseline. Smoke runs keep the row but skip
+    // the threshold — their single-sample timings are not meaningful.
+    let lint = rows
+        .iter()
+        .filter_map(Json::as_array)
+        .find(|c| c.first().and_then(Json::as_str) == Some("planlint/certify_bulk_and/rank_rows"))
+        .ok_or("missing the planlint/certify_bulk_and/rank_rows row")?;
+    let cell = |i: usize, what: &str| -> Result<f64, String> {
+        lint.get(i)
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("planlint row: unparsable {what} cell"))
+    };
+    let op_us = cell(2, "baseline (op time)")?;
+    let certify_us = cell(3, "measured (certify time)")?;
+    let smoke = doc
+        .get("notes")
+        .and_then(Json::as_array)
+        .is_some_and(|ns| ns.iter().any(|n| n.as_str().is_some_and(|s| s.contains("SMOKE RUN"))));
+    let overhead_pct = certify_us / op_us * 100.0;
+    if !smoke && overhead_pct >= 5.0 {
+        return Err(format!(
+            "planlint certify {certify_us:.3} us is {overhead_pct:.2}% of the {op_us:.3} us \
+             batch op (must stay < 5%)"
+        ));
     }
     Ok(())
 }

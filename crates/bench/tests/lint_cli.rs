@@ -138,3 +138,86 @@ fn missing_and_malformed_files_exit_2() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown primitive mnemonic"));
     let _ = std::fs::remove_file(Path::new(&bad));
 }
+
+#[test]
+fn each_invalid_plan_fixture_fails_with_its_exact_diagnostic() {
+    let cases = [
+        (
+            "plan_invalid_row_clobber.prmt",
+            "step #0 (b0.s0): destroys live row r0 (cross-program operand clobber)",
+        ),
+        (
+            "plan_invalid_temp_reuse.prmt",
+            "step #1 (b0.s0): reads R0, destroyed by step #0 and never redefined (recycled temp)",
+        ),
+        (
+            "plan_invalid_cross_stream_raw.prmt",
+            "step #1: RAW hazard on r1 (b0.s0): step #0 writes it on stream c0.r0.b0, \
+             step #1 reads it on stream c0.r0.b1 (bank isolation violated)",
+        ),
+        (
+            "plan_invalid_bus_order.prmt",
+            "timing: channel 0: claim #1 (c0.r0.b1 command #0) starts at 0 ps, \
+             before claim #0 at 100000 ps (in-order bus issue violated)",
+        ),
+        (
+            "plan_invalid_tfaw.prmt",
+            "timing: rank c0.r0: claim #4 (c0.r0.b4 command #0) at 4000 ps overdraws \
+             the charge-pump window (earliest legal start 40000 ps)",
+        ),
+        (
+            "plan_invalid_refresh.prmt",
+            "timing: claim #0 (c0.r0.b0 command #0) at 0 ps lands in a refresh \
+             blackout until 350000 ps",
+        ),
+    ];
+    for (file, expected) in cases {
+        let out = lint(&["--plan", &fixture(file)]);
+        assert_eq!(out.status.code(), Some(2), "{file} should exit 2");
+        let text = stdout_of(&out);
+        assert!(text.contains("FAIL"), "{file}: {text}");
+        assert!(text.contains(expected), "{file} missing {expected:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn clean_plan_fixture_and_plan_corpus_certify_clean() {
+    let out = lint(&["--plan", &fixture("plan_clean.prmt")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    let text = stdout_of(&out);
+    assert!(text.contains("ok, proven makespan"), "{text}");
+
+    // The plan corpus (every compiled program as a one-step plan plus the
+    // batch plans DeviceArray prepares) has no errors or warnings; the
+    // Fig. 8 trimmable-restore notes pass through and are allowed.
+    let out = lint(&["--plan", "--corpus", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    let text = stdout_of(&out);
+    assert!(text.contains("0 errors, 0 warnings"), "{text}");
+    assert!(text.contains("batch:module:LowLatency:and"), "{text}");
+    assert!(text.contains("batch:2x2:HighThroughput:xor"), "{text}");
+}
+
+#[test]
+fn plan_json_output_is_machine_readable() {
+    let out = lint(&["--plan", "--json", &fixture("plan_invalid_tfaw.prmt")]);
+    assert_eq!(out.status.code(), Some(2));
+    let doc = Json::parse(&stdout_of(&out)).expect("stdout is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("elp2im-lint-v1"));
+    let plans = doc.get("plans").and_then(Json::as_array).expect("plans array");
+    assert_eq!(plans.len(), 1);
+    assert_eq!(plans[0].get("accepted"), Some(&Json::Bool(false)));
+    assert_eq!(plans[0].get("makespan_ns"), Some(&Json::Null));
+    let diags = plans[0].get("diagnostics").and_then(Json::as_array).unwrap();
+    assert_eq!(diags[0].get("kind").and_then(Json::as_str), Some("plan-pump-overrun"));
+    assert_eq!(diags[0].get("severity").and_then(Json::as_str), Some("error"));
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("errors").and_then(Json::as_f64), Some(1.0));
+
+    // An accepted plan carries its proven makespan.
+    let out = lint(&["--plan", "--json", &fixture("plan_clean.prmt")]);
+    assert_eq!(out.status.code(), Some(0));
+    let doc = Json::parse(&stdout_of(&out)).expect("stdout is valid JSON");
+    let plans = doc.get("plans").and_then(Json::as_array).expect("plans array");
+    assert!(plans[0].get("makespan_ns").and_then(Json::as_f64).unwrap() > 0.0);
+}

@@ -433,7 +433,7 @@ impl AnalysisReport {
 // ---------------------------------------------------------------------------
 
 /// Rows a primitive reads (the stored value matters at activation).
-fn reads_of(p: &Primitive) -> Vec<RowRef> {
+pub fn reads_of(p: &Primitive) -> Vec<RowRef> {
     match *p {
         Primitive::Ap { row }
         | Primitive::App { row, .. }
@@ -449,7 +449,7 @@ fn reads_of(p: &Primitive) -> Vec<RowRef> {
 }
 
 /// Copy destinations a primitive fully overwrites.
-fn dst_writes_of(p: &Primitive) -> Vec<RowRef> {
+pub fn dst_writes_of(p: &Primitive) -> Vec<RowRef> {
     match *p {
         Primitive::Aap { dst, .. }
         | Primitive::OAap { dst, .. }
@@ -1443,5 +1443,42 @@ mod tests {
         assert_eq!(report.final_row(PhysRow::Data(2)), report.final_row(PhysRow::Data(0)));
         assert_eq!(report.final_row(PhysRow::Data(5)), AbstractVal::Undefined);
         assert!(report.to_violations().is_empty());
+    }
+
+    /// Pins the cache-key soundness audit: the verdict key includes the
+    /// liveness of every support row, so the same (program, shape) probed
+    /// under different live-in sets yields *different* verdicts from
+    /// *separate* cache entries — a key on (program, shape) alone would
+    /// serve the first verdict to both.
+    #[test]
+    fn cache_key_includes_live_in_flags() {
+        let cache = AnalysisCache::new();
+        let prog = Program::new("read-r0", vec![Primitive::Ap { row: RowRef::Data(0) }]);
+        let dead = cache.first_violation(&prog, SHAPE, |_| false);
+        assert!(
+            matches!(dead, Some(Violation::ReadOfUndefinedRow { row: RowRef::Data(0), .. })),
+            "{dead:?}"
+        );
+        let live = cache.first_violation(&prog, SHAPE, |r| r == PhysRow::Data(0));
+        assert_eq!(live, None);
+        assert_eq!(cache.len(), 2, "distinct liveness must occupy distinct entries");
+        // Repeat probes are cache hits: the verdicts stay split and no new
+        // entries appear.
+        assert!(cache.first_violation(&prog, SHAPE, |_| false).is_some());
+        assert!(cache.first_violation(&prog, SHAPE, |r| r == PhysRow::Data(0)).is_none());
+        assert_eq!(cache.len(), 2);
+        // Liveness of rows outside the support set cannot split the key:
+        // r1 is never read before written, so its liveness is irrelevant.
+        let copy = Program::new(
+            "copy",
+            vec![Primitive::Aap { src: RowRef::Data(0), dst: RowRef::Data(1) }],
+        );
+        assert_eq!(copy.primitives().len(), 1);
+        let before = cache.len();
+        assert!(cache.first_violation(&copy, SHAPE, |r| r == PhysRow::Data(0)).is_none());
+        assert!(cache
+            .first_violation(&copy, SHAPE, |r| { r == PhysRow::Data(0) || r == PhysRow::Data(1) })
+            .is_none());
+        assert_eq!(cache.len(), before + 1, "non-support liveness must not split the key");
     }
 }

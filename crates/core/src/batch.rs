@@ -44,8 +44,11 @@ use crate::compile::{compile, CompileMode, LogicOp, Operands};
 use crate::error::CoreError;
 use crate::faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
 use crate::isa::Program;
+use crate::optimizer::PhysRow;
+use crate::planlint::{BatchPlan, PlanStep};
 use crate::primitive::RowRef;
 use crate::rowmap::RowAllocator;
+use crate::validate::SubarrayShape;
 use elp2im_dram::command::CommandProfile;
 use elp2im_dram::constraint::PumpBudget;
 use elp2im_dram::geometry::{Geometry, TopoPath, Topology};
@@ -232,6 +235,9 @@ pub struct DeviceArray {
     /// Retry/verify accounting of the fault-aware executor
     /// ([`DeviceArray::binary_checked`]).
     reliability: MetricsRegistry,
+    /// The batch plan of the most recent prepared operation, as handed to
+    /// the plan-level static verifier ([`crate::planlint::certify`]).
+    last_plan: Option<BatchPlan>,
 }
 
 /// Minimum total word-work (primitives × words per row) before
@@ -285,6 +291,7 @@ impl DeviceArray {
             analysis_cache: AnalysisCache::new(),
             bank_rank,
             reliability: MetricsRegistry::new(),
+            last_plan: None,
         }
     }
 
@@ -609,6 +616,20 @@ impl DeviceArray {
         // same program; memoizing the last (rows -> program) pair turns the
         // per-stripe compile into an Arc bump.
         let mut compiled: Option<(Operands, Arc<Program>)> = None;
+        // The plan handed to the static verifier: same steps, same
+        // streams, plus a per-subarray live-in snapshot taken at first
+        // touch (before this operation's own destination allocations).
+        let mut plan = BatchPlan::new(
+            self.config.topology.clone(),
+            self.config.budget.clone(),
+            SubarrayShape {
+                data_rows: self.config.geometry().rows_per_subarray,
+                dcc_rows: self.config.reserved_rows,
+            },
+        );
+        if let Some(e) = self.banks.first().and_then(|b| b.engines.first()) {
+            plan.timing = e.timing().clone();
+        }
         for (ci, sa) in ea.stripes.iter().enumerate() {
             let rb = match &eb {
                 Some(eb) => {
@@ -622,6 +643,23 @@ impl DeviceArray {
                 }
                 None => sa.row,
             };
+            // Live-in snapshot at first touch: a data row is live iff the
+            // allocator owns it AND the engine has real data in it (the
+            // engine's live bits overapproximate — they stay set for
+            // released rows); reserved rows carry scratch residue and
+            // count as live whenever written.
+            plan.live_in.entry((sa.bank, sa.subarray)).or_insert_with(|| {
+                self.banks[sa.bank].engines[sa.subarray]
+                    .live_rows()
+                    .into_iter()
+                    .filter(|r| match r {
+                        PhysRow::Data(i) => {
+                            self.banks[sa.bank].allocs[sa.subarray].is_allocated(*i)
+                        }
+                        PhysRow::Dcc(_) => true,
+                    })
+                    .collect()
+            });
             let dst = self.banks[sa.bank].allocs[sa.subarray].alloc()?;
             let rows = Operands { a: sa.row, b: rb, dst, scratch: None };
             let prog = match &compiled {
@@ -636,9 +674,16 @@ impl DeviceArray {
             let timing = self.banks[sa.bank].engines[sa.subarray].timing();
             let profiles = prog.profiles(timing);
             streams.entry(sa.bank).or_default().extend(profiles);
+            plan.steps.push(PlanStep {
+                unit: sa.bank,
+                subarray: sa.subarray,
+                stream: self.config.topology.path(sa.bank),
+                program: Arc::clone(&prog),
+            });
             work[sa.bank].push((sa.subarray, prog));
             stripes.push(Stripe { bank: sa.bank, subarray: sa.subarray, row: dst });
         }
+        self.last_plan = Some(plan);
         let streams = streams
             .into_iter()
             .map(|(unit, profiles)| (self.config.topology.path(unit), profiles))
@@ -707,6 +752,16 @@ impl DeviceArray {
         b: Option<BatchHandle>,
     ) -> Result<(BatchHandle, BatchRun), CoreError> {
         let (entry, work, streams) = self.prepare(op, a, b)?;
+        // Debug builds certify every prepared plan before anything runs:
+        // the borrow checker, hazard analysis, and timing proofs must all
+        // accept what the batch layer is about to execute. A rejection
+        // here is a batch-layer bug surfacing, not a user error.
+        #[cfg(debug_assertions)]
+        if let Some(err) =
+            self.last_plan.as_ref().and_then(|p| crate::planlint::certify(p).first_error().cloned())
+        {
+            return Err(CoreError::PlanRejected(err.to_string()));
+        }
         self.run_banks(work)?;
         let schedule = match self.sink.as_mut() {
             Some(sink) => self.scheduler.schedule_traced(&streams, sink.as_mut()),
@@ -750,6 +805,35 @@ impl DeviceArray {
     /// Handle, capacity, and compilation errors.
     pub fn not(&mut self, a: BatchHandle) -> Result<(BatchHandle, BatchRun), CoreError> {
         self.run_op(LogicOp::Not, a, None)
+    }
+
+    /// Prepares `op(a, b)` exactly as [`DeviceArray::binary`] would —
+    /// placement, destination allocation, compilation, live-in snapshots —
+    /// and returns the resulting [`BatchPlan`] **without executing it**.
+    /// Rows allocated during preparation are released again, so the array
+    /// is left unchanged; hand the plan to
+    /// [`certify`](crate::planlint::certify) for a static verdict.
+    ///
+    /// # Errors
+    ///
+    /// Handle, width, capacity, and compilation errors.
+    pub fn plan(
+        &mut self,
+        op: LogicOp,
+        a: BatchHandle,
+        b: Option<BatchHandle>,
+    ) -> Result<BatchPlan, CoreError> {
+        let (entry, _work, _streams) = self.prepare(op, a, b)?;
+        for s in entry.stripes {
+            self.banks[s.bank].allocs[s.subarray].free(s.row)?;
+        }
+        Ok(self.last_plan.clone().expect("prepare always records a plan"))
+    }
+
+    /// The plan of the most recently prepared operation (what the debug
+    /// self-check certified), if any operation has been prepared.
+    pub fn last_plan(&self) -> Option<&BatchPlan> {
+        self.last_plan.as_ref()
     }
 }
 
@@ -808,6 +892,33 @@ mod tests {
         assert_eq!(units, vec![0, 4, 2, 6, 1, 5, 3, 7]);
         let chans: Vec<usize> = units.iter().map(|&u| m.unit_path(u).channel).collect();
         assert_eq!(chans, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn prepared_plans_are_certified_and_dry_runs_leave_no_trace() {
+        let mut m = small_topo(2, 1, 2);
+        let bits = m.row_bits() * 4;
+        let a = m.store(&pattern(bits, 3)).unwrap();
+        let b = m.store(&pattern(bits, 5)).unwrap();
+        let live_before: Vec<usize> =
+            m.banks.iter().flat_map(|u| u.allocs.iter().map(RowAllocator::live)).collect();
+        // A dry-run plan certifies clean and releases everything it took.
+        let plan = m.plan(LogicOp::Xor, a, Some(b)).unwrap();
+        assert_eq!(plan.steps.len(), 4);
+        assert!(plan.live_in.values().all(|rows| !rows.is_empty()));
+        let report = crate::planlint::certify(&plan);
+        assert!(report.is_accepted(), "{:?}", report.first_error().map(|d| d.to_string()));
+        assert!(report.makespan().unwrap().as_f64() > 0.0);
+        let live_after: Vec<usize> =
+            m.banks.iter().flat_map(|u| u.allocs.iter().map(RowAllocator::live)).collect();
+        assert_eq!(live_before, live_after);
+        // The executed op records the same kind of plan, and its proven
+        // makespan matches the scheduler's.
+        let (_, run) = m.binary(LogicOp::Xor, a, b).unwrap();
+        let last = m.last_plan().unwrap();
+        let report = crate::planlint::certify(last);
+        assert!(report.is_accepted());
+        assert!((report.makespan().unwrap().as_f64() - run.stats().makespan.as_f64()).abs() < 1e-9);
     }
 
     #[test]

@@ -9,6 +9,8 @@ use crate::bitvec::BitVec;
 use crate::compile::{compile, CompileMode, LogicOp, Operands};
 use crate::error::CoreError;
 use crate::faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
+#[cfg(debug_assertions)]
+use crate::primitive::RowRef;
 use crate::rowmap::RowAllocator;
 use elp2im_dram::stats::RunStats;
 use elp2im_dram::telemetry::MetricsRegistry;
@@ -287,6 +289,14 @@ impl Elp2imDevice {
                 return Err(e);
             }
         };
+        // Debug builds run the plan-level verifier over the one-step plan
+        // this operation forms, with the handle map as the live set — the
+        // same borrow-checking the batch layer gets, at device scope.
+        #[cfg(debug_assertions)]
+        if let Some(err) = self.certify_one_step(&prog) {
+            let _ = self.alloc.free(dst);
+            return Err(CoreError::PlanRejected(err));
+        }
         if let Err(e) = self.engine.run_verified_cached(&prog, &self.analysis_cache) {
             let _ = self.alloc.free(dst);
             return Err(e);
@@ -295,6 +305,46 @@ impl Elp2imDevice {
         self.next_handle += 1;
         self.handles.insert(h, (dst, la));
         Ok(RowHandle(h))
+    }
+
+    /// Lifts `prog` into a one-step [`crate::planlint::BatchPlan`] over a
+    /// single-bank topology, with the handle map as the live row set, and
+    /// returns the first error the plan-level verifier finds (if any).
+    #[cfg(debug_assertions)]
+    fn certify_one_step(&self, prog: &crate::isa::Program) -> Option<String> {
+        use crate::optimizer::PhysRow;
+        use crate::planlint::{certify, BatchPlan, PlanStep};
+        use crate::validate::SubarrayShape;
+        use elp2im_dram::constraint::PumpBudget;
+        use elp2im_dram::geometry::{Geometry, Topology};
+
+        let topology = Topology::module(Geometry {
+            banks: 1,
+            subarrays_per_bank: 1,
+            rows_per_subarray: self.config.data_rows,
+            row_bytes: self.config.width.div_ceil(8),
+        });
+        let shape =
+            SubarrayShape { data_rows: self.config.data_rows, dcc_rows: self.config.reserved_rows };
+        let mut plan = BatchPlan::new(topology, PumpBudget::unconstrained(), shape);
+        plan.timing = self.engine.timing().clone();
+        // Allocated handles that hold data are the live rows; the scratch
+        // row's residue is deliberately excluded (programs overwrite it).
+        let live: std::collections::BTreeSet<PhysRow> = self
+            .handles
+            .values()
+            .filter(|(row, _)| self.engine.is_live(RowRef::Data(*row)))
+            .map(|(row, _)| PhysRow::Data(*row))
+            .chain(self.engine.live_rows().into_iter().filter(|r| matches!(r, PhysRow::Dcc(_))))
+            .collect();
+        plan.live_in.insert((0, 0), live);
+        plan.steps.push(PlanStep {
+            unit: 0,
+            subarray: 0,
+            stream: plan.topology.path(0),
+            program: std::sync::Arc::new(prog.clone()),
+        });
+        certify(&plan).first_error().map(|d| d.to_string())
     }
 
     /// Bulk AND into a fresh row.

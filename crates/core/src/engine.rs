@@ -252,6 +252,25 @@ impl SubarrayEngine {
         }
     }
 
+    /// Snapshot of every physical row currently holding data, in analyzer
+    /// addressing (data rows first, then reserved rows). This is the
+    /// live-in set the static analyzers assume, so the plan-level verifier
+    /// seeds its borrow checker from it.
+    pub fn live_rows(&self) -> Vec<PhysRow> {
+        let mut out = Vec::new();
+        for i in 0..self.data_rows {
+            if self.live[self.dcc_rows + i] {
+                out.push(PhysRow::Data(i));
+            }
+        }
+        for i in 0..self.dcc_rows {
+            if self.live[i] {
+                out.push(PhysRow::Dcc(i));
+            }
+        }
+        out
+    }
+
     /// Writes a data row directly (host-side store, outside PIM timing).
     ///
     /// # Errors

@@ -75,6 +75,10 @@ pub enum CoreError {
     /// a program for the requested network; callers fall back to greedy
     /// lowering.
     SynthesisFailed(String),
+    /// The plan-level static verifier rejected a batch plan before
+    /// execution; the string is the first diagnostic's rendered text (the
+    /// concrete counterexample).
+    PlanRejected(String),
 }
 
 impl fmt::Display for CoreError {
@@ -112,6 +116,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::StaticViolation(v) => write!(f, "statically invalid program: {v}"),
             CoreError::SynthesisFailed(reason) => write!(f, "logic synthesis failed: {reason}"),
+            CoreError::PlanRejected(reason) => {
+                write!(f, "statically invalid plan: {reason}")
+            }
         }
     }
 }

@@ -372,6 +372,11 @@ impl FaultyEngine {
         self.inner.is_live(row)
     }
 
+    /// See [`SubarrayEngine::live_rows`].
+    pub fn live_rows(&self) -> Vec<crate::optimizer::PhysRow> {
+        self.inner.live_rows()
+    }
+
     /// See [`SubarrayEngine::inject_bit_error`] (manual injection, not
     /// counted in [`FaultyEngine::injected_flips`]).
     ///

@@ -30,6 +30,9 @@
 //!   execution engine: bank-major striping across the whole module, with
 //!   per-bank host-parallel functional simulation and interleaved
 //!   scheduling under the charge-pump budget.
+//! * [`planlint`] — the plan-level static verifier: interprocedural row
+//!   borrow checking, cross-stream hazard analysis, and static timing
+//!   proofs over whole batch plans before anything executes.
 //!
 //! # Example
 //!
@@ -65,6 +68,7 @@ pub mod isa;
 pub mod module;
 pub mod optimizer;
 pub mod parse;
+pub mod planlint;
 pub mod primitive;
 pub mod rowmap;
 pub mod synth;
@@ -80,5 +84,6 @@ pub use error::CoreError;
 pub use expr::{compile_expr, compile_expr_greedy, Expr, ExprOperands};
 pub use faulty::{ColumnFaultModel, FaultPolicy, FaultyEngine};
 pub use isa::Program;
+pub use planlint::{certify, BatchPlan, PlanDiagnostic, PlanDiagnosticKind, PlanReport, PlanStep};
 pub use primitive::{Primitive, RegulateMode, RowRef};
 pub use synth::{synthesize, SynthOperands, Synthesis};

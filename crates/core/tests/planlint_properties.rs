@@ -1,0 +1,231 @@
+//! Differential property tests of the plan-level static verifier.
+//!
+//! Two directions: every plan a [`DeviceArray`] prepares must certify
+//! clean, execute without error, agree with a bit-level software model,
+//! and carry a proven makespan identical to the scheduler's; and seeded
+//! mutations of legal plans (claim swaps, pump overdraws, cross-stream
+//! sharing) must be rejected with a concrete counterexample naming the
+//! offending instants or rows.
+
+use elp2im_core::batch::{BatchConfig, DeviceArray};
+use elp2im_core::bitvec::BitVec;
+use elp2im_core::compile::{CompileMode, LogicOp};
+use elp2im_core::isa::Program;
+use elp2im_core::optimizer::PhysRow;
+use elp2im_core::planlint::{certify, BatchPlan, HazardKind, PlanDiagnosticKind, PlanStep};
+use elp2im_core::primitive::{Primitive, RowRef};
+use elp2im_core::validate::SubarrayShape;
+use elp2im_dram::constraint::PumpBudget;
+use elp2im_dram::geometry::{Geometry, Topology};
+use elp2im_dram::units::Ps;
+use elp2im_dram::verify::{ClaimedCommand, TimingViolation};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn geometry(banks: usize) -> Geometry {
+    Geometry { banks, subarrays_per_bank: 2, rows_per_subarray: 8, row_bytes: 8 }
+}
+
+fn pattern(bits: usize, modulus: usize) -> BitVec {
+    (0..bits).map(|i| i % modulus == 0).collect()
+}
+
+/// A one-command `AP` plan over `banks` single-subarray streams, with an
+/// explicit claimed schedule attached by the caller.
+fn ap_plan(banks: usize, budget: PumpBudget) -> BatchPlan {
+    let topology = Topology::module(geometry(banks));
+    let mut plan =
+        BatchPlan::new(topology.clone(), budget, SubarrayShape { data_rows: 8, dcc_rows: 2 });
+    for unit in 0..banks {
+        plan.live_in.insert((unit, 0), [PhysRow::Data(0)].into_iter().collect());
+        plan.steps.push(PlanStep {
+            unit,
+            subarray: 0,
+            stream: topology.path(unit),
+            program: Arc::new(Program::new("ap", vec![Primitive::Ap { row: RowRef::Data(0) }])),
+        });
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Differential acceptance: random op chains over random topologies
+    /// prepare plans that certify clean, match a software model bit for
+    /// bit, and whose statically proven makespan equals the scheduler's.
+    #[test]
+    fn certified_plans_execute_cleanly_and_match_the_model(
+        channels in 1usize..=2,
+        ranks in 1usize..=2,
+        banks in 1usize..=2,
+        jedec in any::<bool>(),
+        high_throughput in any::<bool>(),
+        ops in proptest::collection::vec((0usize..7, 0usize..8, 0usize..8), 1..=4),
+        ma in 2usize..9,
+        mb in 2usize..9,
+    ) {
+        let mut array = DeviceArray::new(BatchConfig {
+            topology: Topology::new(channels, ranks, geometry(banks)),
+            budget: if jedec { PumpBudget::jedec_ddr3_1600() } else { PumpBudget::unconstrained() },
+            mode: if high_throughput { CompileMode::HighThroughput } else { CompileMode::LowLatency },
+            ..BatchConfig::default()
+        });
+        let bits = array.row_bits() * channels * ranks * banks;
+        let a = pattern(bits, ma);
+        let b = pattern(bits, mb);
+        let mut handles = vec![array.store(&a).unwrap(), array.store(&b).unwrap()];
+        let mut models = vec![a, b];
+        for &(op_idx, ia, ib) in &ops {
+            let op = LogicOp::ALL[op_idx];
+            let (xa, xb) = (ia % handles.len(), ib % handles.len());
+            let (h, run) = if op.is_unary() {
+                array.not(handles[xa]).unwrap()
+            } else {
+                array.binary(op, handles[xa], handles[xb]).unwrap()
+            };
+            // The prepared plan certifies clean and proves the same
+            // makespan the scheduler produced.
+            let report = certify(array.last_plan().unwrap());
+            prop_assert!(
+                report.is_accepted(),
+                "prepared plan rejected: {:?}",
+                report.first_error().map(|d| d.to_string())
+            );
+            let proven = report.makespan().unwrap().as_f64();
+            let scheduled = run.stats().makespan.as_f64();
+            prop_assert!(
+                (proven - scheduled).abs() < 1e-9,
+                "proven makespan {proven} != scheduled {scheduled}"
+            );
+            handles.push(h);
+            models.push(
+                (0..bits).map(|i| op.eval(models[xa].get(i), models[xb].get(i))).collect(),
+            );
+        }
+        for (h, model) in handles.iter().zip(&models) {
+            prop_assert!(array.load(*h).unwrap() == *model, "device result diverges from model");
+        }
+    }
+
+    /// Mutation rejection: a legally spaced claimed schedule verifies
+    /// clean; swapping two adjacent same-channel issue instants is
+    /// rejected with a bus-order counterexample naming both instants.
+    #[test]
+    fn swapped_claim_instants_are_rejected_with_the_instants_named(
+        banks in 2usize..=5,
+        jitters in proptest::collection::vec(0u64..5_000, 5),
+        swap in 0usize..4,
+    ) {
+        let mut plan = ap_plan(banks, PumpBudget::unconstrained());
+        let dur = plan.steps[0].program.profiles(&plan.timing)[0].duration.to_ps();
+        let mut starts = Vec::new();
+        let mut t = Ps::ZERO;
+        for &jitter in jitters.iter().take(banks) {
+            starts.push(t);
+            t = t + dur + Ps(1 + jitter);
+        }
+        plan.claims =
+            Some((0..banks).map(|u| ClaimedCommand { path: plan.topology.path(u), start: starts[u] }).collect());
+        let report = certify(&plan);
+        prop_assert!(report.is_accepted(), "{:?}", report.first_error().map(|d| d.to_string()));
+
+        let swap = swap % (banks - 1);
+        let claims = plan.claims.as_mut().unwrap();
+        let (s0, s1) = (claims[swap].start, claims[swap + 1].start);
+        claims[swap].start = s1;
+        claims[swap + 1].start = s0;
+        let report = certify(&plan);
+        prop_assert!(!report.is_accepted());
+        match &report.first_error().unwrap().kind {
+            PlanDiagnosticKind::Timing(TimingViolation::BusOrderViolation {
+                channel, start, prev_start, ..
+            }) => {
+                prop_assert_eq!(*channel, 0);
+                prop_assert_eq!(*start, s0);
+                prop_assert_eq!(*prev_start, s1);
+            }
+            other => prop_assert!(false, "expected a bus-order violation, got {other:?}"),
+        }
+    }
+
+    /// Mutation rejection: five activations claimed inside one tFAW
+    /// window under the JEDEC budget overdraw the charge pump, and the
+    /// counterexample's deferral instant lies past the claimed one.
+    #[test]
+    fn overdrawn_pump_claims_are_rejected_with_a_deferral_instant(
+        banks in 5usize..=8,
+        spacing in 0u64..10_000,
+    ) {
+        let mut plan = ap_plan(banks, PumpBudget::jedec_ddr3_1600());
+        plan.claims = Some(
+            (0..banks)
+                .map(|u| ClaimedCommand { path: plan.topology.path(u), start: Ps(u as u64 * spacing) })
+                .collect(),
+        );
+        let report = certify(&plan);
+        prop_assert!(!report.is_accepted());
+        let overrun = report.diagnostics().iter().find_map(|d| match &d.kind {
+            PlanDiagnosticKind::Timing(TimingViolation::PumpOverrun { start, earliest, .. }) => {
+                Some((*start, *earliest))
+            }
+            _ => None,
+        });
+        let (start, earliest) = overrun.expect("a pump overrun must be reported");
+        prop_assert!(earliest > start, "deferral {earliest} must lie past the claim {start}");
+    }
+
+    /// Mutation rejection: routing one of two subarray-sharing steps onto
+    /// a foreign stream is rejected as a RAW hazard whose witness is the
+    /// actually shared row; the same plan on one stream certifies clean.
+    #[test]
+    fn cross_stream_sharing_is_rejected_with_the_shared_row(
+        perm in 0usize..336,
+        unit in 0usize..4,
+        other in 0usize..4,
+    ) {
+        prop_assume!(unit != other);
+        // Decode `perm` into three distinct rows of 0..8 (8 * 7 * 6 = 336).
+        let mut pool: Vec<usize> = (0..8).collect();
+        let ra = pool.remove(perm % 8);
+        let rm = pool.remove(perm / 8 % 7);
+        let rc = pool.remove(perm / 56 % 6);
+        let topology = Topology::module(geometry(4));
+        let producer = Arc::new(Program::new(
+            "produce",
+            vec![Primitive::Aap { src: RowRef::Data(ra), dst: RowRef::Data(rm) }],
+        ));
+        let consumer = Arc::new(Program::new(
+            "consume",
+            vec![Primitive::Aap { src: RowRef::Data(rm), dst: RowRef::Data(rc) }],
+        ));
+        let step = |stream_unit: usize, program: &Arc<Program>| PlanStep {
+            unit,
+            subarray: 0,
+            stream: topology.path(stream_unit),
+            program: Arc::clone(program),
+        };
+        let mut plan = BatchPlan::new(
+            topology.clone(),
+            PumpBudget::unconstrained(),
+            SubarrayShape { data_rows: 8, dcc_rows: 2 },
+        );
+        plan.live_in.insert((unit, 0), [PhysRow::Data(ra)].into_iter().collect());
+        plan.steps = vec![step(unit, &producer), step(other, &consumer)];
+        let report = certify(&plan);
+        prop_assert!(!report.is_accepted());
+        match &report.first_error().unwrap().kind {
+            PlanDiagnosticKind::CrossStreamHazard { kind, row, first, second, .. } => {
+                prop_assert_eq!(*kind, HazardKind::Raw);
+                prop_assert_eq!(*row, PhysRow::Data(rm));
+                prop_assert_eq!((*first, *second), (0, 1));
+            }
+            other => prop_assert!(false, "expected a cross-stream hazard, got {other:?}"),
+        }
+
+        plan.steps = vec![step(unit, &producer), step(unit, &consumer)];
+        let report = certify(&plan);
+        prop_assert!(report.is_accepted(), "{:?}", report.first_error().map(|d| d.to_string()));
+        prop_assert!(report.makespan().unwrap().as_f64() > 0.0);
+    }
+}

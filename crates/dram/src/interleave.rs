@@ -130,6 +130,17 @@ impl Schedule {
     pub fn first_stall(&self) -> Option<&ScheduledCommand> {
         self.commands.iter().find(|c| c.pump_stall > Ps::ZERO)
     }
+
+    /// The schedule as a list of claims — `(path, start)` in bus issue
+    /// order — the form [`crate::verify::verify_claims`] checks. A
+    /// schedule produced by this crate's schedulers always verifies clean
+    /// against its own input streams.
+    pub fn claims(&self) -> Vec<crate::verify::ClaimedCommand> {
+        self.commands
+            .iter()
+            .map(|c| crate::verify::ClaimedCommand { path: c.path, start: c.start })
+            .collect()
+    }
 }
 
 /// Deterministic, stateless scheduler for per-bank command streams under

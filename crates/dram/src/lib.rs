@@ -23,6 +23,10 @@
 //! * [`hierarchy`] — the topology-aware generalization: channel/rank/bank
 //!   ([`geometry::Topology`]) scheduling with per-rank pump windows and
 //!   per-channel buses; the flat scheduler is its single-rank embedding.
+//! * [`verify`] — the static timing verifier: checks a *claimed* schedule
+//!   (bus-order issue instants) against the pump window, per-channel
+//!   in-order issue, bank occupancy and refresh blackouts, returning a
+//!   concrete counterexample for every refuted obligation.
 //! * [`telemetry`] — per-command trace sinks ([`telemetry::TraceSink`]),
 //!   counters/histograms ([`telemetry::MetricsRegistry`]), and JSON/CSV
 //!   exporters; the default [`telemetry::NullSink`] keeps the hot path free.
@@ -57,6 +61,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod timing;
 pub mod units;
+pub mod verify;
 
 pub use command::{CommandClass, CommandProfile};
 pub use constraint::PumpBudget;
@@ -71,3 +76,4 @@ pub use stats::RunStats;
 pub use telemetry::{CommandEvent, MemorySink, MetricsRegistry, NullSink, StallReason, TraceSink};
 pub use timing::Ddr3Timing;
 pub use units::{Ns, Picojoules, Ps};
+pub use verify::{verify_claims, ClaimedCommand, TimingViolation};

@@ -46,6 +46,17 @@ pub enum StallReason {
 }
 
 impl StallReason {
+    /// All reason codes, in precedence-display order. Exporters and the
+    /// static verifier iterate this to keep per-reason tables exhaustive
+    /// when a variant is added.
+    pub const ALL: [StallReason; 5] = [
+        StallReason::None,
+        StallReason::Bank,
+        StallReason::Bus,
+        StallReason::Pump,
+        StallReason::Refresh,
+    ];
+
     /// Stable lowercase label used in JSON/CSV exports.
     pub fn label(self) -> &'static str {
         match self {

@@ -33,6 +33,17 @@ for fixture in crates/bench/tests/lint_fixtures/invalid_*.prmt; do
     fi
 done
 
+echo "==> elp2im-lint --plan over the plan corpus (no errors, no warnings)"
+cargo run -q --release -p elp2im-bench --bin elp2im-lint -- --plan --corpus --deny-warnings > /dev/null
+
+echo "==> elp2im-lint --plan rejects every seeded-invalid plan fixture"
+for fixture in crates/bench/tests/lint_fixtures/plan_invalid_*.prmt; do
+    if cargo run -q --release -p elp2im-bench --bin elp2im-lint -- --plan "$fixture" > /dev/null 2>&1; then
+        echo "plan verifier accepted invalid plan $fixture" >&2
+        exit 1
+    fi
+done
+
 echo "==> fig13 --trace-json round trip"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
